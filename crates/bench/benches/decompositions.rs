@@ -1,0 +1,64 @@
+//! The headline comparison (Tables 4/5/6 in microbenchmark form): exact
+//! peeling vs Snd vs And for all three decompositions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdsd_datasets::Dataset;
+use hdsd_nucleus::{
+    and, peel, snd, CoreSpace, LocalConfig, Nucleus34Space, Order, TrussSpace,
+};
+
+fn bench_core(c: &mut Criterion) {
+    let g = Dataset::Sse.generate(0.25);
+    let sp = CoreSpace::new(&g);
+    let mut group = c.benchmark_group("core_sse_quarter");
+    group.bench_function("peel", |b| b.iter(|| peel(std::hint::black_box(&sp))));
+    group.bench_function("snd", |b| {
+        b.iter(|| snd(std::hint::black_box(&sp), &LocalConfig::default()))
+    });
+    group.bench_function("and", |b| {
+        b.iter(|| and(std::hint::black_box(&sp), &LocalConfig::default(), &Order::Natural))
+    });
+    group.finish();
+}
+
+fn bench_truss(c: &mut Criterion) {
+    let g = Dataset::Fb.generate(0.25);
+    let sp = TrussSpace::precomputed(&g);
+    let mut group = c.benchmark_group("truss_fb_quarter");
+    group.sample_size(10);
+    group.bench_function("peel", |b| b.iter(|| peel(std::hint::black_box(&sp))));
+    group.bench_function("snd", |b| {
+        b.iter(|| snd(std::hint::black_box(&sp), &LocalConfig::default()))
+    });
+    group.bench_function("and", |b| {
+        b.iter(|| and(std::hint::black_box(&sp), &LocalConfig::default(), &Order::Natural))
+    });
+    // Theorem 4 best case: And fed the final peel order.
+    let order = Order::Custom(peel(&sp).order.clone());
+    group.bench_function("and_peel_order", |b| {
+        b.iter(|| and(std::hint::black_box(&sp), &LocalConfig::default(), &order))
+    });
+    group.finish();
+}
+
+fn bench_nucleus34(c: &mut Criterion) {
+    let g = Dataset::Fb.generate(0.15);
+    let sp = Nucleus34Space::precomputed(&g);
+    let mut group = c.benchmark_group("nucleus34_fb_small");
+    group.sample_size(10);
+    group.bench_function("peel", |b| b.iter(|| peel(std::hint::black_box(&sp))));
+    group.bench_function("snd", |b| {
+        b.iter(|| snd(std::hint::black_box(&sp), &LocalConfig::default()))
+    });
+    group.bench_function("and", |b| {
+        b.iter(|| and(std::hint::black_box(&sp), &LocalConfig::default(), &Order::Natural))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_core, bench_truss, bench_nucleus34
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the h-index kernels (§4.4): the linear-time
+//! counting kernel vs the sort-based reference, and the plateau shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdsd_hindex::{h_index_sorted_ref, preserves_h, HBuffer};
+
+fn pseudo_values(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % (n as u64 + 1)) as u32
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hindex");
+    for &n in &[16usize, 256, 4096] {
+        let vals = pseudo_values(n, 42);
+        group.bench_with_input(BenchmarkId::new("sorted_ref", n), &vals, |b, v| {
+            b.iter(|| h_index_sorted_ref(std::hint::black_box(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("counting_buffer", n), &vals, |b, v| {
+            let mut buf = HBuffer::with_capacity(n);
+            b.iter(|| buf.compute(std::hint::black_box(v)))
+        });
+        let h = h_index_sorted_ref(&vals);
+        group.bench_with_input(BenchmarkId::new("preserve_check", n), &vals, |b, v| {
+            b.iter(|| preserves_h(std::hint::black_box(v).iter().copied(), h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

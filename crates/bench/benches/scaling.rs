@@ -1,0 +1,40 @@
+//! Figure 1b in microbenchmark form: thread sweep for parallel And and the
+//! partially parallel peeling baseline. On a single-core host the curves
+//! are flat — the sweep is still exercised for correctness and to produce
+//! honest numbers on whatever hardware runs it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdsd_datasets::Dataset;
+use hdsd_nucleus::{and, peel_parallel, LocalConfig, Order, TrussSpace};
+use hdsd_parallel::ParallelConfig;
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let g = Dataset::Fb.generate(0.25);
+    let sp = TrussSpace::precomputed(&g);
+    let max = hdsd_parallel::default_threads();
+    let sweep: Vec<usize> = [1usize, 2, 4, max]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut group = c.benchmark_group("truss_thread_sweep_fb_quarter");
+    group.sample_size(10);
+    for &t in &sweep {
+        group.bench_with_input(BenchmarkId::new("and", t), &t, |b, &threads| {
+            b.iter(|| and(&sp, &LocalConfig::with_threads(threads), &Order::Natural))
+        });
+        group.bench_with_input(BenchmarkId::new("peel_parallel", t), &t, |b, &threads| {
+            b.iter(|| peel_parallel(&sp, ParallelConfig::with_threads(threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thread_sweep
+}
+criterion_main!(benches);

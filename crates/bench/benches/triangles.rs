@@ -1,0 +1,33 @@
+//! Substrate benchmarks: triangle counting/listing and 4-clique counting,
+//! the fixed costs every (2,3) / (3,4) decomposition pays up front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdsd_datasets::Dataset;
+use hdsd_graph::{count_triangles_per_edge, total_k4, total_triangles, K4List, TriangleList};
+
+fn bench_substrate(c: &mut Criterion) {
+    let g = Dataset::Fb.generate(0.25);
+    let mut group = c.benchmark_group("substrate_fb_quarter");
+    group.bench_function("triangle_count_per_edge", |b| {
+        b.iter(|| count_triangles_per_edge(std::hint::black_box(&g)))
+    });
+    group.bench_function("triangle_total", |b| {
+        b.iter(|| total_triangles(std::hint::black_box(&g)))
+    });
+    group.bench_function("triangle_list_build", |b| {
+        b.iter(|| TriangleList::build(std::hint::black_box(&g)))
+    });
+    group.bench_function("k4_total", |b| b.iter(|| total_k4(std::hint::black_box(&g))));
+    let tl = TriangleList::build(&g);
+    group.bench_function("k4_list_build", |b| {
+        b.iter(|| K4List::build(std::hint::black_box(&g), std::hint::black_box(&tl)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 1a (and Figure 6): convergence rate — Kendall-Tau between the
+//! iteration-t τ values and the exact κ indices, per iteration, on the
+//! five convergence datasets. Figure 1a is the k-truss instance; passing
+//! `core` or `34` regenerates the Figure-6 variants.
+
+use hdsd_datasets::CONVERGENCE_SET;
+use hdsd_metrics::kendall_tau_b;
+use hdsd_nucleus::{peel, snd_with_observer, CoreSpace, LocalConfig, Nucleus34Space, TrussSpace};
+
+use crate::{Env, Table};
+
+/// Regenerates the convergence-rate series for one decomposition
+/// (`which` ∈ {"core", "truss", "34"}).
+pub fn run(env: &Env, which: &str) {
+    println!("Figure 1a — convergence rate (Kendall-τ vs iterations), {which} decomposition\n");
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for d in CONVERGENCE_SET {
+        if which == "34" && !d.k34_feasible() {
+            continue;
+        }
+        let g = env.load(d);
+        let kts = match which {
+            "core" => {
+                let sp = CoreSpace::new(&g);
+                trace(&sp)
+            }
+            "truss" => {
+                let sp = TrussSpace::precomputed(&g);
+                trace(&sp)
+            }
+            "34" => {
+                let sp = Nucleus34Space::precomputed(&g);
+                trace(&sp)
+            }
+            other => panic!("unknown decomposition {other:?} (use core|truss|34)"),
+        };
+        series.push((d.short_name().to_string(), kts));
+    }
+
+    let max_iters = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let mut headers: Vec<(&str, usize)> = vec![("iter", 5)];
+    for (name, _) in &series {
+        headers.push((name.as_str(), 8));
+    }
+    let t = Table::new(&headers);
+    for it in 0..max_iters {
+        let mut row = vec![format!("{}", it + 1)];
+        for (_, kts) in &series {
+            row.push(match kts.get(it) {
+                Some(v) => format!("{v:.4}"),
+                None => "·".to_string(), // already converged
+            });
+        }
+        t.row(&row);
+    }
+    println!("\nPaper shape: τ ranking is ~exact (Kendall-τ ≈ 1.0) within ~10 iterations");
+    println!("on every graph, long before full convergence.");
+}
+
+fn trace<S: hdsd_nucleus::CliqueSpace>(space: &S) -> Vec<f64> {
+    let exact = peel(space).kappa;
+    let mut kts = Vec::new();
+    snd_with_observer(space, &LocalConfig::default(), &mut |ev| {
+        kts.push(kendall_tau_b(ev.tau, &exact));
+    });
+    kts
+}

@@ -1,0 +1,447 @@
+//! Seeded random-graph generators.
+//!
+//! Everything returns a simple undirected [`CsrGraph`]; duplicate edges and
+//! self loops produced by a model are dropped by the builder, so edge counts
+//! are "up to" the nominal parameter for the random models (exact for
+//! G(n,m) which retries).
+
+use hdsd_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges, uniformly sampled.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi_gnm(n: u32, m: usize, seed: u64) -> CsrGraph {
+    let possible = n as u64 * (n as u64 - 1) / 2;
+    assert!(m as u64 <= possible, "G(n,m): m={m} > n·(n−1)/2={possible}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(m);
+    while set.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if set.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m_attach + 1` vertices, then each new vertex attaches to `m_attach`
+/// existing vertices chosen proportionally to degree (by sampling the
+/// endpoint multiset). Produces heavy-tailed degree distributions like the
+/// paper's social graphs.
+pub fn barabasi_albert(n: u32, m_attach: u32, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "BA: m_attach must be >= 1");
+    assert!(n > m_attach, "BA: need n > m_attach");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // endpoint multiset: each edge contributes both endpoints
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    let mut b = GraphBuilder::new();
+    let seed_n = m_attach + 1;
+    for u in 0..seed_n {
+        for v in u + 1..seed_n {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach as usize);
+    for v in seed_n..n {
+        targets.clear();
+        // sample m distinct targets by preferential attachment
+        let mut guard = 0;
+        while targets.len() < m_attach as usize {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 64 * m_attach {
+                // fall back to uniform to escape tiny multisets
+                let t = rng.gen_range(0..v);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+/// Holme–Kim model: Barabási–Albert preferential attachment with a *triad
+/// formation* step — after a preferential link to `t`, each further link
+/// attaches to a random neighbor of `t` with probability `p_triad`
+/// (closing a triangle), else preferentially. Produces the heavy-tailed,
+/// high-clustering profile of the paper's social networks, which is what
+/// drives realistic truss/nucleus structure.
+pub fn holme_kim(n: u32, m_attach: u32, p_triad: f64, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "HK: m_attach must be >= 1");
+    assert!(n > m_attach, "HK: need n > m_attach");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n as usize];
+    let mut b = GraphBuilder::new();
+    let seed_n = m_attach + 1;
+    let connect = |b: &mut GraphBuilder,
+                       adj: &mut Vec<Vec<VertexId>>,
+                       endpoints: &mut Vec<VertexId>,
+                       u: VertexId,
+                       v: VertexId| {
+        b.add_edge(u, v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        endpoints.push(u);
+        endpoints.push(v);
+    };
+    for u in 0..seed_n {
+        for v in u + 1..seed_n {
+            connect(&mut b, &mut adj, &mut endpoints, u, v);
+        }
+    }
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach as usize);
+    for v in seed_n..n {
+        targets.clear();
+        let mut last_pref: Option<VertexId> = None;
+        let mut guard = 0u32;
+        while targets.len() < m_attach as usize {
+            guard += 1;
+            let use_triad = last_pref.is_some() && rng.gen::<f64>() < p_triad && guard < 8 * m_attach;
+            let candidate = if use_triad {
+                let t = last_pref.unwrap();
+                let nbrs = &adj[t as usize];
+                nbrs[rng.gen_range(0..nbrs.len())]
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if candidate != v && !targets.contains(&candidate) {
+                if !use_triad {
+                    last_pref = Some(candidate);
+                }
+                targets.push(candidate);
+            } else if guard >= 8 * m_attach {
+                let t = rng.gen_range(0..v);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for &t in &targets {
+            connect(&mut b, &mut adj, &mut endpoints, v, t);
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+/// Keeps each edge independently with probability `keep`, preserving the
+/// vertex set. Applied after the attachment models (whose minimum degree
+/// is otherwise constant at the attachment parameter) so degree
+/// distributions gain the low-degree tail real social graphs have —
+/// without it, k-core decompositions of the stand-ins would be trivially
+/// constant.
+pub fn thin_edges(g: &CsrGraph, keep: f64, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(g.num_edges());
+    for &(u, v) in g.edges() {
+        if rng.gen::<f64>() < keep {
+            b.add_edge(u, v);
+        }
+    }
+    b.with_num_vertices(g.num_vertices()).build()
+}
+
+/// R-MAT generator (Chakrabarti–Zhan–Faloutsos): recursively partitions the
+/// adjacency matrix with probabilities `(a, b, c, d)`. `scale` gives
+/// `n = 2^scale` vertices and `edge_factor·n` sampled edges (dedup shrinks
+/// this). The default paper-style skew is `a=0.57, b=0.19, c=0.19, d=0.05`.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> CsrGraph {
+    let (a, b, c, d) = probs;
+    assert!((a + b + c + d - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1");
+    let n: u64 = 1 << scale;
+    let m = n as usize * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_u, mut hi_u) = (0u64, n);
+        let (mut lo_v, mut hi_v) = (0u64, n);
+        while hi_u - lo_u > 1 {
+            let r: f64 = rng.gen();
+            let (top, left) = if r < a {
+                (true, true)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if top {
+                hi_u = mid_u;
+            } else {
+                lo_u = mid_u;
+            }
+            if left {
+                hi_v = mid_v;
+            } else {
+                lo_v = mid_v;
+            }
+        }
+        builder.add_edge(lo_u as VertexId, lo_v as VertexId);
+    }
+    builder.with_num_vertices(n as usize).build()
+}
+
+/// Watts–Strogatz small world: ring of `n` vertices each wired to `k/2`
+/// neighbors on each side, then each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "WS: k must be even and >= 2");
+    assert!(n > k, "WS: need n > k");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n as usize * k as usize / 2);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // rewire to a uniform random target
+                let mut t = rng.gen_range(0..n);
+                let mut guard = 0;
+                while t == u && guard < 16 {
+                    t = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                b.add_edge(u, t);
+            } else {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+/// Planted partition: `communities.len()` groups with the given sizes;
+/// within-group edges appear with probability `p_in`, cross-group edges
+/// with `p_out`. The classic workload for dense-subgraph discovery.
+pub fn planted_partition(communities: &[u32], p_in: f64, p_out: f64, seed: u64) -> CsrGraph {
+    let n: u32 = communities.iter().sum();
+    let mut group = Vec::with_capacity(n as usize);
+    for (g, &size) in communities.iter().enumerate() {
+        group.extend(std::iter::repeat_n(g as u32, size as usize));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if group[u as usize] == group[v as usize] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+/// Specification of one level of [`nested_communities`].
+#[derive(Clone, Copy, Debug)]
+pub struct NestedCommunitySpec {
+    /// Number of child blocks per parent block at this level.
+    pub branching: u32,
+    /// Edge probability *within* a block at this level (deeper = denser).
+    pub p: f64,
+}
+
+/// Hierarchically nested communities: level 0 is the whole vertex set with
+/// a background edge probability, each deeper level splits every block into
+/// `branching` sub-blocks with a higher internal probability. Produces the
+/// nested dense structure whose recovery motivates nucleus decomposition
+/// (the paper's citation-network use case).
+pub fn nested_communities(
+    leaf_size: u32,
+    levels: &[NestedCommunitySpec],
+    background_p: f64,
+    seed: u64,
+) -> CsrGraph {
+    let leaves: u32 = levels.iter().map(|l| l.branching).product();
+    let n = leaves * leaf_size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    // For each pair, the effective probability is that of the deepest level
+    // in which the two vertices share a block.
+    let block_of = |v: u32, depth: usize| -> u32 {
+        // width of blocks at `depth`: leaves/(prod of branchings up to depth) * leaf_size
+        let blocks_at: u32 = levels[..depth].iter().map(|l| l.branching).product();
+        let width = n / blocks_at.max(1);
+        v / width.max(1)
+    };
+    for u in 0..n {
+        for v in u + 1..n {
+            let mut p = background_p;
+            for depth in 1..=levels.len() {
+                if block_of(u, depth) == block_of(v, depth) {
+                    p = levels[depth - 1].p;
+                } else {
+                    break;
+                }
+            }
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.with_num_vertices(n as usize).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsd_graph::density;
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 15);
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gnm_exact_edges_and_deterministic() {
+        let g1 = erdos_renyi_gnm(100, 300, 7);
+        let g2 = erdos_renyi_gnm(100, 300, 7);
+        let g3 = erdos_renyi_gnm(100, 300, 8);
+        assert_eq!(g1.num_edges(), 300);
+        assert_eq!(g1.edges(), g2.edges());
+        assert_ne!(g1.edges(), g3.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "G(n,m)")]
+    fn gnm_rejects_impossible_m() {
+        erdos_renyi_gnm(3, 4, 0);
+    }
+
+    #[test]
+    fn ba_is_connected_and_heavy_tailed() {
+        let g = barabasi_albert(500, 3, 42);
+        assert_eq!(g.num_vertices(), 500);
+        let cc = hdsd_graph::connected_components(&g);
+        assert_eq!(cc.num_components, 1);
+        // the maximum degree should far exceed the attachment parameter
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 8, (0.57, 0.19, 0.19, 0.05), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 2000); // dedup removes some of the 8192
+        // skew check: the top-degree vertex dominates the median
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        assert!(degs[degs.len() - 1] >= 10 * degs[degs.len() / 2].max(1));
+    }
+
+    #[test]
+    fn ws_degree_regularity_without_rewiring() {
+        let g = watts_strogatz(50, 4, 0.0, 3);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        let t = hdsd_graph::total_triangles(&g);
+        assert!(t > 0, "ring lattice with k=4 has triangles");
+    }
+
+    #[test]
+    fn planted_partition_is_denser_inside() {
+        let g = planted_partition(&[30, 30], 0.5, 0.02, 5);
+        let inside = (0..30u32).collect::<Vec<_>>();
+        let sub = hdsd_graph::induced_subgraph(&g, &inside);
+        assert!(sub.density() > 0.3);
+        assert!(density(&g) < sub.density());
+    }
+
+    #[test]
+    fn nested_communities_nest_densities() {
+        let spec = [
+            NestedCommunitySpec { branching: 2, p: 0.15 },
+            NestedCommunitySpec { branching: 2, p: 0.7 },
+        ];
+        let g = nested_communities(10, &spec, 0.01, 9);
+        assert_eq!(g.num_vertices(), 40);
+        // leaf block 0..10 denser than top block 0..20 denser than graph
+        let leaf = hdsd_graph::induced_subgraph(&g, &(0..10).collect::<Vec<_>>());
+        let top = hdsd_graph::induced_subgraph(&g, &(0..20).collect::<Vec<_>>());
+        assert!(leaf.density() > top.density());
+        assert!(top.density() > density(&g));
+    }
+
+    #[test]
+    fn thinning_keeps_vertices_and_removes_edges() {
+        let g = holme_kim(300, 6, 0.5, 2);
+        let t = thin_edges(&g, 0.5, 7);
+        assert_eq!(t.num_vertices(), g.num_vertices());
+        let ratio = t.num_edges() as f64 / g.num_edges() as f64;
+        assert!((0.4..0.6).contains(&ratio), "keep ratio {ratio}");
+        // determinism
+        assert_eq!(thin_edges(&g, 0.5, 7).edges(), t.edges());
+        // thinned graphs have degree variety below the attachment parameter
+        let min_deg = t.vertices().map(|v| t.degree(v)).min().unwrap();
+        assert!(min_deg < 6, "thinning must create a low-degree tail");
+    }
+
+    #[test]
+    fn holme_kim_clusters_more_than_ba() {
+        let hk = holme_kim(800, 5, 0.8, 13);
+        let ba = barabasi_albert(800, 5, 13);
+        let t_hk = hdsd_graph::total_triangles(&hk);
+        let t_ba = hdsd_graph::total_triangles(&ba);
+        assert!(
+            t_hk > t_ba,
+            "triad formation should add triangles: HK {t_hk} vs BA {t_ba}"
+        );
+        let cc = hdsd_graph::connected_components(&hk);
+        assert_eq!(cc.num_components, 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            barabasi_albert(100, 2, 11).edges(),
+            barabasi_albert(100, 2, 11).edges()
+        );
+        assert_eq!(
+            rmat(8, 4, (0.57, 0.19, 0.19, 0.05), 11).edges(),
+            rmat(8, 4, (0.57, 0.19, 0.19, 0.05), 11).edges()
+        );
+        assert_eq!(
+            watts_strogatz(60, 6, 0.2, 11).edges(),
+            watts_strogatz(60, 6, 0.2, 11).edges()
+        );
+        assert_eq!(
+            planted_partition(&[20, 20], 0.4, 0.05, 11).edges(),
+            planted_partition(&[20, 20], 0.4, 0.05, 11).edges()
+        );
+    }
+}

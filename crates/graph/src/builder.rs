@@ -1,0 +1,179 @@
+//! Deduplicating builder producing canonical [`CsrGraph`]s.
+
+use crate::csr::{CsrGraph, EdgeId, VertexId};
+
+/// Accumulates an edge list and produces a simple undirected [`CsrGraph`].
+///
+/// The builder:
+/// * drops self loops,
+/// * deduplicates parallel edges (input may contain both `(u,v)` and `(v,u)`),
+/// * assigns dense edge ids in lexicographic `(u, v)` order with `u < v`,
+/// * sizes the vertex set as `max endpoint + 1` unless
+///   [`GraphBuilder::with_num_vertices`] forces a larger count (isolated
+///   trailing vertices are legal).
+///
+/// ```
+/// use hdsd_graph::GraphBuilder;
+/// let g = GraphBuilder::new().edges([(0u32, 1), (1, 0), (1, 1), (2, 1)]).build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2); // (0,1) deduped, (1,1) dropped
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    raw: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserves capacity for `n` raw edges.
+    pub fn with_capacity(n: usize) -> Self {
+        GraphBuilder { raw: Vec::with_capacity(n), min_vertices: 0 }
+    }
+
+    /// Forces the vertex count to at least `n` even when higher-id vertices
+    /// never appear in an edge.
+    pub fn with_num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds one undirected edge; order of endpoints is irrelevant.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.raw.push((u, v));
+        self
+    }
+
+    /// Adds many edges (builder-style).
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        self.raw.extend(it);
+        self
+    }
+
+    /// Number of raw (pre-dedup) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Finalizes into a canonical CSR graph.
+    pub fn build(self) -> CsrGraph {
+        let GraphBuilder { mut raw, min_vertices } = self;
+        // Canonicalize, drop self loops.
+        raw.retain(|&(u, v)| u != v);
+        for e in raw.iter_mut() {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        raw.sort_unstable();
+        raw.dedup();
+
+        let n = raw
+            .iter()
+            .map(|&(_, v)| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_vertices);
+        assert!(
+            raw.len() <= EdgeId::MAX as usize,
+            "edge count {} exceeds u32 edge-id space",
+            raw.len()
+        );
+
+        // Degree histogram -> offsets.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in &raw {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        let mut neighbors = vec![0 as VertexId; raw.len() * 2];
+        let mut adj_edge_ids = vec![0 as EdgeId; raw.len() * 2];
+        let mut cursor = offsets.clone();
+        for (eid, &(u, v)) in raw.iter().enumerate() {
+            let cu = cursor[u as usize];
+            neighbors[cu] = v;
+            adj_edge_ids[cu] = eid as EdgeId;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            neighbors[cv] = u;
+            adj_edge_ids[cv] = eid as EdgeId;
+            cursor[v as usize] += 1;
+        }
+        // Raw edges were sorted lexicographically, so each vertex's slots were
+        // filled with ascending neighbors already for the `u` side, but the
+        // `v` side interleaves; sort each list (stable by construction sizes).
+        for v in 0..n {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            // Sort (neighbor, eid) pairs by neighbor.
+            let mut pairs: Vec<(VertexId, EdgeId)> = neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(adj_edge_ids[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (i, (nb, eid)) in pairs.into_iter().enumerate() {
+                neighbors[lo + i] = nb;
+                adj_edge_ids[lo + i] = eid;
+            }
+        }
+
+        CsrGraph::from_parts(offsets, neighbors, adj_edge_ids, raw)
+    }
+}
+
+/// Convenience: builds a graph directly from an edge iterator.
+pub fn graph_from_edges(it: impl IntoIterator<Item = (VertexId, VertexId)>) -> CsrGraph {
+    GraphBuilder::new().edges(it).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_loops() {
+        let g = GraphBuilder::new()
+            .edges([(1, 0), (0, 1), (2, 2), (1, 2), (2, 1), (0, 1)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_with_matching_eids() {
+        let g = GraphBuilder::new()
+            .edges([(3, 1), (3, 0), (3, 2), (0, 1)])
+            .build();
+        assert_eq!(g.neighbors(3), &[0, 1, 2]);
+        for (w, e) in g.neighbors_with_edges(3) {
+            let (a, b) = g.edge_endpoints(e);
+            assert_eq!((a, b), (w.min(3), w.max(3)));
+        }
+        let nbrs = g.neighbors(3);
+        assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn forced_vertex_count_keeps_isolated_vertices() {
+        let g = GraphBuilder::new().with_num_vertices(10).edges([(0, 1)]).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn edge_ids_are_lexicographic() {
+        let g = GraphBuilder::new().edges([(2, 3), (0, 5), (0, 1)]).build();
+        assert_eq!(g.edge_endpoints(0), (0, 1));
+        assert_eq!(g.edge_endpoints(1), (0, 5));
+        assert_eq!(g.edge_endpoints(2), (2, 3));
+    }
+}

@@ -1,0 +1,267 @@
+//! 4-clique (K4) counting and enumeration: the s-clique side of the (3,4)
+//! nucleus decomposition.
+//!
+//! A K4 `{u, v, w, x}` with `rank(u) < rank(v) < rank(w) < rank(x)` is found
+//! exactly once by extending the triangle `(u, v, w)` (itself found once)
+//! with every `x` in the triple intersection of the out-lists of `u`, `v`
+//! and `w`.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::orientation::Orientation;
+use crate::triangles::{for_each_triangle, TriangleList};
+
+/// Calls `f([u, v, w, x])` once per 4-clique, ranks ascending.
+pub fn for_each_k4(
+    g: &CsrGraph,
+    orient: &Orientation,
+    mut f: impl FnMut([VertexId; 4]),
+) {
+    for_each_triangle(g, orient, |_, _, _, [u, v, w]| {
+        let (ou, ov, ow) = (
+            orient.out_neighbors(u),
+            orient.out_neighbors(v),
+            orient.out_neighbors(w),
+        );
+        // Three-way merge on rank-sorted lists, skipping past rank(w).
+        let rw = orient.rank(w);
+        let (mut a, mut b, mut c) = (0usize, 0usize, 0usize);
+        while a < ou.len() && b < ov.len() && c < ow.len() {
+            let (ra, rb, rc) = (
+                orient.rank(ou[a]),
+                orient.rank(ov[b]),
+                orient.rank(ow[c]),
+            );
+            let rmax = ra.max(rb).max(rc);
+            if rmax <= rw {
+                // candidates must rank above w; advance the minimum
+                if ra <= rb && ra <= rc {
+                    a += 1;
+                } else if rb <= rc {
+                    b += 1;
+                } else {
+                    c += 1;
+                }
+                continue;
+            }
+            if ra == rb && rb == rc {
+                f([u, v, w, ou[a]]);
+                a += 1;
+                b += 1;
+                c += 1;
+            } else if ra < rmax {
+                a += 1;
+            } else if rb < rmax {
+                b += 1;
+            } else {
+                c += 1;
+            }
+        }
+    });
+}
+
+/// Total 4-clique count `|K4|`.
+pub fn total_k4(g: &CsrGraph) -> u64 {
+    let orient = Orientation::degeneracy(g);
+    let mut n = 0u64;
+    for_each_k4(g, &orient, |_| n += 1);
+    n
+}
+
+/// Per-triangle K4 participation counts (the `d_4` / initial τ values of
+/// the (3,4) decomposition), indexed by triangle id of `tl`.
+pub fn count_k4_per_triangle(g: &CsrGraph, tl: &TriangleList) -> Vec<u32> {
+    let orient = Orientation::degeneracy(g);
+    let mut counts = vec![0u32; tl.len()];
+    for_each_k4(g, &orient, |vs| {
+        for t in k4_triangle_ids(g, tl, vs) {
+            counts[t as usize] += 1;
+        }
+    });
+    counts
+}
+
+/// The four triangle ids contained in K4 `{a,b,c,d}` (any vertex order).
+///
+/// # Panics
+/// Panics if the quadruple is not actually a K4 of `g` / `tl`.
+pub fn k4_triangle_ids(g: &CsrGraph, tl: &TriangleList, mut vs: [VertexId; 4]) -> [u32; 4] {
+    vs.sort_unstable();
+    let [a, b, c, d] = vs;
+    [
+        tl.triangle_id(g, a, b, c).expect("triangle abc of K4"),
+        tl.triangle_id(g, a, b, d).expect("triangle abd of K4"),
+        tl.triangle_id(g, a, c, d).expect("triangle acd of K4"),
+        tl.triangle_id(g, b, c, d).expect("triangle bcd of K4"),
+    ]
+}
+
+/// Materialized K4 list with triangle↔K4 incidence, for the precomputed
+/// (3,4) substrate.
+#[derive(Clone, Debug)]
+pub struct K4List {
+    /// Triangle ids of each K4: `[abc, abd, acd, bcd]` for sorted vertices.
+    pub quad_tris: Vec<[u32; 4]>,
+    /// Vertices of each K4, sorted ascending.
+    pub quad_verts: Vec<[VertexId; 4]>,
+    tri_k4_offsets: Vec<usize>,
+    tri_k4: Vec<u32>,
+}
+
+impl K4List {
+    /// Builds the list (degeneracy orientation).
+    pub fn build(g: &CsrGraph, tl: &TriangleList) -> Self {
+        let orient = Orientation::degeneracy(g);
+        let mut quad_tris: Vec<[u32; 4]> = Vec::new();
+        let mut quad_verts: Vec<[VertexId; 4]> = Vec::new();
+        for_each_k4(g, &orient, |mut vs| {
+            vs.sort_unstable();
+            quad_tris.push(k4_triangle_ids(g, tl, vs));
+            quad_verts.push(vs);
+        });
+        assert!(
+            quad_tris.len() <= u32::MAX as usize,
+            "K4 count {} exceeds u32 id space",
+            quad_tris.len()
+        );
+        let nt = tl.len();
+        let mut tri_k4_offsets = vec![0usize; nt + 1];
+        for q in &quad_tris {
+            for &t in q {
+                tri_k4_offsets[t as usize + 1] += 1;
+            }
+        }
+        for i in 0..nt {
+            tri_k4_offsets[i + 1] += tri_k4_offsets[i];
+        }
+        let mut tri_k4 = vec![0u32; tri_k4_offsets[nt]];
+        let mut cursor = tri_k4_offsets.clone();
+        for (qid, q) in quad_tris.iter().enumerate() {
+            for &t in q {
+                tri_k4[cursor[t as usize]] = qid as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        K4List { quad_tris, quad_verts, tri_k4_offsets, tri_k4 }
+    }
+
+    /// Number of 4-cliques.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.quad_tris.len()
+    }
+
+    /// True when the graph has no 4-cliques.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.quad_tris.is_empty()
+    }
+
+    /// K4 ids containing triangle `t`.
+    #[inline]
+    pub fn k4s_of_triangle(&self, t: u32) -> &[u32] {
+        &self.tri_k4[self.tri_k4_offsets[t as usize]..self.tri_k4_offsets[t as usize + 1]]
+    }
+
+    /// K4 participation count of triangle `t`.
+    #[inline]
+    pub fn triangle_k4_count(&self, t: u32) -> u32 {
+        (self.tri_k4_offsets[t as usize + 1] - self.tri_k4_offsets[t as usize]) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        graph_from_edges(edges)
+    }
+
+    fn binom4(n: u64) -> u64 {
+        if n < 4 {
+            0
+        } else {
+            n * (n - 1) * (n - 2) * (n - 3) / 24
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        for n in 4..9u32 {
+            let g = complete(n);
+            assert_eq!(total_k4(&g), binom4(n as u64), "K{n}");
+        }
+    }
+
+    #[test]
+    fn k4_free_graphs() {
+        // C5 has no triangles, hence no K4.
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(total_k4(&g), 0);
+        // A single triangle has no K4.
+        let t = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(total_k4(&t), 0);
+    }
+
+    #[test]
+    fn per_triangle_counts_in_k5() {
+        let g = complete(5);
+        let tl = TriangleList::build(&g);
+        let counts = count_k4_per_triangle(&g, &tl);
+        // In K5 every triangle extends to a K4 with each of the 2 remaining
+        // vertices.
+        assert_eq!(counts.len(), 10);
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn k4list_matches_counts() {
+        let g = complete(6);
+        let tl = TriangleList::build(&g);
+        let counts = count_k4_per_triangle(&g, &tl);
+        let kl = K4List::build(&g, &tl);
+        assert_eq!(kl.len() as u64, total_k4(&g));
+        for t in 0..tl.len() as u32 {
+            assert_eq!(kl.triangle_k4_count(t), counts[t as usize]);
+        }
+    }
+
+    #[test]
+    fn quad_triangle_ids_are_distinct_and_valid() {
+        let g = complete(5);
+        let tl = TriangleList::build(&g);
+        let kl = K4List::build(&g, &tl);
+        for q in &kl.quad_tris {
+            let mut s = q.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+            for &t in q {
+                assert!((t as usize) < tl.len());
+            }
+        }
+    }
+
+    #[test]
+    fn two_overlapping_k4s() {
+        // K4 on {0,1,2,3} and K4 on {2,3,4,5} sharing edge (2,3).
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5),
+        ]);
+        assert_eq!(total_k4(&g), 2);
+        let tl = TriangleList::build(&g);
+        let counts = count_k4_per_triangle(&g, &tl);
+        // Triangles {0,1,2},... of the first K4 have count 1; triangle (2,3,x)
+        // also count 1; no triangle belongs to two K4s here.
+        assert_eq!(counts.iter().filter(|&&c| c == 1).count(), 8);
+        assert_eq!(counts.iter().filter(|&&c| c == 0).count(), counts.len() - 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! Connected components via iterative BFS.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Component labelling of a graph's vertices.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// `label[v]` = dense component id in `0..num_components`.
+    pub label: Vec<u32>,
+    /// Number of components (isolated vertices each count as one).
+    pub num_components: usize,
+}
+
+impl ComponentLabels {
+    /// Sizes of all components, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The label of the largest component, or `None` for an empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        let sizes = self.sizes();
+        sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Vertices of component `c`.
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Labels connected components with BFS; `O(|V| + |E|)`.
+pub fn connected_components(g: &CsrGraph) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut next = 0u32;
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = next;
+        queue.clear();
+        queue.push(s);
+        while let Some(v) = queue.pop() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next;
+                    queue.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    ComponentLabels { label, num_components: next as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_triangles_and_isolated_vertex() {
+        let g = GraphBuilder::new()
+            .with_num_vertices(7)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 3);
+        let sizes = {
+            let mut s = cc.sizes();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 1);
+        assert_eq!(cc.largest(), Some(0));
+        assert_eq!(cc.members(0).len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new().build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 0);
+        assert_eq!(cc.largest(), None);
+    }
+}

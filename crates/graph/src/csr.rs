@@ -1,0 +1,199 @@
+//! Compressed sparse row storage for undirected simple graphs.
+
+/// Dense vertex identifier in `0..n`.
+pub type VertexId = u32;
+/// Dense edge identifier in `0..m`.
+pub type EdgeId = u32;
+
+/// An immutable undirected simple graph in CSR form with stable edge ids.
+///
+/// Neighbor lists are sorted ascending, and each adjacency slot carries the
+/// id of the undirected edge it belongs to, so both directions of an edge
+/// share one id. Canonical endpoints of edge `e` satisfy `u < v`.
+///
+/// The structure is intentionally plain: three flat arrays plus the edge
+/// endpoint table. Everything else in the workspace (orientation, triangle
+/// and 4-clique enumeration, peeling, the local algorithms) is built on top
+/// of slices borrowed from it, which keeps hot loops free of indirection.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    /// Edge id aligned with `neighbors`.
+    adj_edge_ids: Vec<EdgeId>,
+    /// Canonical endpoints `(u, v)` with `u < v`, indexed by edge id.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Assembles a graph from pre-validated CSR parts.
+    ///
+    /// Callers normally go through [`crate::GraphBuilder`]; this is exposed
+    /// for loaders that already produce canonical CSR data.
+    ///
+    /// # Panics
+    /// Panics (debug) if array lengths are inconsistent.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        adj_edge_ids: Vec<EdgeId>,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        debug_assert_eq!(offsets.last().copied().unwrap_or(0), neighbors.len());
+        debug_assert_eq!(neighbors.len(), adj_edge_ids.len());
+        debug_assert_eq!(neighbors.len(), edges.len() * 2);
+        CsrGraph { offsets, neighbors, adj_edge_ids, edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge ids aligned with [`Self::neighbors`].
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: VertexId) -> &[EdgeId] {
+        &self.adj_edge_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates `(neighbor, edge_id)` pairs of `v`.
+    #[inline]
+    pub fn neighbors_with_edges(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_edge_ids(v).iter().copied())
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e as usize]
+    }
+
+    /// All canonical edges, indexed by edge id.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg)` via binary search on the
+    /// smaller endpoint's list.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// Edge id of `{u, v}` if present. `O(log deg)`.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v || u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let nbrs = self.neighbors(a);
+        nbrs.binary_search(&b)
+            .ok()
+            .map(|i| self.adj_edge_ids[self.offsets[a as usize] + i])
+    }
+
+    /// Iterates all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `min(deg(u), deg(v))` over edges: the classical bound on
+    /// triangle-enumeration work. Useful for picking strategies in benches.
+    pub fn intersection_work_bound(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|&(u, v)| self.degree(u).min(self.degree(v)))
+            .sum()
+    }
+
+    /// Memory footprint of the CSR arrays, in bytes (for reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.adj_edge_ids.len() * std::mem::size_of::<EdgeId>()
+            + self.edges.len() * std::mem::size_of::<(VertexId, VertexId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn path3() -> crate::CsrGraph {
+        GraphBuilder::new().edges([(0, 1), (1, 2)]).build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edge_id_lookup_is_symmetric() {
+        let g = path3();
+        let e = g.edge_id(0, 1).unwrap();
+        assert_eq!(g.edge_id(1, 0), Some(e));
+        assert_eq!(g.edge_endpoints(e), (0, 1));
+        assert!(g.edge_id(0, 2).is_none());
+        assert!(g.edge_id(0, 0).is_none());
+        assert!(g.edge_id(0, 99).is_none());
+    }
+
+    #[test]
+    fn neighbors_with_edges_align() {
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (1, 2)]).build();
+        for v in g.vertices() {
+            for (w, e) in g.neighbors_with_edges(v) {
+                let (a, b) = g.edge_endpoints(e);
+                assert_eq!((a.min(b), a.max(b)), (v.min(w), v.max(w)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # hdsd-graph
+//!
+//! Compact graph substrate for hierarchical dense subgraph discovery.
+//!
+//! This crate provides the data structures that every algorithm in the
+//! workspace is built on:
+//!
+//! * [`CsrGraph`] — an immutable, undirected simple graph in compressed
+//!   sparse row form with stable *edge identifiers* (needed because k-truss
+//!   assigns indices to edges, not vertices).
+//! * [`GraphBuilder`] — deduplicating, self-loop-removing builder.
+//! * [`orientation`] — degree and degeneracy orders and the oriented (DAG)
+//!   view used for triangle / 4-clique enumeration without double counting.
+//! * [`triangles`] — per-edge triangle counts and a materialized triangle
+//!   list with edge-aligned incidence (the (2,3) substrate).
+//! * [`cliques4`] — per-triangle 4-clique counts and enumeration (the (3,4)
+//!   substrate).
+//! * [`io`] — SNAP-style edge-list reader/writer so the paper's original
+//!   datasets can be dropped in unchanged.
+//!
+//! Vertices are `u32` ids, dense in `0..n`. Edges are `u32` ids, dense in
+//! `0..m`, with canonical endpoints `(u, v)`, `u < v`.
+
+pub mod builder;
+pub mod cliques4;
+pub mod components;
+pub mod csr;
+pub mod io;
+pub mod orientation;
+pub mod parallel_count;
+pub mod subgraph;
+pub mod triangles;
+
+pub use builder::{graph_from_edges, GraphBuilder};
+pub use cliques4::{count_k4_per_triangle, for_each_k4, total_k4, K4List};
+pub use components::{connected_components, ComponentLabels};
+pub use csr::{CsrGraph, EdgeId, VertexId};
+pub use orientation::{degeneracy_order, degree_order, Orientation, VertexOrder};
+pub use parallel_count::{
+    count_triangles_per_edge_parallel, total_k4_parallel, total_triangles_parallel,
+};
+pub use subgraph::{density, induced_subgraph, InducedSubgraph};
+pub use triangles::{count_triangles_per_edge, for_each_triangle, total_triangles, TriangleList};

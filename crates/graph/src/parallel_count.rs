@@ -1,0 +1,160 @@
+//! Parallel substrate construction: triangle and 4-clique counting spread
+//! over worker threads.
+//!
+//! The paper notes that the r-clique enumeration preceding the local
+//! algorithms "can be parallelized as well" (§4.1); these functions do so
+//! by distributing the lowest-ranked vertex of each clique over dynamic
+//! chunks, with per-edge counters accumulated through relaxed atomics.
+//! Dynamic scheduling matters here too: skewed graphs concentrate most
+//! triangles on few vertices.
+
+use hdsd_parallel::{parallel_for_chunks, ParallelConfig};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::orientation::Orientation;
+use crate::triangles::for_each_triangle_at;
+
+/// Parallel per-edge triangle counts; equals
+/// [`crate::count_triangles_per_edge`] exactly.
+pub fn count_triangles_per_edge_parallel(g: &CsrGraph, cfg: ParallelConfig) -> Vec<u32> {
+    let orient = Orientation::degeneracy(g);
+    let counts: Vec<AtomicU32> = (0..g.num_edges()).map(|_| AtomicU32::new(0)).collect();
+    let n = g.num_vertices();
+    parallel_for_chunks(n, cfg, |range| {
+        for u in range {
+            for_each_triangle_at(&orient, u as VertexId, &mut |e1, e2, e3, _| {
+                counts[e1 as usize].fetch_add(1, Ordering::Relaxed);
+                counts[e2 as usize].fetch_add(1, Ordering::Relaxed);
+                counts[e3 as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    counts.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// Parallel total triangle count; equals [`crate::total_triangles`].
+pub fn total_triangles_parallel(g: &CsrGraph, cfg: ParallelConfig) -> u64 {
+    let orient = Orientation::degeneracy(g);
+    let total = AtomicU64::new(0);
+    parallel_for_chunks(g.num_vertices(), cfg, |range| {
+        let mut local = 0u64;
+        for u in range {
+            for_each_triangle_at(&orient, u as VertexId, &mut |_, _, _, _| local += 1);
+        }
+        if local > 0 {
+            total.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    total.into_inner()
+}
+
+/// Parallel total 4-clique count; equals [`crate::total_k4`].
+pub fn total_k4_parallel(g: &CsrGraph, cfg: ParallelConfig) -> u64 {
+    let orient = Orientation::degeneracy(g);
+    let total = AtomicU64::new(0);
+    parallel_for_chunks(g.num_vertices(), cfg, |range| {
+        let mut local = 0u64;
+        for u in range {
+            for_each_triangle_at(&orient, u as VertexId, &mut |_, _, _, [a, b, w]| {
+                // Extend triangle (a,b,w) by every x above w in rank, as in
+                // `for_each_k4`, but scoped to this worker's vertex range.
+                let (oa, ob, ow) = (
+                    orient.out_neighbors(a),
+                    orient.out_neighbors(b),
+                    orient.out_neighbors(w),
+                );
+                let rw = orient.rank(w);
+                let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+                while i < oa.len() && j < ob.len() && k < ow.len() {
+                    let (ra, rb, rc) =
+                        (orient.rank(oa[i]), orient.rank(ob[j]), orient.rank(ow[k]));
+                    let rmax = ra.max(rb).max(rc);
+                    if rmax <= rw {
+                        if ra <= rb && ra <= rc {
+                            i += 1;
+                        } else if rb <= rc {
+                            j += 1;
+                        } else {
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    if ra == rb && rb == rc {
+                        local += 1;
+                        i += 1;
+                        j += 1;
+                        k += 1;
+                    } else if ra < rmax {
+                        i += 1;
+                    } else if rb < rmax {
+                        j += 1;
+                    } else {
+                        k += 1;
+                    }
+                }
+            });
+        }
+        if local > 0 {
+            total.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    total.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::{count_triangles_per_edge, total_k4, total_triangles};
+
+    fn random_graph(seed: u64) -> CsrGraph {
+        // Small deterministic pseudo-random graph without pulling in rand.
+        let mut state = seed | 1;
+        let mut edges = Vec::new();
+        for _ in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) % 60) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) % 60) as u32;
+            edges.push((u, v));
+        }
+        graph_from_edges(edges)
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        for seed in [3u64, 17, 99] {
+            let g = random_graph(seed);
+            for threads in [1usize, 2, 4] {
+                let cfg = ParallelConfig::with_threads(threads).chunk(8);
+                assert_eq!(
+                    count_triangles_per_edge_parallel(&g, cfg),
+                    count_triangles_per_edge(&g),
+                    "per-edge, seed {seed} threads {threads}"
+                );
+                assert_eq!(
+                    total_triangles_parallel(&g, cfg),
+                    total_triangles(&g),
+                    "totals, seed {seed} threads {threads}"
+                );
+                assert_eq!(
+                    total_k4_parallel(&g, cfg),
+                    total_k4(&g),
+                    "k4, seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let cfg = ParallelConfig::with_threads(3);
+        let empty = graph_from_edges([]);
+        assert_eq!(total_triangles_parallel(&empty, cfg), 0);
+        let tri = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(total_triangles_parallel(&tri, cfg), 1);
+        assert_eq!(total_k4_parallel(&tri, cfg), 0);
+        assert_eq!(count_triangles_per_edge_parallel(&tri, cfg), vec![1, 1, 1]);
+    }
+}

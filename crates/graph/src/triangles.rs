@@ -1,0 +1,335 @@
+//! Triangle counting, enumeration, and the edge↔triangle incidence used by
+//! the (2,3) (k-truss) and (3,4) nucleus substrates.
+//!
+//! Enumeration orients the graph (degeneracy order by default) and, for each
+//! oriented edge `u -> v`, merge-intersects the rank-sorted out-lists of `u`
+//! and `v`. Every triangle is produced exactly once, from its two
+//! lowest-ranked vertices.
+
+use crate::csr::{CsrGraph, EdgeId, VertexId};
+use crate::orientation::Orientation;
+
+/// Calls `f(eid_uv, eid_uw, eid_vw, [u, v, w])` once per triangle, where
+/// `rank(u) < rank(v) < rank(w)` under the orientation's order. Vertex ids
+/// themselves are arbitrary.
+pub fn for_each_triangle(
+    g: &CsrGraph,
+    orient: &Orientation,
+    mut f: impl FnMut(EdgeId, EdgeId, EdgeId, [VertexId; 3]),
+) {
+    for u in g.vertices() {
+        for_each_triangle_at(orient, u, &mut f);
+    }
+}
+
+/// Triangles whose lowest-ranked vertex is `u` (the unit the parallel
+/// counters distribute over workers).
+#[inline]
+pub(crate) fn for_each_triangle_at(
+    orient: &Orientation,
+    u: VertexId,
+    f: &mut impl FnMut(EdgeId, EdgeId, EdgeId, [VertexId; 3]),
+) {
+    let ou = orient.out_neighbors(u);
+    let oe = orient.out_edge_ids(u);
+    for (i, (&v, &e_uv)) in ou.iter().zip(oe.iter()).enumerate() {
+        let ov = orient.out_neighbors(v);
+        let ove = orient.out_edge_ids(v);
+        // Merge out(u)[i+1..] with out(v), both sorted by rank.
+        let (mut a, mut b) = (i + 1, 0usize);
+        while a < ou.len() && b < ov.len() {
+            let (wa, wb) = (ou[a], ov[b]);
+            let (ra, rb) = (orient.rank(wa), orient.rank(wb));
+            if ra < rb {
+                a += 1;
+            } else if rb < ra {
+                b += 1;
+            } else {
+                f(e_uv, oe[a], ove[b], [u, v, wa]);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+}
+
+/// Per-edge triangle counts (the `d_3` / initial τ values of k-truss).
+pub fn count_triangles_per_edge(g: &CsrGraph) -> Vec<u32> {
+    let orient = Orientation::degeneracy(g);
+    let mut counts = vec![0u32; g.num_edges()];
+    for_each_triangle(g, &orient, |e1, e2, e3, _| {
+        counts[e1 as usize] += 1;
+        counts[e2 as usize] += 1;
+        counts[e3 as usize] += 1;
+    });
+    counts
+}
+
+/// Total triangle count `|△|`.
+pub fn total_triangles(g: &CsrGraph) -> u64 {
+    let orient = Orientation::degeneracy(g);
+    let mut n = 0u64;
+    for_each_triangle(g, &orient, |_, _, _, _| n += 1);
+    n
+}
+
+/// Materialized triangle list plus edge↔triangle incidence.
+///
+/// This is the hypergraph view of the (2,3) decomposition and the r-clique
+/// universe of the (3,4) decomposition. Incidence lists per edge are sorted
+/// by the id of the opposite vertex, enabling the `O(log △_e)` triangle-id
+/// lookup that 4-clique enumeration relies on.
+#[derive(Clone, Debug)]
+pub struct TriangleList {
+    /// Vertices of each triangle, sorted ascending by id.
+    pub tri_verts: Vec<[VertexId; 3]>,
+    /// Edge ids of each triangle (uv, uw, vw for sorted u<v<w).
+    pub tri_edges: Vec<[EdgeId; 3]>,
+    /// CSR offsets: triangles incident to each edge.
+    edge_tri_offsets: Vec<usize>,
+    /// Triangle ids per edge, sorted by opposite-vertex id.
+    edge_tris: Vec<u32>,
+    /// Opposite vertex per (edge, triangle) incidence, aligned with `edge_tris`.
+    edge_tri_third: Vec<VertexId>,
+}
+
+impl TriangleList {
+    /// Builds the list with a degeneracy orientation.
+    pub fn build(g: &CsrGraph) -> Self {
+        Self::build_with(g, &Orientation::degeneracy(g))
+    }
+
+    /// Builds the list under a caller-provided orientation.
+    pub fn build_with(g: &CsrGraph, orient: &Orientation) -> Self {
+        let mut tri_verts: Vec<[VertexId; 3]> = Vec::new();
+        let mut tri_edges: Vec<[EdgeId; 3]> = Vec::new();
+        for_each_triangle(g, orient, |e_uv, e_uw, e_vw, [u, v, w]| {
+            let mut vs = [u, v, w];
+            vs.sort_unstable();
+            // Map edges to the sorted-vertex convention: edges of (a,b,c)
+            // stored as [ab, ac, bc].
+            let (a, b, c) = (vs[0], vs[1], vs[2]);
+            let mut es = [0 as EdgeId; 3];
+            for &e in &[e_uv, e_uw, e_vw] {
+                let (x, y) = g.edge_endpoints(e);
+                let slot = if (x, y) == (a, b) {
+                    0
+                } else if (x, y) == (a, c) {
+                    1
+                } else {
+                    debug_assert_eq!((x, y), (b, c));
+                    2
+                };
+                es[slot] = e;
+            }
+            tri_verts.push(vs);
+            tri_edges.push(es);
+        });
+
+        assert!(
+            tri_verts.len() <= u32::MAX as usize,
+            "triangle count {} exceeds u32 id space",
+            tri_verts.len()
+        );
+
+        // Edge -> triangle incidence.
+        let m = g.num_edges();
+        let mut edge_tri_offsets = vec![0usize; m + 1];
+        for es in &tri_edges {
+            for &e in es {
+                edge_tri_offsets[e as usize + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            edge_tri_offsets[i + 1] += edge_tri_offsets[i];
+        }
+        let total = edge_tri_offsets[m];
+        let mut edge_tris = vec![0u32; total];
+        let mut edge_tri_third = vec![0 as VertexId; total];
+        let mut cursor = edge_tri_offsets.clone();
+        for (t, (vs, es)) in tri_verts.iter().zip(tri_edges.iter()).enumerate() {
+            let thirds = [vs[2], vs[1], vs[0]]; // opposite of ab, ac, bc
+            for (slot, &e) in es.iter().enumerate() {
+                let c = cursor[e as usize];
+                edge_tris[c] = t as u32;
+                edge_tri_third[c] = thirds[slot];
+                cursor[e as usize] += 1;
+            }
+        }
+        // Sort each edge's incidence by opposite vertex id for binary search.
+        for e in 0..m {
+            let lo = edge_tri_offsets[e];
+            let hi = edge_tri_offsets[e + 1];
+            let mut pairs: Vec<(VertexId, u32)> = edge_tri_third[lo..hi]
+                .iter()
+                .copied()
+                .zip(edge_tris[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (i, (third, t)) in pairs.into_iter().enumerate() {
+                edge_tri_third[lo + i] = third;
+                edge_tris[lo + i] = t;
+            }
+        }
+
+        TriangleList { tri_verts, tri_edges, edge_tri_offsets, edge_tris, edge_tri_third }
+    }
+
+    /// Number of triangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tri_verts.len()
+    }
+
+    /// True when the graph is triangle-free.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tri_verts.is_empty()
+    }
+
+    /// Triangle ids incident to edge `e`.
+    #[inline]
+    pub fn triangles_of_edge(&self, e: EdgeId) -> &[u32] {
+        &self.edge_tris[self.edge_tri_offsets[e as usize]..self.edge_tri_offsets[e as usize + 1]]
+    }
+
+    /// Opposite vertices aligned with [`Self::triangles_of_edge`].
+    #[inline]
+    pub fn thirds_of_edge(&self, e: EdgeId) -> &[VertexId] {
+        &self.edge_tri_third
+            [self.edge_tri_offsets[e as usize]..self.edge_tri_offsets[e as usize + 1]]
+    }
+
+    /// Triangle count of edge `e` (its `d_3`).
+    #[inline]
+    pub fn edge_triangle_count(&self, e: EdgeId) -> u32 {
+        (self.edge_tri_offsets[e as usize + 1] - self.edge_tri_offsets[e as usize]) as u32
+    }
+
+    /// Looks up the id of triangle `{a, b, c}`; `None` if absent.
+    /// `O(log △_e)` on the `{a,b}` edge's incidence list.
+    pub fn triangle_id(&self, g: &CsrGraph, a: VertexId, b: VertexId, c: VertexId) -> Option<u32> {
+        let e = g.edge_id(a, b)?;
+        let thirds = self.thirds_of_edge(e);
+        thirds
+            .binary_search(&c)
+            .ok()
+            .map(|i| self.edge_tris[self.edge_tri_offsets[e as usize] + i])
+    }
+
+    /// For each triangle incident to edge `e`, the other two edge ids.
+    pub fn partner_edges(&self, e: EdgeId) -> impl Iterator<Item = [EdgeId; 2]> + '_ {
+        self.triangles_of_edge(e).iter().map(move |&t| {
+            let es = self.tri_edges[t as usize];
+            let mut out = [0 as EdgeId; 2];
+            let mut k = 0;
+            for &x in &es {
+                if x != e {
+                    out[k] = x;
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, 2);
+            out
+        })
+    }
+
+    /// Heap bytes used (for memory reporting in benches).
+    pub fn heap_bytes(&self) -> usize {
+        self.tri_verts.len() * 12
+            + self.tri_edges.len() * 12
+            + self.edge_tri_offsets.len() * std::mem::size_of::<usize>()
+            + self.edge_tris.len() * 4
+            + self.edge_tri_third.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn k4() -> CsrGraph {
+        graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = k4();
+        assert_eq!(total_triangles(&g), 4);
+        let counts = count_triangles_per_edge(&g);
+        // every edge of K4 is in exactly 2 triangles
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
+        assert_eq!(total_triangles(&g), 0);
+        let tl = TriangleList::build(&g);
+        assert!(tl.is_empty());
+        for e in 0..g.num_edges() as u32 {
+            assert_eq!(tl.edge_triangle_count(e), 0);
+        }
+    }
+
+    #[test]
+    fn list_matches_counts() {
+        let g = k4();
+        let tl = TriangleList::build(&g);
+        let counts = count_triangles_per_edge(&g);
+        for e in 0..g.num_edges() as u32 {
+            assert_eq!(tl.edge_triangle_count(e), counts[e as usize]);
+        }
+        assert_eq!(tl.len() as u64, total_triangles(&g));
+    }
+
+    #[test]
+    fn triangle_vertices_sorted_and_edges_consistent() {
+        let g = k4();
+        let tl = TriangleList::build(&g);
+        for (vs, es) in tl.tri_verts.iter().zip(tl.tri_edges.iter()) {
+            assert!(vs[0] < vs[1] && vs[1] < vs[2]);
+            assert_eq!(g.edge_endpoints(es[0]), (vs[0], vs[1]));
+            assert_eq!(g.edge_endpoints(es[1]), (vs[0], vs[2]));
+            assert_eq!(g.edge_endpoints(es[2]), (vs[1], vs[2]));
+        }
+    }
+
+    #[test]
+    fn triangle_id_lookup() {
+        let g = k4();
+        let tl = TriangleList::build(&g);
+        for (t, vs) in tl.tri_verts.iter().enumerate() {
+            assert_eq!(tl.triangle_id(&g, vs[0], vs[1], vs[2]), Some(t as u32));
+        }
+        // Non-triangle lookups fail.
+        let g2 = graph_from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let tl2 = TriangleList::build(&g2);
+        assert_eq!(tl2.triangle_id(&g2, 0, 1, 3), None);
+        assert_eq!(tl2.triangle_id(&g2, 0, 1, 2), Some(0));
+    }
+
+    #[test]
+    fn partner_edges_cover_triangle() {
+        let g = k4();
+        let tl = TriangleList::build(&g);
+        for e in 0..g.num_edges() as u32 {
+            for partners in tl.partner_edges(e) {
+                assert_ne!(partners[0], e);
+                assert_ne!(partners[1], e);
+                assert_ne!(partners[0], partners[1]);
+            }
+            assert_eq!(tl.partner_edges(e).count(), 2);
+        }
+    }
+
+    #[test]
+    fn bowtie_counts() {
+        // Two triangles sharing vertex 2.
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(total_triangles(&g), 2);
+        let counts = count_triangles_per_edge(&g);
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,148 @@
+//! Brute-force oracles for the clique substrate: every optimized counter
+//! (oriented merge-intersection triangles, triple-merge 4-cliques,
+//! incidence lists) is checked against the O(n³)/O(n⁴) definition on
+//! arbitrary small graphs.
+
+use hdsd_graph::{
+    count_triangles_per_edge, degeneracy_order, total_k4, total_triangles, GraphBuilder,
+    Orientation, TriangleList,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = hdsd_graph::CsrGraph> {
+    proptest::collection::vec((0u32..15, 0u32..15), 0..70)
+        .prop_map(|edges| GraphBuilder::new().edges(edges).build())
+}
+
+fn brute_triangles(g: &hdsd_graph::CsrGraph) -> u64 {
+    let n = g.num_vertices() as u32;
+    let mut count = 0;
+    for a in 0..n {
+        for b in a + 1..n {
+            if !g.has_edge(a, b) {
+                continue;
+            }
+            for c in b + 1..n {
+                if g.has_edge(a, c) && g.has_edge(b, c) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn brute_k4(g: &hdsd_graph::CsrGraph) -> u64 {
+    let n = g.num_vertices() as u32;
+    let mut count = 0;
+    for a in 0..n {
+        for b in a + 1..n {
+            if !g.has_edge(a, b) {
+                continue;
+            }
+            for c in b + 1..n {
+                if !(g.has_edge(a, c) && g.has_edge(b, c)) {
+                    continue;
+                }
+                for d in c + 1..n {
+                    if g.has_edge(a, d) && g.has_edge(b, d) && g.has_edge(c, d) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn triangle_total_matches_brute_force(g in arb_graph()) {
+        prop_assert_eq!(total_triangles(&g), brute_triangles(&g));
+    }
+
+    #[test]
+    fn k4_total_matches_brute_force(g in arb_graph()) {
+        prop_assert_eq!(total_k4(&g), brute_k4(&g));
+    }
+
+    #[test]
+    fn per_edge_counts_match_brute_force(g in arb_graph()) {
+        let counts = count_triangles_per_edge(&g);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let brute = g
+                .vertices()
+                .filter(|&w| w != u && w != v && g.has_edge(u, w) && g.has_edge(v, w))
+                .count() as u32;
+            prop_assert_eq!(counts[e], brute, "edge ({}, {})", u, v);
+        }
+    }
+
+    #[test]
+    fn triangle_list_is_complete_and_exact(g in arb_graph()) {
+        let tl = TriangleList::build(&g);
+        prop_assert_eq!(tl.len() as u64, brute_triangles(&g));
+        // every listed triple really is a triangle, listed once
+        let mut seen = std::collections::HashSet::new();
+        for vs in &tl.tri_verts {
+            prop_assert!(g.has_edge(vs[0], vs[1]));
+            prop_assert!(g.has_edge(vs[0], vs[2]));
+            prop_assert!(g.has_edge(vs[1], vs[2]));
+            prop_assert!(seen.insert(*vs), "duplicate triangle {:?}", vs);
+        }
+    }
+
+    #[test]
+    fn degeneracy_bounds_out_degrees(g in arb_graph()) {
+        let (order, d) = degeneracy_order(&g);
+        let o = Orientation::new(&g, order);
+        prop_assert!(o.max_out_degree() <= d as usize);
+        // the degeneracy of a graph with any edge is >= 1
+        if g.num_edges() > 0 {
+            prop_assert!(d >= 1);
+        }
+    }
+
+    #[test]
+    fn builder_is_idempotent(g in arb_graph()) {
+        let rebuilt = GraphBuilder::new()
+            .with_num_vertices(g.num_vertices())
+            .edges(g.edges().iter().copied())
+            .build();
+        prop_assert_eq!(g.edges(), rebuilt.edges());
+        prop_assert_eq!(g.num_vertices(), rebuilt.num_vertices());
+    }
+
+    #[test]
+    fn edge_id_lookup_agrees_with_edge_table(g in arb_graph()) {
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            prop_assert_eq!(g.edge_id(u, v), Some(e as u32));
+            prop_assert_eq!(g.edge_id(v, u), Some(e as u32));
+        }
+        // a non-edge never resolves
+        let n = g.num_vertices() as u32;
+        for u in 0..n.min(6) {
+            for v in 0..n.min(6) {
+                if u != v && !g.has_edge(u, v) {
+                    prop_assert_eq!(g.edge_id(u, v), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_round_trip_preserves_graph(g in arb_graph()) {
+        let mut buf = Vec::new();
+        {
+            use std::io::Write;
+            writeln!(buf, "# test").unwrap();
+            for &(u, v) in g.edges() {
+                writeln!(buf, "{u} {v}").unwrap();
+            }
+        }
+        let g2 = hdsd_graph::io::read_edge_list_from(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error statistics for the query-driven estimation experiments.
+
+/// Summary of estimation error between `estimate` and `exact` vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorStats {
+    /// Fraction of entries where `estimate == exact`.
+    pub exact_fraction: f64,
+    /// Mean of `|estimate − exact| / max(exact, 1)`.
+    pub mean_relative_error: f64,
+    /// Maximum absolute error.
+    pub max_abs_error: u32,
+    /// Mean absolute error.
+    pub mean_abs_error: f64,
+    /// Number of compared entries.
+    pub count: usize,
+}
+
+/// Computes [`ErrorStats`] over paired vectors.
+///
+/// The relative error denominator is clamped at 1 so κ = 0 ground truth
+/// doesn't divide by zero (matching how the paper reports error on
+/// low-index vertices).
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn relative_error_stats(estimate: &[u32], exact: &[u32]) -> ErrorStats {
+    assert_eq!(estimate.len(), exact.len(), "relative_error_stats: length mismatch");
+    let n = estimate.len();
+    if n == 0 {
+        return ErrorStats {
+            exact_fraction: 1.0,
+            mean_relative_error: 0.0,
+            max_abs_error: 0,
+            mean_abs_error: 0.0,
+            count: 0,
+        };
+    }
+    let mut exact_hits = 0usize;
+    let mut rel_sum = 0f64;
+    let mut abs_sum = 0f64;
+    let mut max_abs = 0u32;
+    for (&a, &b) in estimate.iter().zip(exact) {
+        let abs = a.abs_diff(b);
+        if abs == 0 {
+            exact_hits += 1;
+        }
+        rel_sum += abs as f64 / (b.max(1)) as f64;
+        abs_sum += abs as f64;
+        max_abs = max_abs.max(abs);
+    }
+    ErrorStats {
+        exact_fraction: exact_hits as f64 / n as f64,
+        mean_relative_error: rel_sum / n as f64,
+        max_abs_error: max_abs,
+        mean_abs_error: abs_sum / n as f64,
+        count: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let s = relative_error_stats(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(s.exact_fraction, 1.0);
+        assert_eq!(s.mean_relative_error, 0.0);
+        assert_eq!(s.max_abs_error, 0);
+    }
+
+    #[test]
+    fn mixed_errors() {
+        let s = relative_error_stats(&[2, 2, 0], &[1, 2, 4]);
+        assert!((s.exact_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_abs_error, 4);
+        assert!((s.mean_abs_error - 5.0 / 3.0).abs() < 1e-12);
+        // rel errors: 1/1, 0/2, 4/4 -> mean 2/3
+        assert!((s.mean_relative_error - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_ground_truth_is_clamped() {
+        let s = relative_error_stats(&[3], &[0]);
+        assert_eq!(s.mean_relative_error, 3.0);
+    }
+
+    #[test]
+    fn empty_is_trivially_exact() {
+        let s = relative_error_stats(&[], &[]);
+        assert_eq!(s.exact_fraction, 1.0);
+        assert_eq!(s.count, 0);
+    }
+}

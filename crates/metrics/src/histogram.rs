@@ -1,0 +1,94 @@
+//! Small histogram helper for κ / degree-level distributions.
+
+/// A dense histogram over `u32` values.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// `counts[v]` = number of occurrences of value `v`.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Maximum observed value, or `None` when empty.
+    pub fn max_value(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u32)
+    }
+
+    /// Mean observed value (0 for empty histograms).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// The p-th percentile value (`0.0 ..= 1.0`), by cumulative count.
+    pub fn percentile(&self, p: f64) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return v as u32;
+            }
+        }
+        self.max_value().unwrap_or(0)
+    }
+}
+
+/// Builds a dense histogram from values.
+pub fn histogram(values: impl IntoIterator<Item = u32>) -> Histogram {
+    let mut h = Histogram::default();
+    for v in values {
+        let idx = v as usize;
+        if idx >= h.counts.len() {
+            h.counts.resize(idx + 1, 0);
+        }
+        h.counts[idx] += 1;
+        h.total += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let h = histogram([0u32, 1, 1, 3]);
+        assert_eq!(h.counts, vec![1, 2, 0, 1]);
+        assert_eq!(h.total, 4);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.mean() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let h = histogram([1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(1.0), 10);
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn empty() {
+        let h = histogram(std::iter::empty());
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Kendall-Tau rank correlation with tie correction (tau-b).
+//!
+//! For paired observations `(x_i, y_i)` the tau-b statistic is
+//!
+//! ```text
+//! τ_b = (C − D) / sqrt((n0 − n1)(n0 − n2))
+//! n0 = n(n−1)/2,  n1 = Σ_ties_x t(t−1)/2,  n2 = Σ_ties_y t(t−1)/2
+//! ```
+//!
+//! where `C`/`D` count concordant/discordant pairs. The fast path sorts by
+//! `(x, y)` and counts discordant pairs as inversions of the `y` sequence
+//! with a bottom-up merge sort, handling joint ties explicitly — the
+//! standard Knight (1966) algorithm, `O(n log n)`.
+
+/// Quadratic reference implementation (used by tests and tiny inputs).
+pub fn kendall_tau_b_ref(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "kendall_tau_b: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = x[i].cmp(&x[j]);
+            let dy = y[i].cmp(&y[j]);
+            match (dx, dy) {
+                (std::cmp::Ordering::Equal, std::cmp::Ordering::Equal) => {}
+                (std::cmp::Ordering::Equal, _) => ties_x += 1,
+                (_, std::cmp::Ordering::Equal) => ties_y += 1,
+                (a, b) if a == b => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    // joint ties count toward neither n1-only nor n2-only corrections:
+    // n1 = pairs tied in x (including joint), n2 = pairs tied in y.
+    let joint = n0 - concordant - discordant - ties_x - ties_y;
+    let n1 = ties_x + joint;
+    let n2 = ties_y + joint;
+    let denom = (((n0 - n1) as f64) * ((n0 - n2) as f64)).sqrt();
+    if denom == 0.0 {
+        // One of the vectors is constant; define τ=1 when both are constant
+        // (identical ordering information), else 0.
+        let x_const = x.iter().all(|&v| v == x[0]);
+        let y_const = y.iter().all(|&v| v == y[0]);
+        return if x_const && y_const { 1.0 } else { 0.0 };
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// `O(n log n)` Kendall tau-b (Knight's algorithm).
+///
+/// Returns 1.0 for inputs of length < 2 and for two constant vectors; 0.0
+/// when exactly one vector is constant.
+///
+/// ```
+/// use hdsd_metrics::kendall_tau_b;
+/// assert!((kendall_tau_b(&[1, 2, 3], &[10, 20, 30]) - 1.0).abs() < 1e-12);
+/// assert!((kendall_tau_b(&[1, 2, 3], &[30, 20, 10]) + 1.0).abs() < 1e-12);
+/// ```
+pub fn kendall_tau_b(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "kendall_tau_b: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 1.0;
+    }
+
+    // Sort indices by (x, y).
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        (x[a as usize], y[a as usize]).cmp(&(x[b as usize], y[b as usize]))
+    });
+
+    // Tie statistics on x and joint (x, y).
+    let (mut n1, mut n3) = (0i64, 0i64); // pairs tied in x; pairs tied in both
+    {
+        let mut run_x = 1i64;
+        let mut run_xy = 1i64;
+        for w in idx.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            if x[a] == x[b] {
+                run_x += 1;
+                if y[a] == y[b] {
+                    run_xy += 1;
+                } else {
+                    n3 += run_xy * (run_xy - 1) / 2;
+                    run_xy = 1;
+                }
+            } else {
+                n1 += run_x * (run_x - 1) / 2;
+                n3 += run_xy * (run_xy - 1) / 2;
+                run_x = 1;
+                run_xy = 1;
+            }
+        }
+        n1 += run_x * (run_x - 1) / 2;
+        n3 += run_xy * (run_xy - 1) / 2;
+    }
+
+    // Count discordant-ish pairs: inversions of y in x-sorted order (ties in
+    // y are not inversions). Bottom-up merge sort counting strict inversions.
+    let mut ys: Vec<u32> = idx.iter().map(|&i| y[i as usize]).collect();
+    let swaps = count_inversions(&mut ys);
+
+    // Tie statistics on y.
+    let n2: i64 = {
+        // ys is now sorted.
+        let mut t = 0i64;
+        let mut run = 1i64;
+        for w in ys.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                t += run * (run - 1) / 2;
+                run = 1;
+            }
+        }
+        t + run * (run - 1) / 2
+    };
+
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    // C - D = n0 - n1 - n2 + n3 - 2*swaps  (Knight's identity)
+    let num = (n0 - n1 - n2 + n3 - 2 * swaps) as f64;
+    let denom = (((n0 - n1) as f64) * ((n0 - n2) as f64)).sqrt();
+    if denom == 0.0 {
+        let x_const = x.iter().all(|&v| v == x[0]);
+        let y_const = y.iter().all(|&v| v == y[0]);
+        return if x_const && y_const { 1.0 } else { 0.0 };
+    }
+    num / denom
+}
+
+/// Counts strict inversions while merge-sorting `a` in place.
+fn count_inversions(a: &mut [u32]) -> i64 {
+    let n = a.len();
+    let mut buf = vec![0u32; n];
+    let mut inversions = 0i64;
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            // Merge a[lo..mid] and a[mid..hi].
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if a[j] < a[i] {
+                    inversions += (mid - i) as i64;
+                    buf[k] = a[j];
+                    j += 1;
+                } else {
+                    buf[k] = a[i];
+                    i += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                buf[k] = a[i];
+                i += 1;
+                k += 1;
+            }
+            while j < hi {
+                buf[k] = a[j];
+                j += 1;
+                k += 1;
+            }
+            a[lo..hi].copy_from_slice(&buf[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_agreement_and_reversal() {
+        let x = [1u32, 2, 3, 4, 5];
+        let y_rev = [5u32, 4, 3, 2, 1];
+        assert!((kendall_tau_b(&x, &x) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&x, &y_rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(kendall_tau_b(&[], &[]), 1.0);
+        assert_eq!(kendall_tau_b(&[7], &[3]), 1.0);
+        // both constant
+        assert_eq!(kendall_tau_b(&[2, 2, 2], &[9, 9, 9]), 1.0);
+        // one constant
+        assert_eq!(kendall_tau_b(&[2, 2, 2], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn known_tied_case() {
+        // scipy.stats.kendalltau([1,2,2,3], [1,3,2,4]) = 0.9128709291752769 (tau-b)
+        let t = kendall_tau_b(&[1, 2, 2, 3], &[1, 3, 2, 4]);
+        assert!((t - 0.912_870_929_175_276_9).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn inversion_counter_sorts() {
+        let mut v = vec![5u32, 1, 4, 2, 3];
+        let inv = count_inversions(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        assert_eq!(inv, 6); // (5,1),(5,4),(5,2),(5,3),(4,2),(4,3)
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_cases() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3, 4], &[1, 2, 3, 4]),
+            (&[1, 1, 2, 2], &[2, 2, 1, 1]),
+            (&[3, 1, 2], &[1, 2, 3]),
+            (&[0, 0, 0, 1], &[5, 5, 6, 6]),
+            (&[9, 9, 9, 9], &[9, 9, 9, 9]),
+        ];
+        for (x, y) in cases {
+            let fast = kendall_tau_b(x, y);
+            let slow = kendall_tau_b_ref(x, y);
+            assert!((fast - slow).abs() < 1e-12, "{x:?} vs {y:?}: {fast} != {slow}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fast_matches_reference(
+            pairs in proptest::collection::vec((0u32..8, 0u32..8), 2..120)
+        ) {
+            let x: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let fast = kendall_tau_b(&x, &y);
+            let slow = kendall_tau_b_ref(&x, &y);
+            prop_assert!((fast - slow).abs() < 1e-9, "{} != {}", fast, slow);
+        }
+
+        #[test]
+        fn prop_symmetry(pairs in proptest::collection::vec((0u32..10, 0u32..10), 2..80)) {
+            let x: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let a = kendall_tau_b(&x, &y);
+            let b = kendall_tau_b(&y, &x);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_bounded(pairs in proptest::collection::vec((0u32..6, 0u32..6), 2..100)) {
+            let x: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let t = kendall_tau_b(&x, &y);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t));
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one(xs in proptest::collection::vec(0u32..100, 2..100)) {
+            // Identical vectors always give τ = 1 (or 1 by convention if constant).
+            prop_assert!((kendall_tau_b(&xs, &xs) - 1.0).abs() < 1e-9);
+        }
+    }
+}

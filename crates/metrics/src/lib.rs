@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # hdsd-metrics
+//!
+//! Accuracy metrics for approximate decompositions.
+//!
+//! The paper reports solution quality as the **Kendall-Tau rank
+//! correlation** between the intermediate τ indices and the exact κ indices
+//! (Figure 1a, Figure 6, Figure 7): 1.0 means identical rankings. Because κ
+//! vectors contain massive ties (many r-cliques share an index), the tau-b
+//! variant with tie correction is required; it is implemented here in
+//! `O(n log n)` with a merge-sort inversion count. A quadratic reference
+//! implementation backs the property tests.
+//!
+//! Also provided: Spearman's ρ, error statistics for the query-driven
+//! scenario, and histogram helpers for the degree-level experiments.
+
+pub mod error_stats;
+pub mod histogram;
+pub mod kendall;
+pub mod spearman;
+pub mod topk;
+
+pub use error_stats::{relative_error_stats, ErrorStats};
+pub use histogram::{histogram, Histogram};
+pub use kendall::{kendall_tau_b, kendall_tau_b_ref};
+pub use spearman::spearman_rho;
+pub use topk::jaccard_top_k;

@@ -1,0 +1,95 @@
+//! Spearman's ρ with average ranks for ties.
+
+/// Spearman rank correlation of two paired `u32` vectors.
+///
+/// Ties receive average (fractional) ranks; the statistic is the Pearson
+/// correlation of the rank vectors. Returns 1.0 for inputs shorter than 2
+/// and when both vectors are constant, 0.0 when exactly one is constant.
+pub fn spearman_rho(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman_rho: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average (mid) ranks, 1-based.
+fn average_ranks(v: &[u32]) -> Vec<f64> {
+    let n = v.len();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by_key(|&i| v[i as usize]);
+    let mut ranks = vec![0f64; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1] as usize] == v[idx[i] as usize] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k] as usize] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return if va == 0.0 && vb == 0.0 { 1.0 } else { 0.0 };
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monotone_is_one() {
+        assert!((spearman_rho(&[1, 2, 3, 4], &[10, 20, 30, 40]) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&[1, 2, 3, 4], &[40, 30, 20, 10]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_handle_ties() {
+        assert_eq!(average_ranks(&[10, 20, 20, 30]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(average_ranks(&[5, 5, 5]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(spearman_rho(&[3, 3, 3], &[3, 3, 3]), 1.0);
+        assert_eq!(spearman_rho(&[3, 3, 3], &[1, 2, 3]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded(pairs in proptest::collection::vec((0u32..10, 0u32..10), 2..80)) {
+            let x: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let r = spearman_rho(&x, &y);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+
+        #[test]
+        fn prop_self_is_one(xs in proptest::collection::vec(0u32..50, 2..80)) {
+            prop_assert!((spearman_rho(&xs, &xs) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Top-k agreement: how well an approximate decomposition identifies the
+//! *densest* r-cliques — often what applications actually consume (spam
+//! farms, motif cores), and more forgiving than full-ranking Kendall-τ.
+
+/// Jaccard similarity of the top-`k` index sets of two score vectors
+/// (ties at the cut are broken by index, identically for both sides).
+///
+/// Returns 1.0 for `k = 0` or two empty vectors.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn jaccard_top_k(a: &[u32], b: &[u32], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "jaccard_top_k: length mismatch");
+    let k = k.min(a.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let top = |v: &[u32]| -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..v.len() as u32).collect();
+        idx.sort_unstable_by(|&x, &y| {
+            v[y as usize].cmp(&v[x as usize]).then(x.cmp(&y))
+        });
+        let mut t = idx[..k].to_vec();
+        t.sort_unstable();
+        t
+    };
+    let ta = top(a);
+    let tb = top(b);
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (2 * k - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_vectors_are_one() {
+        let v = [5u32, 3, 9, 1, 9];
+        for k in 0..=5 {
+            assert_eq!(jaccard_top_k(&v, &v, k), 1.0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn disjoint_tops() {
+        let a = [9u32, 9, 0, 0];
+        let b = [0u32, 0, 9, 9];
+        assert_eq!(jaccard_top_k(&a, &b, 2), 0.0);
+        // at k=4 the sets cover everything: similarity 1
+        assert_eq!(jaccard_top_k(&a, &b, 4), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = [9u32, 8, 7, 0];
+        let b = [9u32, 0, 7, 8];
+        // top-2 of a = {0,1}, of b = {0,3}: |∩|=1, |∪|=3
+        assert!((jaccard_top_k(&a, &b, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_len_is_clamped() {
+        let a = [1u32, 2];
+        assert_eq!(jaccard_top_k(&a, &a, 100), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded_and_symmetric(
+            pairs in proptest::collection::vec((0u32..10, 0u32..10), 1..60),
+            k in 0usize..70,
+        ) {
+            let a: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let j1 = jaccard_top_k(&a, &b, k);
+            let j2 = jaccard_top_k(&b, &a, k);
+            prop_assert!((0.0..=1.0).contains(&j1));
+            prop_assert!((j1 - j2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_self_is_one(v in proptest::collection::vec(0u32..50, 1..60), k in 1usize..60) {
+            prop_assert_eq!(jaccard_top_k(&v, &v, k), 1.0);
+        }
+    }
+}

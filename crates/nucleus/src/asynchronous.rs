@@ -1,0 +1,557 @@
+//! And — Asynchronous Nucleus Decomposition (the paper's Algorithm 3).
+//!
+//! Gauss–Seidel-style iteration: τ updates are visible immediately, so
+//! information propagates within a sweep and And never needs more sweeps
+//! than Snd. The processing order matters: Theorem 4 proves that sweeping
+//! in non-decreasing final-κ order (the peeling order) converges in a
+//! single iteration, while adversarial orders degrade toward Snd behaviour.
+//!
+//! The §4.2.1 **notification mechanism** is implemented as the paper
+//! describes: each r-clique carries a wake flag `c(·)`; a clique marks
+//! itself idle after recomputing and is woken only when a neighbor's τ
+//! changes, which skips the plateau recomputation that otherwise dominates
+//! late iterations.
+//!
+//! A parallel variant shares τ through relaxed atomics: workers may read a
+//! mix of old and new values, which the paper argues (and Theorem 1's
+//! monotone, lower-bounded descent guarantees) still converges to the same
+//! fixed point — in the worst case it degenerates to the synchronous
+//! schedule. A final full verification sweep certifies the fixed point, so
+//! results are exact regardless of races.
+
+use hdsd_hindex::HBuffer;
+use hdsd_parallel::{parallel_for_chunks_with, AtomicBitset, AtomicU32Vec};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::convergence::{ConvergenceResult, IterationEvent, LocalConfig};
+use crate::space::{rho, CliqueSpace};
+
+/// Processing order for the asynchronous sweep.
+#[derive(Clone, Debug, Default)]
+pub enum Order {
+    /// r-clique id order (the paper's default).
+    #[default]
+    Natural,
+    /// Reverse id order.
+    Reverse,
+    /// Deterministic pseudo-random permutation of the given seed.
+    Random(u64),
+    /// Non-decreasing initial S-degree (a cheap proxy for κ order).
+    IncreasingDegree,
+    /// Explicit permutation: `order[k]` = k-th r-clique to process.
+    /// Passing a peeling order realizes Theorem 4's single-iteration bound.
+    Custom(Vec<u32>),
+}
+
+impl Order {
+    /// Materializes the permutation for a space of `n` r-cliques.
+    pub fn permutation<S: CliqueSpace>(&self, space: &S) -> Vec<u32> {
+        let n = space.num_cliques();
+        match self {
+            Order::Natural => (0..n as u32).collect(),
+            Order::Reverse => (0..n as u32).rev().collect(),
+            Order::Random(seed) => {
+                let mut p: Vec<u32> = (0..n as u32).collect();
+                // SplitMix64-driven Fisher–Yates; deterministic, dependency-free.
+                let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+                let mut next = || {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    z ^ (z >> 31)
+                };
+                for i in (1..n).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    p.swap(i, j);
+                }
+                p
+            }
+            Order::IncreasingDegree => {
+                let mut p: Vec<u32> = (0..n as u32).collect();
+                p.sort_by_key(|&i| (space.degree(i as usize), i));
+                p
+            }
+            Order::Custom(p) => {
+                assert_eq!(p.len(), n, "custom order length mismatch");
+                p.clone()
+            }
+        }
+    }
+}
+
+/// Runs And to convergence (or the iteration cap) with wake-flag
+/// notifications enabled.
+pub fn and<S: CliqueSpace>(space: &S, cfg: &LocalConfig, order: &Order) -> ConvergenceResult {
+    and_with_options(space, cfg, order, true, &mut |_| {})
+}
+
+/// Runs And without the notification mechanism (every sweep recomputes
+/// every r-clique) — the ablation baseline for Figure 8-style experiments.
+pub fn and_without_notification<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+) -> ConvergenceResult {
+    and_with_options(space, cfg, order, false, &mut |_| {})
+}
+
+/// Full-control And entry point.
+pub fn and_with_options<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    notification: bool,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    if cfg.parallel.threads <= 1 {
+        and_sequential(space, cfg, order, notification, None, observer)
+    } else {
+        and_parallel(space, cfg, order, notification, observer)
+    }
+}
+
+/// And starting from a caller-provided τ instead of the S-degrees.
+///
+/// **Correctness**: the iteration converges to the exact κ from *any*
+/// pointwise upper bound `τ_init ≥ κ`. Proof sketch: `U` is monotone and
+/// `H` over a clique's containers never exceeds its container count, so
+/// `Uτ_init ≤ d_s` pointwise after one sweep; thereafter
+/// `κ = U^t κ ≤ U^t τ_init ≤ U^t d_s → κ` squeezes the sequence onto κ
+/// within the Theorem-3 bound (+1 sweep). This is what makes incremental
+/// maintenance ([`crate::incremental`]) possible: a stale decomposition,
+/// suitably bumped, is a valid warm start.
+///
+/// # Panics
+/// Panics when `tau_init.len() != space.num_cliques()`.
+pub fn and_resume<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    tau_init: Vec<u32>,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
+    and_sequential(space, cfg, order, true, Some(tau_init), observer)
+}
+
+fn and_sequential<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    notification: bool,
+    tau_init: Option<Vec<u32>>,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    let n = space.num_cliques();
+    let perm = order.permutation(space);
+    let mut tau = tau_init.unwrap_or_else(|| space.initial_degrees());
+    // Wake flags: all r-cliques start active (line 4 of Algorithm 3).
+    let mut active = vec![true; n];
+    let mut buf = HBuffer::new();
+
+    let mut updates_per_iter = Vec::new();
+    let mut processed_per_iter = Vec::new();
+    let mut converged = false;
+    let mut sweeps = 0usize;
+
+    loop {
+        if n == 0 {
+            converged = true;
+            break;
+        }
+        let mut updates = 0usize;
+        let mut processed = 0usize;
+        for &iu in &perm {
+            let i = iu as usize;
+            if notification && !active[i] {
+                continue;
+            }
+            processed += 1;
+            // Mark idle before recomputing; a same-sweep neighbor update
+            // re-wakes us (the paper's line 17 semantics).
+            active[i] = false;
+            let old = tau[i];
+            let new = update_inplace(space, i, old, &tau, &mut buf, cfg.preserve_check);
+            if new != old {
+                debug_assert!(new < old);
+                tau[i] = new;
+                updates += 1;
+                if notification {
+                    space.for_each_neighbor(i, |o| active[o] = true);
+                }
+            }
+        }
+        sweeps += 1;
+        updates_per_iter.push(updates);
+        processed_per_iter.push(processed);
+        observer(IterationEvent { iteration: sweeps, tau: &tau, updates, processed });
+
+        if updates == 0 {
+            // With notifications, a zero-update sweep may simply mean
+            // "nobody was awake"; certify with one full sweep.
+            if notification && processed < n {
+                active.iter_mut().for_each(|a| *a = true);
+                continue;
+            }
+            converged = true;
+            break;
+        }
+        if cfg.stable_enough(updates, n) {
+            break; // stability stopping rule: good enough, not exact
+        }
+        if let Some(cap) = cfg.max_iterations {
+            if sweeps >= cap {
+                break;
+            }
+        }
+    }
+
+    ConvergenceResult { tau, sweeps, converged, updates_per_iter, processed_per_iter }
+}
+
+fn and_parallel<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    notification: bool,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    let n = space.num_cliques();
+    let perm = order.permutation(space);
+    let tau = AtomicU32Vec::from_vec(space.initial_degrees());
+    let active = AtomicBitset::new(n, true);
+
+    let mut updates_per_iter = Vec::new();
+    let mut processed_per_iter = Vec::new();
+    let mut converged = false;
+    let mut sweeps = 0usize;
+    let mut tau_snapshot = vec![0u32; n];
+
+    loop {
+        if n == 0 {
+            converged = true;
+            break;
+        }
+        let updates = AtomicUsize::new(0);
+        let processed = AtomicUsize::new(0);
+        let perm_ref: &[u32] = &perm;
+        let tau_ref = &tau;
+        let active_ref = &active;
+        let updates_ref = &updates;
+        let processed_ref = &processed;
+
+        parallel_for_chunks_with(n, cfg.parallel, HBuffer::new, |buf, range| {
+            let mut local_updates = 0usize;
+            let mut local_processed = 0usize;
+            for k in range {
+                let i = perm_ref[k] as usize;
+                if notification && !active_ref.get(i) {
+                    continue;
+                }
+                local_processed += 1;
+                active_ref.clear(i);
+                let old = tau_ref.get(i);
+                let new = update_atomic(space, i, old, tau_ref, buf, cfg.preserve_check);
+                if new != old {
+                    tau_ref.set(i, new);
+                    local_updates += 1;
+                    if notification {
+                        space.for_each_neighbor(i, |o| {
+                            active_ref.set(o);
+                        });
+                    }
+                }
+            }
+            if local_updates > 0 {
+                updates_ref.fetch_add(local_updates, Ordering::Relaxed);
+            }
+            if local_processed > 0 {
+                processed_ref.fetch_add(local_processed, Ordering::Relaxed);
+            }
+        });
+
+        sweeps += 1;
+        let u = updates.load(Ordering::Relaxed);
+        let p = processed.load(Ordering::Relaxed);
+        updates_per_iter.push(u);
+        processed_per_iter.push(p);
+        tau.copy_to_slice(&mut tau_snapshot);
+        observer(IterationEvent { iteration: sweeps, tau: &tau_snapshot, updates: u, processed: p });
+
+        if u == 0 {
+            // Races (or sleeping cliques) could hide pending work: certify
+            // the fixed point with a full sweep before declaring victory.
+            if p < n {
+                for i in 0..n {
+                    active.set(i);
+                }
+                continue;
+            }
+            converged = true;
+            break;
+        }
+        if cfg.stable_enough(u, n) {
+            break; // stability stopping rule: good enough, not exact
+        }
+        if let Some(cap) = cfg.max_iterations {
+            if sweeps >= cap {
+                break;
+            }
+        }
+    }
+
+    ConvergenceResult {
+        tau: tau.into_vec(),
+        sweeps,
+        converged,
+        updates_per_iter,
+        processed_per_iter,
+    }
+}
+
+/// One in-place update against a plain τ array (sequential And).
+#[inline]
+fn update_inplace<S: CliqueSpace>(
+    space: &S,
+    i: usize,
+    old: u32,
+    tau: &[u32],
+    buf: &mut HBuffer,
+    preserve_check: bool,
+) -> u32 {
+    if old == 0 {
+        return 0;
+    }
+    if preserve_check {
+        let mut qualifying = 0u32;
+        let preserved = space
+            .try_for_each_container(i, |others| {
+                if rho(tau, others) >= old {
+                    qualifying += 1;
+                    if qualifying >= old {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+            .is_break();
+        if preserved {
+            return old;
+        }
+    }
+    let deg = space.degree(i) as usize;
+    let mut session = buf.session(deg);
+    space.for_each_container(i, |others| session.push(rho(tau, others)));
+    // Clamp to `old`: a no-op on the standard τ0 = d_s descent (H never
+    // exceeds the previous value there), but essential for warm starts
+    // (`and_resume`), where H may exceed a stale τ. The clamped iteration
+    // computes min(τ, Uτ), whose only fixpoint ≥ κ is κ itself: a stall
+    // means τ ≤ Uτ everywhere, which (Lemma 1 / the Theorem-4 argument)
+    // forces τ ≤ κ.
+    session.finish().min(old)
+}
+
+/// One in-place update against atomic τ (parallel And).
+#[inline]
+fn update_atomic<S: CliqueSpace>(
+    space: &S,
+    i: usize,
+    old: u32,
+    tau: &AtomicU32Vec,
+    buf: &mut HBuffer,
+    preserve_check: bool,
+) -> u32 {
+    if old == 0 {
+        return 0;
+    }
+    let rho_atomic = |others: &[usize]| -> u32 {
+        let mut m = u32::MAX;
+        for &o in others {
+            m = m.min(tau.get(o));
+        }
+        m
+    };
+    if preserve_check {
+        let mut qualifying = 0u32;
+        let preserved = space
+            .try_for_each_container(i, |others| {
+                if rho_atomic(others) >= old {
+                    qualifying += 1;
+                    if qualifying >= old {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+            .is_break();
+        if preserved {
+            return old;
+        }
+    }
+    let deg = space.degree(i) as usize;
+    let mut session = buf.session(deg);
+    space.for_each_container(i, |others| session.push(rho_atomic(others)));
+    // Concurrent writers may have changed neighbor τ mid-walk; the computed
+    // value is still a valid member of the monotone descent (never below κ
+    // because every read value is ≥ κ by Theorem 1). Clamp to `old` to keep
+    // per-clique monotonicity even under torn reads.
+    session.finish().min(old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+    use crate::snd::snd;
+    use crate::space::{CoreSpace, Nucleus34Space, TrussSpace};
+    use hdsd_graph::graph_from_edges;
+
+    fn paper_fig2_graph() -> hdsd_graph::CsrGraph {
+        graph_from_edges([(0, 4), (0, 1), (1, 2), (1, 3), (2, 3), (4, 5)])
+    }
+
+    #[test]
+    fn and_matches_peeling_all_orders() {
+        let g = hdsd_datasets::holme_kim(250, 4, 0.5, 21);
+        let sp = CoreSpace::new(&g);
+        let exact = peel(&sp).kappa;
+        for order in [
+            Order::Natural,
+            Order::Reverse,
+            Order::Random(7),
+            Order::IncreasingDegree,
+        ] {
+            let r = and(&sp, &LocalConfig::sequential(), &order);
+            assert_eq!(r.tau, exact, "order {order:?}");
+            assert!(r.converged);
+        }
+    }
+
+    #[test]
+    fn theorem4_peel_order_converges_in_one_iteration() {
+        // Processing in non-decreasing κ order => single updating sweep.
+        let g = hdsd_datasets::holme_kim(300, 5, 0.5, 4);
+        for use_truss in [false, true] {
+            let (iters, ok) = if use_truss {
+                let sp = TrussSpace::precomputed(&g);
+                let p = peel(&sp);
+                let r = and(&sp, &LocalConfig::sequential(), &Order::Custom(p.order.clone()));
+                (r.iterations_to_converge(), r.tau == p.kappa)
+            } else {
+                let sp = CoreSpace::new(&g);
+                let p = peel(&sp);
+                let r = and(&sp, &LocalConfig::sequential(), &Order::Custom(p.order.clone()));
+                (r.iterations_to_converge(), r.tau == p.kappa)
+            };
+            assert!(ok);
+            assert!(iters <= 1, "Theorem 4 violated: {iters} updating iterations");
+        }
+    }
+
+    #[test]
+    fn paper_fig2_alphabetical_vs_kappa_order() {
+        // The paper's Figure 2: alphabetical order {a..f} needs two
+        // updating iterations; the {f,e,a,b,c,d} order (non-decreasing κ)
+        // converges in one.
+        let g = paper_fig2_graph();
+        let sp = CoreSpace::new(&g);
+        let alpha = and(&sp, &LocalConfig::sequential(), &Order::Natural);
+        assert_eq!(alpha.tau, vec![1, 2, 2, 2, 1, 1]);
+        assert_eq!(alpha.iterations_to_converge(), 2);
+        // f=5, e=4, a=0, b=1, c=2, d=3
+        let good = and(
+            &sp,
+            &LocalConfig::sequential(),
+            &Order::Custom(vec![5, 4, 0, 1, 2, 3]),
+        );
+        assert_eq!(good.tau, vec![1, 2, 2, 2, 1, 1]);
+        assert_eq!(good.iterations_to_converge(), 1);
+    }
+
+    #[test]
+    fn and_never_needs_more_updating_sweeps_than_snd() {
+        for seed in [1u64, 2, 3] {
+            let g = hdsd_datasets::erdos_renyi_gnm(150, 600, seed);
+            let sp = CoreSpace::new(&g);
+            let s = snd(&sp, &LocalConfig::sequential());
+            let a = and(&sp, &LocalConfig::sequential(), &Order::Natural);
+            assert_eq!(s.tau, a.tau);
+            assert!(
+                a.iterations_to_converge() <= s.iterations_to_converge(),
+                "seed {seed}: AND {} > SND {}",
+                a.iterations_to_converge(),
+                s.iterations_to_converge()
+            );
+        }
+    }
+
+    #[test]
+    fn notification_reduces_processed_work() {
+        let g = hdsd_datasets::holme_kim(400, 5, 0.6, 11);
+        let sp = TrussSpace::precomputed(&g);
+        let with = and(&sp, &LocalConfig::sequential(), &Order::Natural);
+        let without = and_without_notification(&sp, &LocalConfig::sequential(), &Order::Natural);
+        assert_eq!(with.tau, without.tau);
+        assert!(
+            with.total_processed() < without.total_processed(),
+            "notification should skip plateau work: {} vs {}",
+            with.total_processed(),
+            without.total_processed()
+        );
+    }
+
+    #[test]
+    fn parallel_and_matches_exact_results() {
+        let g = hdsd_datasets::holme_kim(300, 5, 0.5, 33);
+        let core = CoreSpace::new(&g);
+        let exact = peel(&core).kappa;
+        for threads in [2, 4] {
+            for notification in [true, false] {
+                let cfg = LocalConfig::with_threads(threads);
+                let r = and_with_options(&core, &cfg, &Order::Natural, notification, &mut |_| {});
+                assert_eq!(r.tau, exact, "threads={threads} notif={notification}");
+                assert!(r.converged);
+            }
+        }
+        let truss = TrussSpace::precomputed(&g);
+        let exact_t = peel(&truss).kappa;
+        let r = and(&truss, &LocalConfig::with_threads(4), &Order::Natural);
+        assert_eq!(r.tau, exact_t);
+    }
+
+    #[test]
+    fn and_on_34_nucleus() {
+        let g = hdsd_datasets::planted_partition(&[12, 12, 12], 0.8, 0.05, 5);
+        let sp = Nucleus34Space::precomputed(&g);
+        let exact = peel(&sp).kappa;
+        let r = and(&sp, &LocalConfig::sequential(), &Order::Natural);
+        assert_eq!(r.tau, exact);
+    }
+
+    #[test]
+    fn capped_and_still_upper_bounds_kappa() {
+        let g = hdsd_datasets::erdos_renyi_gnm(120, 500, 9);
+        let sp = CoreSpace::new(&g);
+        let exact = peel(&sp).kappa;
+        let r = and(&sp, &LocalConfig::sequential().max_iterations(1), &Order::Natural);
+        for (i, (&a, &k)) in r.tau.iter().zip(&exact).enumerate() {
+            assert!(a >= k, "τ[{i}]");
+        }
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let g = hdsd_datasets::erdos_renyi_gnm(60, 150, 2);
+        let sp = CoreSpace::new(&g);
+        let p1 = Order::Random(5).permutation(&sp);
+        let p2 = Order::Random(5).permutation(&sp);
+        let p3 = Order::Random(6).permutation(&sp);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared configuration, telemetry and result types for the local
+//! (iterative h-index) algorithms.
+
+use hdsd_parallel::ParallelConfig;
+
+/// Configuration of a Snd / And run.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalConfig {
+    /// Thread/scheduling configuration.
+    pub parallel: ParallelConfig,
+    /// Hard iteration cap; `None` runs to convergence. Capped runs are the
+    /// paper's approximation mode (τ_t is a valid upper bound on κ at every
+    /// t, by Theorem 1).
+    pub max_iterations: Option<usize>,
+    /// Enable the §4.4 early-exit check ("once we see ≥ τ items with at
+    /// least τ index, no more checks needed") before full recomputation.
+    pub preserve_check: bool,
+    /// Stability-based stopping (the paper's ground-truth-free quality
+    /// indicator for runtime/accuracy decisions): stop once the fraction of
+    /// r-cliques whose τ changed in a sweep drops to `1 − threshold` — i.e.
+    /// stability ≥ threshold. `None` disables the rule.
+    pub stability_threshold: Option<f64>,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            parallel: ParallelConfig::sequential(),
+            max_iterations: None,
+            preserve_check: true,
+            stability_threshold: None,
+        }
+    }
+}
+
+impl LocalConfig {
+    /// Sequential, run-to-convergence configuration.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel configuration with `t` threads.
+    pub fn with_threads(t: usize) -> Self {
+        LocalConfig { parallel: ParallelConfig::with_threads(t), ..Self::default() }
+    }
+
+    /// Caps the number of iterations (approximation mode).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Disables the preserve-τ early exit (for ablation).
+    pub fn without_preserve_check(mut self) -> Self {
+        self.preserve_check = false;
+        self
+    }
+
+    /// Stops once per-sweep stability (`1 − updates/|R|`) reaches
+    /// `threshold` (clamped to `0.0..=1.0`). A threshold of 1.0 is exactly
+    /// run-to-convergence; ~0.99 typically buys near-exact rankings at a
+    /// fraction of the runtime (see Figure 7 / the `approximate_truss`
+    /// example).
+    pub fn stop_when_stable(mut self, threshold: f64) -> Self {
+        self.stability_threshold = Some(threshold.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Whether a sweep with `updates` changed values out of `n` satisfies
+    /// the configured stopping rule.
+    pub(crate) fn stable_enough(&self, updates: usize, n: usize) -> bool {
+        match self.stability_threshold {
+            Some(th) if n > 0 => (1.0 - updates as f64 / n as f64) >= th && updates > 0,
+            _ => false,
+        }
+    }
+}
+
+/// Snapshot handed to an observer after each iteration/sweep.
+#[derive(Debug)]
+pub struct IterationEvent<'a> {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// τ values after this iteration.
+    pub tau: &'a [u32],
+    /// Number of r-cliques whose τ changed in this iteration.
+    pub updates: usize,
+    /// Number of r-cliques whose τ was recomputed in this iteration
+    /// (smaller than the universe when the notification mechanism skips
+    /// idle r-cliques).
+    pub processed: usize,
+}
+
+/// Result of an iterative local decomposition.
+#[derive(Clone, Debug)]
+pub struct ConvergenceResult {
+    /// Final τ values. Equal to the exact κ indices when `converged`.
+    pub tau: Vec<u32>,
+    /// Total sweeps executed, including the final zero-update sweep that
+    /// certifies convergence.
+    pub sweeps: usize,
+    /// Whether the run reached a fixed point (false only when the
+    /// iteration cap stopped it first).
+    pub converged: bool,
+    /// τ-updates per sweep.
+    pub updates_per_iter: Vec<usize>,
+    /// r-cliques recomputed per sweep.
+    pub processed_per_iter: Vec<usize>,
+}
+
+impl ConvergenceResult {
+    /// Iterations the paper would report: sweeps that performed at least
+    /// one update (the trailing zero-update certification sweep and any
+    /// notification-idle sweeps are excluded).
+    pub fn iterations_to_converge(&self) -> usize {
+        self.updates_per_iter.iter().filter(|&&u| u > 0).count()
+    }
+
+    /// Total recomputation work across the run (Σ processed).
+    pub fn total_processed(&self) -> u64 {
+        self.processed_per_iter.iter().map(|&p| p as u64).sum()
+    }
+
+    /// Total updates across the run.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_iter.iter().map(|&u| u as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_to_converge_ignores_idle_sweeps() {
+        let r = ConvergenceResult {
+            tau: vec![],
+            sweeps: 4,
+            converged: true,
+            updates_per_iter: vec![10, 3, 0, 0],
+            processed_per_iter: vec![10, 10, 4, 0],
+        };
+        assert_eq!(r.iterations_to_converge(), 2);
+        assert_eq!(r.total_processed(), 24);
+        assert_eq!(r.total_updates(), 13);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = LocalConfig::with_threads(4).max_iterations(7).without_preserve_check();
+        assert_eq!(c.parallel.threads, 4);
+        assert_eq!(c.max_iterations, Some(7));
+        assert!(!c.preserve_check);
+        assert!(LocalConfig::default().preserve_check);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exporting decomposition results: κ tables as TSV, hierarchies as
+//! GraphViz dot — the artifacts downstream analyses (or a paper's figures)
+//! consume.
+
+use std::io::{self, Write};
+
+use hdsd_graph::CsrGraph;
+
+use crate::hierarchy::Hierarchy;
+use crate::space::CliqueSpace;
+
+/// Writes one `id <TAB> vertices <TAB> kappa` line per r-clique.
+///
+/// The vertex column lists the r-clique's members joined by `,` so the file
+/// is self-describing for every (r, s) (vertex ids for cores, endpoint
+/// pairs for trusses, triples for (3,4)).
+pub fn write_kappa_tsv<S: CliqueSpace>(
+    space: &S,
+    kappa: &[u32],
+    mut out: impl Write,
+) -> io::Result<()> {
+    assert_eq!(kappa.len(), space.num_cliques());
+    writeln!(out, "# ({},{}) decomposition: id\tvertices\tkappa", space.r(), space.s())?;
+    let mut verts = Vec::new();
+    for (i, &k) in kappa.iter().enumerate() {
+        verts.clear();
+        space.vertices_of(i, &mut verts);
+        let joined =
+            verts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+        writeln!(out, "{i}\t{joined}\t{k}")?;
+    }
+    Ok(())
+}
+
+/// Renders the nucleus forest as a GraphViz `digraph`: one box per nucleus
+/// labelled `k / size / density`, edges from parent to child.
+///
+/// Densities require materializing each node's vertex set; for very large
+/// forests pass `with_density = false` to skip that cost.
+pub fn write_hierarchy_dot<S: CliqueSpace>(
+    hierarchy: &Hierarchy,
+    space: &S,
+    graph: &CsrGraph,
+    with_density: bool,
+    mut out: impl Write,
+) -> io::Result<()> {
+    writeln!(out, "digraph nuclei {{")?;
+    writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];")?;
+    for (id, node) in hierarchy.nodes.iter().enumerate() {
+        let label = if with_density {
+            let d = hierarchy.node_density(id as u32, space, graph);
+            format!("k={}\\n|V|={} |E|={}\\nρ={:.3}", node.k, d.vertices, d.edges, d.density)
+        } else {
+            format!("k={}\\nsize={}", node.k, node.size)
+        };
+        writeln!(out, "  n{id} [label=\"{label}\"];")?;
+    }
+    for (id, node) in hierarchy.nodes.iter().enumerate() {
+        for &c in &node.children {
+            writeln!(out, "  n{id} -> n{c};")?;
+        }
+    }
+    writeln!(out, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::build_hierarchy;
+    use crate::peel::peel;
+    use crate::space::{CoreSpace, TrussSpace};
+    use hdsd_graph::graph_from_edges;
+
+    fn sample() -> CsrGraph {
+        graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
+            (3, 4), (4, 5), // tail
+        ])
+    }
+
+    #[test]
+    fn tsv_has_one_line_per_clique_plus_header() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let mut buf = Vec::new();
+        write_kappa_tsv(&sp, &kappa, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + g.num_vertices());
+        assert!(lines[0].starts_with("# (1,2)"));
+        // vertex 0 has κ 3
+        assert_eq!(lines[1], "0\t0\t3");
+    }
+
+    #[test]
+    fn tsv_for_truss_lists_endpoints() {
+        let g = sample();
+        let sp = TrussSpace::precomputed(&g);
+        let kappa = peel(&sp).kappa;
+        let mut buf = Vec::new();
+        write_kappa_tsv(&sp, &kappa, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // edge 0 = (0,1), inside the K4: κ3 = 2
+        assert!(text.lines().any(|l| l == "0\t0,1\t2"), "{text}");
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        for with_density in [true, false] {
+            let mut buf = Vec::new();
+            write_hierarchy_dot(&h, &sp, &g, with_density, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.starts_with("digraph nuclei {"));
+            assert!(text.trim_end().ends_with('}'));
+            // one node line per nucleus
+            assert_eq!(
+                text.matches("[label=").count(),
+                h.len(),
+                "node count mismatch:\n{text}"
+            );
+            // edge count = total children
+            let edges: usize = h.nodes.iter().map(|n| n.children.len()).sum();
+            assert_eq!(text.matches(" -> ").count(), edges);
+        }
+    }
+}

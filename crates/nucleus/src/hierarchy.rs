@@ -1,0 +1,535 @@
+//! Nucleus hierarchy: the forest of k-(r,s) nuclei.
+//!
+//! Every r-clique has its κ index; the **k-(r,s) nuclei** at threshold `k`
+//! are the S-connected components of the r-cliques with κ ≥ k, where
+//! connectivity passes through s-cliques whose members all have κ ≥ k.
+//! Because components only merge as `k` decreases, the nuclei of all
+//! thresholds form a forest — the hierarchy in the paper's title (e.g. the
+//! topic hierarchy recovered from citation networks in the authors' prior
+//! work).
+//!
+//! Construction processes thresholds in decreasing order with a union–find
+//! over r-cliques. The weight of an s-clique is
+//! `w(S) = min_{R ⊂ S} κ(R)`: `S` connects its members exactly at
+//! thresholds `k ≤ w(S)`. A node is created when a component first appears
+//! at a threshold; when components merge at a smaller threshold the old
+//! nodes become children of the merged node. Each r-clique `R` is assigned
+//! (as an `own_clique`) to the node representing its component at
+//! threshold `κ(R)` — the maximal nucleus in which it first participates.
+
+use hdsd_graph::{density, induced_subgraph, CsrGraph, VertexId};
+
+use crate::space::CliqueSpace;
+
+/// One nucleus in the hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyNode {
+    /// The k of this k-(r,s) nucleus.
+    pub k: u32,
+    /// Parent node (a nucleus with smaller k containing this one).
+    pub parent: Option<u32>,
+    /// Children (nuclei with larger k nested inside this one).
+    pub children: Vec<u32>,
+    /// r-cliques with κ = `k` whose component this node represents.
+    /// The full member set adds all descendants' members.
+    pub own_cliques: Vec<u32>,
+    /// Total r-cliques in this nucleus (own + descendants).
+    pub size: usize,
+}
+
+/// The forest of all k-(r,s) nuclei of a graph.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// All nuclei. `parent`/`children` links always connect a larger-k
+    /// child to a smaller-k parent.
+    pub nodes: Vec<HierarchyNode>,
+    /// Ids of root nodes (no parent).
+    pub roots: Vec<u32>,
+    /// The (r, s) of the decomposition.
+    pub rs: (usize, usize),
+}
+
+impl Hierarchy {
+    /// Number of nuclei (nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph had no s-cliques at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All r-cliques of node `id` (own + descendants), sorted.
+    pub fn member_cliques(&self, id: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            out.extend_from_slice(&node.own_cliques);
+            stack.extend_from_slice(&node.children);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Vertex set of node `id`, resolved through the space.
+    pub fn member_vertices<S: CliqueSpace>(&self, id: u32, space: &S) -> Vec<VertexId> {
+        let mut verts = Vec::new();
+        for c in self.member_cliques(id) {
+            space.vertices_of(c as usize, &mut verts);
+        }
+        verts.sort_unstable();
+        verts.dedup();
+        verts
+    }
+
+    /// Density report of node `id`: the induced subgraph over the
+    /// nucleus's vertices.
+    pub fn node_density<S: CliqueSpace>(
+        &self,
+        id: u32,
+        space: &S,
+        graph: &CsrGraph,
+    ) -> NucleusDensity {
+        let verts = self.member_vertices(id, space);
+        let sub = induced_subgraph(graph, &verts);
+        NucleusDensity {
+            k: self.nodes[id as usize].k,
+            vertices: sub.graph.num_vertices(),
+            edges: sub.graph.num_edges(),
+            density: density(&sub.graph),
+        }
+    }
+
+    /// Leaves (innermost, densest nuclei).
+    pub fn leaves(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].children.is_empty())
+            .collect()
+    }
+
+    /// Maximum nesting depth of the forest.
+    pub fn depth(&self) -> usize {
+        fn rec(h: &Hierarchy, id: u32) -> usize {
+            1 + h.nodes[id as usize]
+                .children
+                .iter()
+                .map(|&c| rec(h, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| rec(self, r)).max().unwrap_or(0)
+    }
+
+    /// Nodes at a given threshold `k` — the maximal k-(r,s) nuclei.
+    pub fn nuclei_at(&self, k: u32) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].k == k)
+            .collect()
+    }
+}
+
+/// Density summary of one nucleus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NucleusDensity {
+    /// Nucleus threshold k.
+    pub k: u32,
+    /// Vertices in the materialized subgraph.
+    pub vertices: usize,
+    /// Edges in the materialized subgraph.
+    pub edges: usize,
+    /// `2|E| / (|V| (|V|−1))`.
+    pub density: f64,
+}
+
+/// Builds the nucleus forest from exact κ indices (from [`crate::peel()`]
+/// or a converged local run).
+///
+/// r-cliques participating in no s-clique are not part of any nucleus and
+/// are omitted.
+///
+/// # Panics
+/// Panics when `kappa.len() != space.num_cliques()`.
+pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
+    let n = space.num_cliques();
+    assert_eq!(kappa.len(), n, "kappa length must match clique count");
+
+    // Materialize each s-clique once (from its minimum-id member), with
+    // weight w(S) = min κ over members.
+    let mut scliques: Vec<(u32, Vec<u32>)> = Vec::new();
+    for i in 0..n {
+        space.for_each_container(i, |others| {
+            if others.iter().any(|&o| o < i) {
+                return;
+            }
+            let mut members = Vec::with_capacity(others.len() + 1);
+            members.push(i as u32);
+            members.extend(others.iter().map(|&o| o as u32));
+            let w = members.iter().map(|&m| kappa[m as usize]).min().unwrap();
+            scliques.push((w, members));
+        });
+    }
+    scliques.sort_unstable_by_key(|sc| std::cmp::Reverse(sc.0));
+
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    let mut nodes: Vec<HierarchyNode> = Vec::new();
+    let mut node_of: Vec<u32> = vec![u32::MAX; n]; // by component root
+    let mut activated = vec![false; n];
+    let mut pending: Vec<u32> = Vec::new(); // κ == k cliques activated at this threshold
+
+    // Ensures the component rooted at `root` has a node at threshold `k`,
+    // wrapping or creating as needed, and returns that node id.
+    fn node_at_k(
+        nodes: &mut Vec<HierarchyNode>,
+        node_of: &mut [u32],
+        root: u32,
+        k: u32,
+    ) -> u32 {
+        let cur = node_of[root as usize];
+        if cur == u32::MAX {
+            let id = nodes.len() as u32;
+            nodes.push(HierarchyNode {
+                k,
+                parent: None,
+                children: Vec::new(),
+                own_cliques: Vec::new(),
+                size: 0,
+            });
+            node_of[root as usize] = id;
+            id
+        } else if nodes[cur as usize].k > k {
+            // Component persists to a smaller threshold: wrap it.
+            let id = nodes.len() as u32;
+            nodes.push(HierarchyNode {
+                k,
+                parent: None,
+                children: vec![cur],
+                own_cliques: Vec::new(),
+                size: 0,
+            });
+            nodes[cur as usize].parent = Some(id);
+            node_of[root as usize] = id;
+            id
+        } else {
+            debug_assert_eq!(nodes[cur as usize].k, k, "thresholds processed descending");
+            cur
+        }
+    }
+
+    let mut idx = 0usize;
+    while idx < scliques.len() {
+        let k = scliques[idx].0;
+        let mut end = idx;
+        while end < scliques.len() && scliques[end].0 == k {
+            end += 1;
+        }
+        pending.clear();
+        for (_, members) in &scliques[idx..end] {
+            for &m in members {
+                if !activated[m as usize] {
+                    activated[m as usize] = true;
+                    debug_assert!(kappa[m as usize] >= k);
+                    if kappa[m as usize] == k {
+                        pending.push(m);
+                    }
+                }
+            }
+            // Union all members; the surviving component's node is the
+            // merge of the members' nodes at this threshold.
+            let mut it = members.iter();
+            let root = find(&mut parent, *it.next().unwrap());
+            // Bring the first component to threshold k.
+            node_at_k(&mut nodes, &mut node_of, root, k);
+            for &m in it {
+                let rm = find(&mut parent, m);
+                if rm == root {
+                    continue;
+                }
+                let nb = node_at_k(&mut nodes, &mut node_of, rm, k);
+                let na = node_of[root as usize];
+                // Merge rm into root (both nodes now have threshold k):
+                // absorb nb into na.
+                if na != nb {
+                    let mut kids = std::mem::take(&mut nodes[nb as usize].children);
+                    for &c in &kids {
+                        nodes[c as usize].parent = Some(na);
+                    }
+                    nodes[na as usize].children.append(&mut kids);
+                    let own = std::mem::take(&mut nodes[nb as usize].own_cliques);
+                    nodes[na as usize].own_cliques.extend(own);
+                    // nb becomes an absorbed tombstone; it is removed at
+                    // the compaction step below.
+                    nodes[nb as usize].k = u32::MAX;
+                    nodes[nb as usize].parent = Some(na);
+                }
+                parent[rm as usize] = root;
+                node_of[rm as usize] = u32::MAX;
+                node_of[root as usize] = na;
+            }
+        }
+        // Every r-clique activated at its own κ belongs to its component's
+        // node at this threshold.
+        for &m in &pending {
+            let root = find(&mut parent, m);
+            let node = node_of[root as usize];
+            debug_assert_ne!(node, u32::MAX);
+            nodes[node as usize].own_cliques.push(m);
+        }
+        idx = end;
+    }
+
+    // Compact: drop tombstones (k == u32::MAX) and remap ids.
+    let mut remap = vec![u32::MAX; nodes.len()];
+    let mut compacted: Vec<HierarchyNode> = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        if node.k != u32::MAX {
+            remap[i] = compacted.len() as u32;
+            compacted.push(node.clone());
+        }
+    }
+    for node in &mut compacted {
+        node.parent = node.parent.map(|p| {
+            debug_assert_ne!(remap[p as usize], u32::MAX, "parent is a tombstone");
+            remap[p as usize]
+        });
+        for c in &mut node.children {
+            *c = remap[*c as usize];
+        }
+    }
+    let mut nodes = compacted;
+
+    let roots: Vec<u32> = (0..nodes.len() as u32)
+        .filter(|&i| nodes[i as usize].parent.is_none())
+        .collect();
+
+    // Sizes bottom-up.
+    fn size_rec(nodes: &mut [HierarchyNode], id: u32) -> usize {
+        let children = nodes[id as usize].children.clone();
+        let mut s = nodes[id as usize].own_cliques.len();
+        for c in children {
+            s += size_rec(nodes, c);
+        }
+        nodes[id as usize].size = s;
+        s
+    }
+    for &r in &roots {
+        size_rec(&mut nodes, r);
+    }
+
+    Hierarchy { nodes, roots, rs: (space.r(), space.s()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+    use crate::space::{CoreSpace, Nucleus34Space, TrussSpace};
+    use hdsd_graph::graph_from_edges;
+
+    fn nested_core_graph() -> hdsd_graph::CsrGraph {
+        // K5 {0..4} bridged to a 2-core triangle {5,6,7}, tail 8-9.
+        graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
+            (5, 6), (6, 7), (7, 5), (0, 5),
+            (5, 8), (8, 9),
+        ])
+    }
+
+    #[test]
+    fn core_hierarchy_nests_k5() {
+        let g = nested_core_graph();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let densest = h.nuclei_at(4);
+        assert_eq!(densest.len(), 1, "exactly one 4-core");
+        let verts = h.member_vertices(densest[0], &sp);
+        assert_eq!(verts, vec![0, 1, 2, 3, 4]);
+        let d = h.node_density(densest[0], &sp, &g);
+        assert!((d.density - 1.0).abs() < 1e-12, "K5 density");
+        // Parent chain k strictly decreases.
+        let mut cur = densest[0];
+        while let Some(p) = h.nodes[cur as usize].parent {
+            assert!(h.nodes[p as usize].k < h.nodes[cur as usize].k);
+            cur = p;
+        }
+    }
+
+    #[test]
+    fn separate_nuclei_merge_only_at_lower_k() {
+        // Two K4s joined through a degree-2 connector vertex 8:
+        // the 3-cores are separate; the 2-core is the whole graph.
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 A
+            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), // K4 B
+            (3, 8), (8, 4), // connector
+        ]);
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        assert_eq!(kappa[8], 2);
+        let h = build_hierarchy(&sp, &kappa);
+        let k3 = h.nuclei_at(3);
+        assert_eq!(k3.len(), 2, "two disjoint 3-cores");
+        let k2 = h.nuclei_at(2);
+        assert_eq!(k2.len(), 1, "one 2-core containing everything");
+        let root = k2[0];
+        assert!(h.roots.contains(&root));
+        assert_eq!(h.member_vertices(root, &sp).len(), 9);
+        assert_eq!(h.nodes[root as usize].own_cliques, vec![8]);
+        // Both 3-cores are children of the 2-core.
+        for id in k3 {
+            assert_eq!(h.nodes[id as usize].parent, Some(root));
+            assert_eq!(h.nodes[id as usize].size, 4);
+        }
+    }
+
+    #[test]
+    fn bridged_double_k4_is_single_3core() {
+        // With a direct bridge edge the union *is* one 3-core (every vertex
+        // keeps degree ≥ 3), so the hierarchy must report a single nucleus.
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+            (3, 4),
+        ]);
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        assert!(kappa.iter().all(|&k| k == 3));
+        let h = build_hierarchy(&sp, &kappa);
+        assert_eq!(h.nuclei_at(3).len(), 1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.nodes[0].size, 8);
+    }
+
+    #[test]
+    fn paper_fig3b_34_nuclei_not_merged() {
+        // The paper's Figure 3: two 1-(3,4) nuclei — K4 {a,b,c,d} and the
+        // subgraph on {c,d,e,f,h} (union of K4s cdef and cefh) — share the
+        // edge (c,d) but no 4-clique contains triangles from both, so they
+        // are reported separately. a=0, b=1, c=2, d=3, e=4, f=5, h=7
+        // (g=6 pendant on e).
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
+            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef
+            (4, 6), // pendant g-e
+            (2, 7), (4, 7), (5, 7), // h adjacent to c,e,f => K4 cefh
+        ]);
+        let sp = Nucleus34Space::precomputed(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let ones = h.nuclei_at(1);
+        assert_eq!(ones.len(), 2, "two separate 1-(3,4) nuclei");
+        let mut vertex_sets: Vec<Vec<u32>> =
+            ones.iter().map(|&id| h.member_vertices(id, &sp)).collect();
+        vertex_sets.sort();
+        assert_eq!(vertex_sets[0], vec![0, 1, 2, 3]);
+        assert_eq!(vertex_sets[1], vec![2, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn every_positive_kappa_clique_appears_exactly_once() {
+        let g = hdsd_datasets::holme_kim(150, 4, 0.6, 3);
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let mut seen = vec![0usize; sp.num_cliques()];
+        for n in &h.nodes {
+            for &c in &n.own_cliques {
+                seen[c as usize] += 1;
+            }
+        }
+        for (i, &s) in seen.iter().enumerate() {
+            if sp.degree(i) > 0 {
+                assert_eq!(s, 1, "clique {i} appears {s} times");
+            } else {
+                assert_eq!(s, 0, "isolated clique {i} must not appear");
+            }
+        }
+        let total: usize = h.roots.iter().map(|&r| h.nodes[r as usize].size).sum();
+        let expected = (0..sp.num_cliques()).filter(|&i| sp.degree(i) > 0).count();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn hierarchy_structure_invariants() {
+        let g = hdsd_datasets::planted_partition(&[15, 15, 15], 0.6, 0.05, 8);
+        for use_truss in [false, true] {
+            let (h, n_cliques) = if use_truss {
+                let sp = TrussSpace::precomputed(&g);
+                let kappa = peel(&sp).kappa;
+                (build_hierarchy(&sp, &kappa), sp.num_cliques())
+            } else {
+                let sp = CoreSpace::new(&g);
+                let kappa = peel(&sp).kappa;
+                (build_hierarchy(&sp, &kappa), sp.num_cliques())
+            };
+            let _ = n_cliques;
+            for (i, node) in h.nodes.iter().enumerate() {
+                assert_ne!(node.k, u32::MAX, "tombstone survived compaction");
+                if let Some(p) = node.parent {
+                    assert!(h.nodes[p as usize].k < node.k, "node {i}");
+                    assert!(h.nodes[p as usize].children.contains(&(i as u32)));
+                }
+                for &c in &node.children {
+                    assert_eq!(h.nodes[c as usize].parent, Some(i as u32));
+                }
+            }
+            // Roots cover all nodes exactly once.
+            let mut visited = vec![false; h.len()];
+            let mut stack: Vec<u32> = h.roots.clone();
+            while let Some(x) = stack.pop() {
+                assert!(!visited[x as usize], "cycle or shared child");
+                visited[x as usize] = true;
+                stack.extend_from_slice(&h.nodes[x as usize].children);
+            }
+            assert!(visited.iter().all(|&v| v));
+        }
+    }
+
+    #[test]
+    fn densities_increase_toward_leaves() {
+        let g = hdsd_datasets::nested_communities(
+            8,
+            &[
+                hdsd_datasets::NestedCommunitySpec { branching: 2, p: 0.25 },
+                hdsd_datasets::NestedCommunitySpec { branching: 2, p: 0.9 },
+            ],
+            0.02,
+            17,
+        );
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        // Along any root-to-leaf chain, density is (weakly) increasing in
+        // most steps; we check the aggregate: max leaf density exceeds the
+        // root density.
+        let root_d = h.node_density(h.roots[0], &sp, &g).density;
+        let best_leaf = h
+            .leaves()
+            .iter()
+            .map(|&l| h.node_density(l, &sp, &g).density)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_leaf >= root_d,
+            "leaf density {best_leaf} < root density {root_d}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_hierarchy() {
+        let g = graph_from_edges([]);
+        let sp = CoreSpace::new(&g);
+        let h = build_hierarchy(&sp, &[]);
+        assert!(h.is_empty());
+        assert_eq!(h.depth(), 0);
+    }
+}

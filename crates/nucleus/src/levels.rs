@@ -1,0 +1,221 @@
+//! Degree levels (the paper's Definition 7) and the Theorem-3 bound.
+//!
+//! Level `L_0` is the set of r-cliques of minimum S-degree; `L_i` is the
+//! minimum-S-degree set after all earlier levels (and every s-clique
+//! touching them) are removed. Theorem 3 proves that every r-clique in
+//! `L_i` has converged by iteration `i` of the synchronous update, so the
+//! number of levels is an upper bound on Snd's iteration count — much
+//! tighter than the trivial `|R(G)|` bound, and measurable per graph.
+
+use crate::space::CliqueSpace;
+
+/// Degree-level decomposition of a clique space.
+#[derive(Clone, Debug)]
+pub struct DegreeLevels {
+    /// `level[i]` = degree level of r-clique `i` (0-based).
+    pub level: Vec<u32>,
+    /// Number of levels (`max level + 1`, 0 for an empty space).
+    pub num_levels: usize,
+}
+
+impl DegreeLevels {
+    /// Sizes of each level.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_levels];
+        for &l in &self.level {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The Theorem-3 upper bound on the number of Snd iterations needed to
+    /// converge (the paper counts updating iterations; `L_i` converges
+    /// within `i` iterations, so `num_levels` bounds the updating sweeps).
+    pub fn snd_iteration_bound(&self) -> usize {
+        self.num_levels
+    }
+}
+
+/// Computes degree levels by batched peeling: each step removes *all*
+/// current minimum-S-degree r-cliques at once.
+pub fn degree_levels<S: CliqueSpace>(space: &S) -> DegreeLevels {
+    let n = space.num_cliques();
+    if n == 0 {
+        return DegreeLevels { level: Vec::new(), num_levels: 0 };
+    }
+    let mut deg = space.initial_degrees();
+    let mut removed = vec![false; n];
+    let mut level = vec![0u32; n];
+    let mut remaining = n;
+    let mut current_level = 0u32;
+    let mut batch: Vec<usize> = Vec::new();
+
+    while remaining > 0 {
+        let min_deg = (0..n)
+            .filter(|&i| !removed[i])
+            .map(|i| deg[i])
+            .min()
+            .expect("remaining > 0");
+        batch.clear();
+        batch.extend((0..n).filter(|&i| !removed[i] && deg[i] == min_deg));
+        // Remove the whole batch; a container dies the first time one of
+        // its members is removed, decrementing the still-alive others.
+        for &i in &batch {
+            removed[i] = true;
+            level[i] = current_level;
+        }
+        remaining -= batch.len();
+        for &i in &batch {
+            space.for_each_container(i, |others| {
+                // Container already dead if an *earlier-level* member or an
+                // earlier-in-this-batch member killed it. We detect "killed
+                // earlier in this batch" by comparing ids: the lowest-id
+                // batch member in the container is the killer.
+                let mut killer = i;
+                for &o in others {
+                    if removed[o] && level[o] < current_level {
+                        return; // died in an earlier level
+                    }
+                    if removed[o] && level[o] == current_level && o < killer {
+                        killer = o;
+                    }
+                }
+                if killer != i {
+                    return; // a lower-id batch member already handled it
+                }
+                for &o in others {
+                    if !removed[o] && deg[o] > 0 {
+                        deg[o] -= 1;
+                    }
+                }
+            });
+        }
+        current_level += 1;
+    }
+
+    DegreeLevels { level, num_levels: current_level as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::LocalConfig;
+    use crate::peel::peel;
+    use crate::snd::snd;
+    use crate::space::{CoreSpace, TrussSpace};
+    use hdsd_graph::graph_from_edges;
+
+    /// The paper's Figure 4 example: levels of the k-core decomposition.
+    /// L0 = {a}, L1 = {b}, L2 = {c, g}, L3 = {d, e, f}.
+    fn paper_fig4_graph() -> hdsd_graph::CsrGraph {
+        // Reconstruction matching the paper's trace: a (deg 1) is the unique
+        // minimum; removing a leaves b (deg 2) minimal; removing b leaves
+        // c and g (deg 3) tied; removing those leaves the d-e-f triangle
+        // (deg 2 each). a=0, b=1, c=2, d=3, e=4, f=5, g=6.
+        graph_from_edges([
+            (0, 1), // a-b
+            (1, 2), (1, 6), // b-c, b-g
+            (2, 3), (2, 4), (2, 5), // c-{d,e,f}
+            (6, 3), (6, 4), (6, 5), // g-{d,e,f}
+            (3, 4), (3, 5), (4, 5), // d-e-f triangle
+        ])
+    }
+
+    #[test]
+    fn paper_fig4_levels() {
+        let g = paper_fig4_graph();
+        let sp = CoreSpace::new(&g);
+        let lv = degree_levels(&sp);
+        assert_eq!(lv.level[0], 0, "a in L0");
+        assert_eq!(lv.level[1], 1, "b in L1");
+        assert_eq!(lv.level[2], 2, "c in L2");
+        assert_eq!(lv.level[6], 2, "g in L2");
+        assert_eq!(lv.level[3], 3, "d in L3");
+        assert_eq!(lv.level[4], 3, "e in L3");
+        assert_eq!(lv.level[5], 3, "f in L3");
+        assert_eq!(lv.num_levels, 4);
+        assert_eq!(lv.level_sizes(), vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn theorem2_kappa_nondecreasing_in_level() {
+        for seed in [1u64, 5, 9] {
+            let g = hdsd_datasets::holme_kim(200, 4, 0.5, seed);
+            let sp = CoreSpace::new(&g);
+            let lv = degree_levels(&sp);
+            let kappa = peel(&sp).kappa;
+            // max κ in level i <= min κ in level j for i < j fails in general;
+            // Theorem 2 says: for Ri in Li, Rj in Lj with i <= j,
+            // κ(Ri) <= κ(Rj). Check via per-level min/max.
+            let mut min_per = vec![u32::MAX; lv.num_levels];
+            let mut max_per = vec![0u32; lv.num_levels];
+            for (i, &l) in lv.level.iter().enumerate() {
+                min_per[l as usize] = min_per[l as usize].min(kappa[i]);
+                max_per[l as usize] = max_per[l as usize].max(kappa[i]);
+            }
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..lv.num_levels {
+                for j in i + 1..lv.num_levels {
+                    assert!(
+                        max_per[i] <= min_per[j],
+                        "Theorem 2 violated between levels {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_bounds_snd_iterations() {
+        for seed in [2u64, 7] {
+            let g = hdsd_datasets::erdos_renyi_gnm(150, 500, seed);
+            for as_truss in [false, true] {
+                let (bound, iters) = if as_truss {
+                    let sp = TrussSpace::precomputed(&g);
+                    let lv = degree_levels(&sp);
+                    let r = snd(&sp, &LocalConfig::sequential());
+                    (lv.snd_iteration_bound(), r.iterations_to_converge())
+                } else {
+                    let sp = CoreSpace::new(&g);
+                    let lv = degree_levels(&sp);
+                    let r = snd(&sp, &LocalConfig::sequential());
+                    (lv.snd_iteration_bound(), r.iterations_to_converge())
+                };
+                assert!(
+                    iters <= bound,
+                    "seed {seed} truss={as_truss}: Snd took {iters} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_structures_have_one_level() {
+        // In a cycle every vertex has degree 2: single level.
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sp = CoreSpace::new(&g);
+        let lv = degree_levels(&sp);
+        assert_eq!(lv.num_levels, 1);
+        assert!(lv.level.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_space_has_zero_levels() {
+        let g = graph_from_edges([]);
+        let sp = CoreSpace::new(&g);
+        let lv = degree_levels(&sp);
+        assert_eq!(lv.num_levels, 0);
+        assert!(lv.level.is_empty());
+    }
+
+    #[test]
+    fn path_levels_proceed_inward() {
+        // Path 0-1-2-3-4: endpoints first (deg 1), then the next pair
+        // becomes deg 1, etc.
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let sp = CoreSpace::new(&g);
+        let lv = degree_levels(&sp);
+        assert_eq!(lv.level, vec![0, 1, 2, 1, 0]);
+        assert_eq!(lv.num_levels, 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! The peeling baseline (the paper's Algorithm 1).
+//!
+//! [`peel`] is the exact, sequential, bucket-queue algorithm — the
+//! generalization of Batagelj–Zaveršnik `O(|E|)` k-core peeling to any
+//! (r, s) space. It is the ground truth every local algorithm is verified
+//! against, and the baseline every benchmark compares with.
+//!
+//! [`peel_parallel`] is the "partially parallel peeling" comparator of the
+//! paper's Figure 1b: levels are discovered sequentially (that dependency
+//! is inherent to peeling — the paper's core argument), while the
+//! decrement work inside a level runs in parallel.
+
+use hdsd_parallel::{parallel_for_chunks, ParallelConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::space::CliqueSpace;
+
+/// Output of a peeling run.
+#[derive(Clone, Debug)]
+pub struct PeelResult {
+    /// Exact κ index per r-clique.
+    pub kappa: Vec<u32>,
+    /// r-clique ids in processing (non-decreasing κ) order.
+    pub order: Vec<u32>,
+    /// Maximum κ.
+    pub max_kappa: u32,
+}
+
+/// Exact sequential peeling over any clique space (Algorithm 1).
+pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
+    let n = space.num_cliques();
+    if n == 0 {
+        return PeelResult { kappa: Vec::new(), order: Vec::new(), max_kappa: 0 };
+    }
+    let mut deg = space.initial_degrees();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket queue over degree values (positions sorted by current degree).
+    let mut bucket_start = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bucket_start[d as usize + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bucket_start[i + 1] += bucket_start[i];
+    }
+    let mut pos_of = vec![0usize; n];
+    let mut item_at = vec![0usize; n];
+    {
+        let mut cursor = bucket_start.clone();
+        for (v, &d) in deg.iter().enumerate() {
+            pos_of[v] = cursor[d as usize];
+            item_at[cursor[d as usize]] = v;
+            cursor[d as usize] += 1;
+        }
+    }
+
+    let mut processed = vec![false; n];
+    let mut kappa = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut max_kappa = 0u32;
+
+    for i in 0..n {
+        let v = item_at[i];
+        processed[v] = true;
+        let kv = deg[v];
+        kappa[v] = kv;
+        max_kappa = max_kappa.max(kv);
+        order.push(v as u32);
+
+        space.for_each_container(v, |others| {
+            // Algorithm 1: if any r-clique of this s-clique was already
+            // processed, the s-clique is gone; skip.
+            if others.iter().any(|&o| processed[o]) {
+                return;
+            }
+            for &o in others {
+                if deg[o] > kv {
+                    // Move o to the front of its bucket, then decrement.
+                    let d = deg[o] as usize;
+                    let front = bucket_start[d].max(i + 1);
+                    let po = pos_of[o];
+                    if po != front {
+                        let other_item = item_at[front];
+                        item_at.swap(po, front);
+                        pos_of[other_item] = po;
+                        pos_of[o] = front;
+                    }
+                    bucket_start[d] = front + 1;
+                    deg[o] -= 1;
+                }
+            }
+        });
+    }
+
+    PeelResult { kappa, order, max_kappa }
+}
+
+/// Partially parallel peeling: sequential level discovery, parallel
+/// decrements inside each level (the Figure 1b baseline).
+///
+/// A full `O(|R|)` scan happens only when the threshold `k` increases
+/// (≤ `max κ + 1` times); within a threshold, the next frontier is
+/// collected from the decrement pass itself (the CAS transition onto `k`
+/// detects each crossing exactly once).
+pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResult {
+    let n = space.num_cliques();
+    if n == 0 {
+        return PeelResult { kappa: Vec::new(), order: Vec::new(), max_kappa: 0 };
+    }
+    let deg: Vec<AtomicU32> =
+        space.initial_degrees().into_iter().map(AtomicU32::new).collect();
+    // round[i] = batch in which i was peeled (u32::MAX = still alive).
+    let round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut kappa = vec![0u32; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut remaining = n;
+    let mut k = 0u32;
+    let mut current_round = 0u32;
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut max_kappa = 0u32;
+    // Items whose degree crossed down onto `k` during the decrement pass.
+    let crossed = parking_lot::Mutex::new(Vec::<usize>::new());
+
+    while remaining > 0 {
+        if frontier.is_empty() {
+            // Threshold exhausted: find the next minimum degree (>= k).
+            let mut min_deg = u32::MAX;
+            for i in 0..n {
+                if round[i].load(Ordering::Relaxed) == u32::MAX {
+                    min_deg = min_deg.min(deg[i].load(Ordering::Relaxed));
+                }
+            }
+            debug_assert!(min_deg >= k || k == 0);
+            k = k.max(min_deg);
+            for i in 0..n {
+                if round[i].load(Ordering::Relaxed) == u32::MAX
+                    && deg[i].load(Ordering::Relaxed) <= k
+                {
+                    frontier.push(i);
+                }
+            }
+        }
+        debug_assert!(!frontier.is_empty());
+        for &i in &frontier {
+            round[i].store(current_round, Ordering::Relaxed);
+            kappa[i] = k;
+            order.push(i as u32);
+        }
+        max_kappa = max_kappa.max(k);
+        remaining -= frontier.len();
+
+        // Parallel decrement pass over the frontier.
+        let frontier_ref = &frontier;
+        let deg_ref = &deg;
+        let round_ref = &round;
+        let crossed_ref = &crossed;
+        parallel_for_chunks(frontier.len(), cfg, |range| {
+            let mut local_crossed: Vec<usize> = Vec::new();
+            for fi in range.clone() {
+                let v = frontier_ref[fi];
+                space.for_each_container(v, |others| {
+                    // Container dead if any member peeled in an earlier round.
+                    let mut alive_others = true;
+                    let mut min_same_round = v;
+                    for &o in others {
+                        let r = round_ref[o].load(Ordering::Relaxed);
+                        if r < current_round {
+                            alive_others = false;
+                            break;
+                        }
+                        if r == current_round && o < min_same_round {
+                            min_same_round = o;
+                        }
+                    }
+                    if !alive_others {
+                        return;
+                    }
+                    // Same-round members would double-count the container;
+                    // only the lowest-id same-round member executes it.
+                    if min_same_round != v {
+                        return;
+                    }
+                    for &o in others {
+                        if round_ref[o].load(Ordering::Relaxed) != u32::MAX {
+                            continue; // peeled this round: κ already fixed
+                        }
+                        // CAS loop: decrement but never below k. Whoever
+                        // lands the k+1 -> k transition owns the crossing.
+                        let mut cur = deg_ref[o].load(Ordering::Relaxed);
+                        while cur > k {
+                            match deg_ref[o].compare_exchange_weak(
+                                cur,
+                                cur - 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => {
+                                    if cur == k + 1 {
+                                        local_crossed.push(o);
+                                    }
+                                    break;
+                                }
+                                Err(now) => cur = now,
+                            }
+                        }
+                    }
+                });
+            }
+            if !local_crossed.is_empty() {
+                crossed_ref.lock().append(&mut local_crossed);
+            }
+        });
+        current_round += 1;
+
+        // Next frontier at the same threshold: the crossings (still alive,
+        // deduped — an item crosses at most once, but guard anyway).
+        frontier.clear();
+        let mut crossed_items = std::mem::take(&mut *crossed.lock());
+        crossed_items.sort_unstable();
+        crossed_items.dedup();
+        frontier.extend(
+            crossed_items
+                .into_iter()
+                .filter(|&i| round[i].load(Ordering::Relaxed) == u32::MAX),
+        );
+    }
+
+    PeelResult { kappa, order, max_kappa }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{CoreSpace, GenericSpace, Nucleus34Space, TrussSpace};
+    use hdsd_graph::graph_from_edges;
+
+    fn complete(n: u32) -> hdsd_graph::CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        graph_from_edges(edges)
+    }
+
+    /// The paper's Figure 2a graph: three nested cores.
+    /// A triangle-rich 3-core (clique-ish), a 2-core ring, a 1-core tail.
+    fn paper_core_graph() -> hdsd_graph::CsrGraph {
+        // 3-core: K4 on {0,1,2,3}; 2-core: cycle {4,5,6} attached to 0;
+        // 1-core: path 7-8 hanging off 4.
+        graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
+            (4, 5), (5, 6), (6, 4), (0, 4), // triangle + bridge
+            (4, 7), (7, 8), // tail
+        ])
+    }
+
+    #[test]
+    fn core_peeling_on_nested_graph() {
+        let g = paper_core_graph();
+        let sp = CoreSpace::new(&g);
+        let r = peel(&sp);
+        assert_eq!(&r.kappa[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&r.kappa[4..7], &[2, 2, 2]);
+        assert_eq!(&r.kappa[7..9], &[1, 1]);
+        assert_eq!(r.max_kappa, 3);
+    }
+
+    #[test]
+    fn order_is_nondecreasing_kappa() {
+        let g = paper_core_graph();
+        let sp = CoreSpace::new(&g);
+        let r = peel(&sp);
+        let ks: Vec<u32> = r.order.iter().map(|&i| r.kappa[i as usize]).collect();
+        assert!(ks.windows(2).all(|w| w[0] <= w[1]), "order {ks:?}");
+    }
+
+    #[test]
+    fn truss_peeling_on_complete_graphs() {
+        for n in 3..8u32 {
+            let g = complete(n);
+            let sp = TrussSpace::precomputed(&g);
+            let r = peel(&sp);
+            // Every edge of K_n is in exactly n−2 triangles and the whole
+            // graph is the maximal truss: κ3 = n−2 everywhere.
+            assert!(r.kappa.iter().all(|&k| k == n - 2), "K{n}: {:?}", r.kappa);
+        }
+    }
+
+    #[test]
+    fn nucleus34_peeling_on_complete_graphs() {
+        for n in 4..8u32 {
+            let g = complete(n);
+            let sp = Nucleus34Space::precomputed(&g);
+            let r = peel(&sp);
+            // Every triangle of K_n is in n−3 4-cliques.
+            assert!(r.kappa.iter().all(|&k| k == n - 3), "K{n}: {:?}", r.kappa);
+        }
+    }
+
+    #[test]
+    fn truss_peeling_matches_paper_figure3() {
+        // Paper Figure 3a: K4 on {a,b,c,d} plus K4 on {c,d,e,f} sharing the
+        // edge cd, plus pendant structure g,h. Truss numbers: edges inside
+        // each K4 get 2; with the h vertex attached to e,f with one triangle
+        // those edges get 1; pendant edges 0.
+        // We reproduce the left graph: a=0,b=1,c=2,d=3,e=4,f=5,g=6,h=7.
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
+            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef (via cd)
+            (4, 6), // pendant g on e
+            (4, 7), (5, 7), // h triangle with e,f
+        ]);
+        let sp = TrussSpace::precomputed(&g);
+        let r = peel(&sp);
+        let k_of = |u: u32, v: u32| r.kappa[g.edge_id(u, v).unwrap() as usize];
+        // Edges of K4 abcd are each in 2 triangles within the K4.
+        assert_eq!(k_of(0, 1), 2);
+        assert_eq!(k_of(2, 3), 2);
+        assert_eq!(k_of(4, 5), 2);
+        // Pendant edge (4,6): no triangles.
+        assert_eq!(k_of(4, 6), 0);
+        // h's edges (4,7),(5,7): one triangle {4,5,7}.
+        assert_eq!(k_of(4, 7), 1);
+        assert_eq!(k_of(5, 7), 1);
+    }
+
+    #[test]
+    fn generic_matches_specialized_spaces() {
+        let g = graph_from_edges([
+            (0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 2), (1, 3), (0, 4), (1, 4),
+        ]);
+        // (1,2)
+        let gen12 = GenericSpace::new(&g, 1, 2);
+        let core = CoreSpace::new(&g);
+        assert_eq!(peel(&gen12).kappa, peel(&core).kappa);
+        // (2,3): generic edge ids are lexicographic like CSR edge ids.
+        let gen23 = GenericSpace::new(&g, 2, 3);
+        let truss = TrussSpace::precomputed(&g);
+        let a = peel(&gen23).kappa;
+        let b = peel(&truss).kappa;
+        // Generic r-cliques for r=2 enumerate in the same (u,v) lexicographic
+        // order as CSR edge ids, so results align index-by-index.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_peel_matches_sequential() {
+        let g = paper_core_graph();
+        let sp = CoreSpace::new(&g);
+        let seq = peel(&sp);
+        for threads in [1, 2, 4] {
+            let par = peel_parallel(&sp, ParallelConfig::with_threads(threads).chunk(2));
+            assert_eq!(par.kappa, seq.kappa, "threads={threads}");
+        }
+        let tsp = TrussSpace::precomputed(&g);
+        let seq_t = peel(&tsp);
+        let par_t = peel_parallel(&tsp, ParallelConfig::with_threads(3).chunk(1));
+        assert_eq!(par_t.kappa, seq_t.kappa);
+    }
+
+    #[test]
+    fn empty_space() {
+        let g = graph_from_edges([]);
+        let sp = CoreSpace::new(&g);
+        let r = peel(&sp);
+        assert!(r.kappa.is_empty());
+        assert_eq!(r.max_kappa, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_get_zero() {
+        let g = hdsd_graph::GraphBuilder::new().with_num_vertices(5).edges([(0, 1)]).build();
+        let sp = CoreSpace::new(&g);
+        let r = peel(&sp);
+        assert_eq!(r.kappa, vec![1, 1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Query-driven local estimation of κ indices (the paper's §1/§6
+//! query-driven scenario).
+//!
+//! The peeling algorithm cannot answer "what is the core number of this
+//! vertex?" without decomposing the entire graph. The local formulation
+//! can: `τ_t(q)` depends only on the t-hop neighborhood of `q` in the
+//! r-clique adjacency (neighbors = r-cliques sharing an s-clique), so a
+//! query is answered by pulling exactly that neighborhood and running `t`
+//! synchronous updates on it. The estimate equals the global Snd value
+//! `τ_t(q)` bit-for-bit — Theorem 1 then gives the guarantee
+//! `κ(q) ≤ estimate ≤ d_s(q)`, with the upper bound shrinking per
+//! iteration.
+
+use hdsd_hindex::HBuffer;
+use std::collections::HashMap;
+
+use crate::space::CliqueSpace;
+
+/// Result of one local estimation.
+#[derive(Clone, Debug)]
+pub struct QueryEstimate {
+    /// Estimated κ (equals the global `τ_t` at the query).
+    pub estimate: u32,
+    /// r-cliques touched (size of the explored neighborhood).
+    pub explored: usize,
+    /// Iterations performed (`t`).
+    pub iterations: usize,
+}
+
+/// Estimates κ of r-clique `q` with `t` iterations of the local update,
+/// touching only the `t`-hop neighborhood of `q`.
+pub fn local_estimate<S: CliqueSpace>(space: &S, q: usize, t: usize) -> QueryEstimate {
+    assert!(q < space.num_cliques(), "query clique out of range");
+    // BFS distances up to t in the r-clique adjacency.
+    let mut dist: HashMap<usize, u32> = HashMap::new();
+    dist.insert(q, 0);
+    let mut frontier = vec![q];
+    for d in 1..=t as u32 {
+        let mut next = Vec::new();
+        for &i in &frontier {
+            space.for_each_neighbor(i, |o| {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(o) {
+                    e.insert(d);
+                    next.push(o);
+                }
+            });
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    // τ values for the explored ball; everything outside keeps τ0 = d_s,
+    // which is only ever *read* (never recomputed), preserving equality
+    // with the global Snd trajectory.
+    let mut tau: HashMap<usize, u32> = HashMap::with_capacity(dist.len());
+    for &i in dist.keys() {
+        tau.insert(i, space.degree(i));
+    }
+
+    let mut buf = HBuffer::new();
+    let mut curr: Vec<(usize, u32)> = Vec::new();
+    for j in 1..=t as u32 {
+        // Recompute τ_j for r-cliques within distance t - j: their next
+        // value needs neighbors' τ_{j-1}, available within distance
+        // t - j + 1.
+        let radius = (t as u32) - j;
+        curr.clear();
+        for (&i, &d) in &dist {
+            if d <= radius {
+                let old = tau[&i];
+                // Reads may touch cliques outside the explored ball only
+                // when d == radius boundary neighbors were explored at
+                // d + 1 <= t; cliques never explored read their d_s.
+                let read = |o: usize| -> u32 { tau.get(&o).copied().unwrap_or_else(|| space.degree(o)) };
+                let new = update_one_map(space, i, old, &read, &mut buf);
+                curr.push((i, new));
+            }
+        }
+        for &(i, v) in &curr {
+            tau.insert(i, v);
+        }
+    }
+
+    QueryEstimate { estimate: tau[&q], explored: dist.len(), iterations: t }
+}
+
+/// `update_one` against a map-backed τ lookup.
+fn update_one_map<S: CliqueSpace>(
+    space: &S,
+    i: usize,
+    old: u32,
+    read: &impl Fn(usize) -> u32,
+    buf: &mut HBuffer,
+) -> u32 {
+    if old == 0 {
+        return 0;
+    }
+    let deg = space.degree(i) as usize;
+    let mut session = buf.session(deg);
+    space.for_each_container(i, |others| {
+        let mut m = u32::MAX;
+        for &o in others {
+            m = m.min(read(o));
+        }
+        session.push(m);
+    });
+    session.finish()
+}
+
+/// Estimates core numbers (κ₂) for a set of query vertices.
+pub fn estimate_core_numbers(
+    graph: &hdsd_graph::CsrGraph,
+    queries: &[hdsd_graph::VertexId],
+    iterations: usize,
+) -> Vec<QueryEstimate> {
+    let space = crate::space::CoreSpace::new(graph);
+    queries
+        .iter()
+        .map(|&v| local_estimate(&space, v as usize, iterations))
+        .collect()
+}
+
+/// Estimates truss numbers (κ₃) for a set of query edges.
+pub fn estimate_truss_numbers(
+    graph: &hdsd_graph::CsrGraph,
+    query_edges: &[hdsd_graph::EdgeId],
+    iterations: usize,
+) -> Vec<QueryEstimate> {
+    let space = crate::space::TrussSpace::on_the_fly(graph);
+    query_edges
+        .iter()
+        .map(|&e| local_estimate(&space, e as usize, iterations))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::LocalConfig;
+    use crate::peel::peel;
+    use crate::snd::snd_with_observer;
+    use crate::space::{CoreSpace, TrussSpace};
+
+    #[test]
+    fn estimate_matches_global_snd_trajectory() {
+        let g = hdsd_datasets::holme_kim(200, 4, 0.5, 7);
+        let sp = CoreSpace::new(&g);
+        // Record the exact global τ_t values.
+        let mut snapshots: Vec<Vec<u32>> = Vec::new();
+        snd_with_observer(&sp, &LocalConfig::sequential(), &mut |ev| {
+            snapshots.push(ev.tau.to_vec());
+        });
+        for &q in &[0usize, 17, 55, 123, 199] {
+            for t in 1..=3usize {
+                let est = local_estimate(&sp, q, t);
+                assert_eq!(
+                    est.estimate, snapshots[t - 1][q],
+                    "query {q} at t={t} disagrees with global Snd"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_bound_kappa_from_above_and_shrink() {
+        let g = hdsd_datasets::erdos_renyi_gnm(150, 600, 2);
+        let sp = CoreSpace::new(&g);
+        let exact = peel(&sp).kappa;
+        for q in [3usize, 42, 99] {
+            let mut prev = u32::MAX;
+            for t in 0..5 {
+                let est = local_estimate(&sp, q, t);
+                assert!(est.estimate >= exact[q], "estimate below κ");
+                assert!(est.estimate <= prev, "estimate not monotone");
+                prev = est.estimate;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_degree() {
+        let g = hdsd_datasets::erdos_renyi_gnm(50, 120, 4);
+        let sp = CoreSpace::new(&g);
+        let est = local_estimate(&sp, 7, 0);
+        assert_eq!(est.estimate, sp.degree(7));
+        assert_eq!(est.explored, 1);
+    }
+
+    #[test]
+    fn explored_ball_grows_with_iterations() {
+        let g = hdsd_datasets::holme_kim(300, 3, 0.4, 11);
+        let sp = CoreSpace::new(&g);
+        let e1 = local_estimate(&sp, 5, 1);
+        let e3 = local_estimate(&sp, 5, 3);
+        assert!(e3.explored >= e1.explored);
+        assert!(e1.explored <= g.num_vertices());
+    }
+
+    #[test]
+    fn truss_query_helper() {
+        let g = hdsd_datasets::holme_kim(120, 5, 0.6, 5);
+        let tsp = TrussSpace::on_the_fly(&g);
+        let exact = peel(&tsp).kappa;
+        let queries: Vec<u32> = vec![0, 10, 20];
+        let ests = estimate_truss_numbers(&g, &queries, 4);
+        for (q, est) in queries.iter().zip(&ests) {
+            assert!(est.estimate >= exact[*q as usize]);
+        }
+    }
+
+    #[test]
+    fn core_query_helper_converges_to_exact_on_small_graph() {
+        let g = hdsd_datasets::erdos_renyi_gnm(40, 90, 9);
+        let sp = CoreSpace::new(&g);
+        let exact = peel(&sp).kappa;
+        // Enough iterations: estimates equal exact κ.
+        let queries: Vec<u32> = (0..40).collect();
+        let ests = estimate_core_numbers(&g, &queries, 40);
+        for (q, est) in queries.iter().zip(&ests) {
+            assert_eq!(est.estimate, exact[*q as usize], "vertex {q}");
+        }
+    }
+}

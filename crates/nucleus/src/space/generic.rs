@@ -1,0 +1,312 @@
+//! Generic (r, s) space via explicit hypergraph construction.
+//!
+//! Enumerates every r-clique and s-clique of the graph and materializes the
+//! full incidence — exactly the hypergraph the paper notes is infeasible at
+//! scale (§5) but invaluable for validation: the specialized (1,2), (2,3)
+//! and (3,4) spaces are cross-checked against this one in tests, and it
+//! makes exotic decompositions like (1,3) or (2,4) available on small
+//! graphs.
+
+use std::collections::HashMap;
+
+use hdsd_graph::{CsrGraph, VertexId};
+
+use super::CliqueSpace;
+
+/// Explicitly materialized (r, s) clique space.
+pub struct GenericSpace<'g> {
+    #[allow(dead_code)]
+    graph: &'g CsrGraph,
+    r: usize,
+    s: usize,
+    /// Sorted vertex lists of the r-cliques, concatenated (`r` each).
+    r_verts: Vec<VertexId>,
+    /// CSR: container group offsets per r-clique. Each group has
+    /// `binom(s,r) − 1` other-member ids in `others_flat`.
+    cont_offsets: Vec<usize>,
+    others_flat: Vec<usize>,
+    /// Others per container group.
+    group: usize,
+}
+
+impl<'g> GenericSpace<'g> {
+    /// Builds the space by full enumeration. Intended for small graphs —
+    /// cost grows as `O(n^s)` in the worst case.
+    ///
+    /// # Panics
+    /// Panics unless `0 < r < s`.
+    pub fn new(graph: &'g CsrGraph, r: usize, s: usize) -> Self {
+        assert!(r >= 1 && s > r, "GenericSpace requires 0 < r < s (got r={r}, s={s})");
+        let r_cliques = enumerate_cliques(graph, r);
+        let s_cliques = enumerate_cliques(graph, s);
+
+        let mut index: HashMap<&[VertexId], usize> = HashMap::with_capacity(r_cliques.len());
+        for (i, rc) in r_cliques.chunks(r).enumerate() {
+            index.insert(rc, i);
+        }
+
+        let group = binom(s, r) - 1;
+        // First pass: count containers per r-clique.
+        let mut counts = vec![0usize; r_cliques.len() / r.max(1)];
+        let mut scratch: Vec<usize> = Vec::with_capacity(group + 1);
+        let mut combo: Vec<VertexId> = vec![0; r];
+        for sc in s_cliques.chunks(s) {
+            for_each_combination(sc, r, &mut combo, &mut |c| {
+                let id = index[c];
+                counts[id] += 1;
+            });
+        }
+        let n_r = counts.len();
+        let mut cont_offsets = vec![0usize; n_r + 1];
+        for i in 0..n_r {
+            cont_offsets[i + 1] = cont_offsets[i] + counts[i];
+        }
+        let mut others_flat = vec![0usize; cont_offsets[n_r] * group];
+        let mut cursor = cont_offsets.clone();
+        for sc in s_cliques.chunks(s) {
+            // Member r-clique ids of this s-clique.
+            scratch.clear();
+            for_each_combination(sc, r, &mut combo, &mut |c| {
+                scratch.push(index[c]);
+            });
+            for (k, &member) in scratch.iter().enumerate() {
+                let at = cursor[member];
+                cursor[member] += 1;
+                let base = at * group;
+                let mut w = 0;
+                for (j, &other) in scratch.iter().enumerate() {
+                    if j != k {
+                        others_flat[base + w] = other;
+                        w += 1;
+                    }
+                }
+            }
+        }
+
+        GenericSpace { graph, r, s, r_verts: r_cliques, cont_offsets, others_flat, group }
+    }
+
+    /// Number of r-cliques found.
+    pub fn num_r_cliques(&self) -> usize {
+        self.cont_offsets.len() - 1
+    }
+
+    /// Sorted vertices of r-clique `i`.
+    pub fn r_clique_vertices(&self, i: usize) -> &[VertexId] {
+        &self.r_verts[i * self.r..(i + 1) * self.r]
+    }
+}
+
+impl CliqueSpace for GenericSpace<'_> {
+    fn num_cliques(&self) -> usize {
+        self.cont_offsets.len() - 1
+    }
+
+    fn initial_degrees(&self) -> Vec<u32> {
+        (0..self.num_cliques())
+            .map(|i| (self.cont_offsets[i + 1] - self.cont_offsets[i]) as u32)
+            .collect()
+    }
+
+    fn degree(&self, i: usize) -> u32 {
+        (self.cont_offsets[i + 1] - self.cont_offsets[i]) as u32
+    }
+
+    fn try_for_each_container<F: FnMut(&[usize]) -> std::ops::ControlFlow<()>>(
+        &self,
+        i: usize,
+        mut f: F,
+    ) -> std::ops::ControlFlow<()> {
+        for c in self.cont_offsets[i]..self.cont_offsets[i + 1] {
+            f(&self.others_flat[c * self.group..(c + 1) * self.group])?;
+        }
+        std::ops::ControlFlow::Continue(())
+    }
+
+    fn r(&self) -> usize {
+        self.r
+    }
+
+    fn s(&self) -> usize {
+        self.s
+    }
+
+    fn vertices_of(&self, i: usize, out: &mut Vec<VertexId>) {
+        out.extend_from_slice(self.r_clique_vertices(i));
+    }
+
+    fn name(&self) -> String {
+        format!("({},{}) generic", self.r, self.s)
+    }
+}
+
+/// Enumerates all k-cliques (vertices ascending), concatenated into one
+/// vector of length `count * k`.
+pub fn enumerate_cliques(g: &CsrGraph, k: usize) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    if k == 0 {
+        return out;
+    }
+    let mut current: Vec<VertexId> = Vec::with_capacity(k);
+    for v in g.vertices() {
+        current.push(v);
+        if k == 1 {
+            out.push(v);
+        } else {
+            let candidates: Vec<VertexId> =
+                g.neighbors(v).iter().copied().filter(|&w| w > v).collect();
+            extend_cliques(g, k, &mut current, &candidates, &mut out);
+        }
+        current.pop();
+    }
+    out
+}
+
+fn extend_cliques(
+    g: &CsrGraph,
+    k: usize,
+    current: &mut Vec<VertexId>,
+    candidates: &[VertexId],
+    out: &mut Vec<VertexId>,
+) {
+    for (i, &w) in candidates.iter().enumerate() {
+        current.push(w);
+        if current.len() == k {
+            out.extend_from_slice(current);
+        } else {
+            // New candidates: later candidates adjacent to w.
+            let next: Vec<VertexId> = candidates[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&x| g.has_edge(w, x))
+                .collect();
+            extend_cliques(g, k, current, &next, out);
+        }
+        current.pop();
+    }
+}
+
+/// Calls `f` with every size-`r` combination (ascending) of `set`.
+fn for_each_combination(
+    set: &[VertexId],
+    r: usize,
+    combo: &mut Vec<VertexId>,
+    f: &mut impl FnMut(&[VertexId]),
+) {
+    fn rec(
+        set: &[VertexId],
+        r: usize,
+        start: usize,
+        combo: &mut Vec<VertexId>,
+        depth: usize,
+        f: &mut impl FnMut(&[VertexId]),
+    ) {
+        if depth == r {
+            f(&combo[..r]);
+            return;
+        }
+        for i in start..=set.len() - (r - depth) {
+            combo[depth] = set[i];
+            rec(set, r, i + 1, combo, depth + 1, f);
+        }
+    }
+    if r <= set.len() {
+        rec(set, r, 0, combo, 0, f);
+    }
+}
+
+fn binom(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1usize;
+    for i in 0..k {
+        num = num * (n - i) / (i + 1);
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsd_graph::graph_from_edges;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        graph_from_edges(edges)
+    }
+
+    #[test]
+    fn clique_enumeration_counts_on_k5() {
+        let g = complete(5);
+        assert_eq!(enumerate_cliques(&g, 1).len(), 5);
+        assert_eq!(enumerate_cliques(&g, 2).len() / 2, 10);
+        assert_eq!(enumerate_cliques(&g, 3).len() / 3, 10);
+        assert_eq!(enumerate_cliques(&g, 4).len() / 4, 5);
+        assert_eq!(enumerate_cliques(&g, 5).len() / 5, 1);
+        assert_eq!(enumerate_cliques(&g, 6).len(), 0);
+    }
+
+    #[test]
+    fn binom_values() {
+        assert_eq!(binom(4, 2), 6);
+        assert_eq!(binom(5, 3), 10);
+        assert_eq!(binom(3, 3), 1);
+        assert_eq!(binom(2, 3), 0);
+    }
+
+    #[test]
+    fn generic_12_matches_core_semantics() {
+        let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let sp = GenericSpace::new(&g, 1, 2);
+        assert_eq!(sp.num_cliques(), 4);
+        assert_eq!(sp.initial_degrees(), vec![2, 2, 3, 1]);
+        let mut containers = Vec::new();
+        sp.for_each_container(2, |o| containers.push(o.to_vec()));
+        containers.sort();
+        assert_eq!(containers, vec![vec![0], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn generic_23_matches_truss_semantics_on_k4() {
+        let g = complete(4);
+        let sp = GenericSpace::new(&g, 2, 3);
+        assert_eq!(sp.num_cliques(), 6);
+        assert_eq!(sp.initial_degrees(), vec![2; 6]);
+        // every container has 2 others
+        sp.for_each_container(0, |o| assert_eq!(o.len(), 2));
+    }
+
+    #[test]
+    fn generic_14_exotic_space() {
+        // (1,4): vertices scored by K4 participation.
+        let g = complete(5);
+        let sp = GenericSpace::new(&g, 1, 4);
+        // every vertex of K5 is in binom(4,3)=4 K4s
+        assert_eq!(sp.initial_degrees(), vec![4; 5]);
+        sp.for_each_container(0, |o| assert_eq!(o.len(), 3));
+    }
+
+    #[test]
+    fn r_clique_vertices_are_sorted() {
+        let g = complete(4);
+        let sp = GenericSpace::new(&g, 3, 4);
+        for i in 0..sp.num_cliques() {
+            let vs = sp.r_clique_vertices(i);
+            assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "GenericSpace requires")]
+    fn rejects_bad_rs() {
+        let g = complete(3);
+        GenericSpace::new(&g, 2, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! The `(r, s)` clique-space abstraction.
+//!
+//! A [`CliqueSpace`] presents a graph as the paper's hypergraph-like view:
+//! a universe of **r-cliques** (the objects that receive κ indices) and, for
+//! each r-clique, its **containers** — the s-cliques it participates in,
+//! each exposed as the list of the *other* r-cliques inside that s-clique.
+//! Peeling, Snd and And are generic over this trait, so one implementation
+//! of each algorithm serves k-core (1,2), k-truss (2,3), the (3,4) nucleus
+//! and the generic small-graph fallback.
+//!
+//! The paper's ρ computation maps directly onto this interface:
+//! `ρ(S, R) = min_{R' ⊂ S, R' ≠ R} τ(R')` is the minimum of `τ` over the
+//! `others` slice passed to the container callback, and
+//! `Uτ(R) = H({ρ(S, R)})` aggregates one ρ per container.
+
+pub mod core12;
+pub mod generic;
+pub mod nucleus34;
+pub mod truss23;
+pub mod vertex13;
+
+pub use core12::CoreSpace;
+pub use generic::GenericSpace;
+pub use nucleus34::Nucleus34Space;
+pub use truss23::TrussSpace;
+pub use vertex13::Vertex13Space;
+
+use hdsd_graph::VertexId;
+
+/// Maximum `binom(s, r) - 1` supported by the fixed-size container buffer.
+/// (1,2) → 1, (2,3) → 2, (3,4) → 3; the generic space may exceed this and
+/// uses its own storage.
+pub const MAX_OTHERS_INLINE: usize = 3;
+
+/// A universe of r-cliques and their s-clique containers.
+///
+/// Implementations must be `Sync`: the parallel algorithms call
+/// [`CliqueSpace::for_each_container`] concurrently from many threads with
+/// distinct `i`.
+pub trait CliqueSpace: Sync {
+    /// Number of r-cliques (κ indices to compute).
+    fn num_cliques(&self) -> usize;
+
+    /// Initial S-degrees: `d_s(R)` for every r-clique, i.e. τ₀.
+    fn initial_degrees(&self) -> Vec<u32>;
+
+    /// S-degree of a single r-clique.
+    fn degree(&self, i: usize) -> u32;
+
+    /// Calls `f` once per s-clique containing r-clique `i`, passing the ids
+    /// of the *other* r-cliques in that s-clique (length `binom(s,r) − 1`).
+    /// Stops early when `f` returns [`std::ops::ControlFlow::Break`] — this
+    /// is what makes the paper's §4.4 "preserve τ" early exit possible.
+    fn try_for_each_container<F: FnMut(&[usize]) -> std::ops::ControlFlow<()>>(
+        &self,
+        i: usize,
+        f: F,
+    ) -> std::ops::ControlFlow<()>;
+
+    /// Calls `f` once per s-clique containing r-clique `i` (no early exit).
+    fn for_each_container<F: FnMut(&[usize])>(&self, i: usize, mut f: F) {
+        let _ = self.try_for_each_container(i, |others| {
+            f(others);
+            std::ops::ControlFlow::Continue(())
+        });
+    }
+
+    /// Calls `f` for every r-clique sharing at least one s-clique with `i`.
+    /// May repeat ids; callers needing distinct neighbors must dedupe.
+    fn for_each_neighbor<F: FnMut(usize)>(&self, i: usize, mut f: F) {
+        self.for_each_container(i, |others| {
+            for &o in others {
+                f(o);
+            }
+        });
+    }
+
+    /// The `r` of this decomposition (1 = vertices, 2 = edges, 3 = triangles).
+    fn r(&self) -> usize;
+
+    /// The `s` of this decomposition (2 = edges, 3 = triangles, 4 = K4s).
+    fn s(&self) -> usize;
+
+    /// Appends the vertices of r-clique `i` to `out` (used when
+    /// materializing nuclei as vertex sets).
+    fn vertices_of(&self, i: usize, out: &mut Vec<VertexId>);
+
+    /// Short human-readable name for reports, e.g. `"(2,3) k-truss"`.
+    fn name(&self) -> String {
+        format!("({},{}) nucleus", self.r(), self.s())
+    }
+}
+
+/// Computes `ρ(S, R)` for one container: the minimum τ among the other
+/// r-cliques of the s-clique. Defined here so every algorithm shares the
+/// exact same semantics.
+#[inline]
+pub fn rho(tau: &[u32], others: &[usize]) -> u32 {
+    debug_assert!(!others.is_empty());
+    let mut m = u32::MAX;
+    for &o in others {
+        m = m.min(tau[o]);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsd_graph::graph_from_edges;
+
+    #[test]
+    fn rho_takes_minimum() {
+        let tau = [5u32, 3, 9];
+        assert_eq!(rho(&tau, &[0, 1, 2]), 3);
+        assert_eq!(rho(&tau, &[2]), 9);
+    }
+
+    #[test]
+    fn default_neighbor_iteration_flattens_containers() {
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
+        let sp = CoreSpace::new(&g);
+        let mut seen = Vec::new();
+        sp.for_each_neighbor(0, |o| seen.push(o));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The worked examples from the paper's figures, as reusable graphs.
+//!
+//! These tiny graphs pin the implementation to the paper's own traces: the
+//! unit tests walk Snd/And through them step by step, the `repro toys`
+//! subcommand prints the traces, and the quickstart example uses one.
+
+use hdsd_graph::{graph_from_edges, CsrGraph};
+
+/// The paper's Figure 2 k-core toy (vertices a..f = 0..5).
+///
+/// Degrees are `[2, 3, 2, 2, 2, 1]`; Snd converges in two updating
+/// iterations to core numbers `[1, 2, 2, 2, 1, 1]`; And in the
+/// `{f, e, a, b, c, d}` order (non-decreasing κ) converges in one.
+pub fn fig2_core_toy() -> CsrGraph {
+    graph_from_edges([(0, 4), (0, 1), (1, 2), (1, 3), (2, 3), (4, 5)])
+}
+
+/// Expected core numbers of [`fig2_core_toy`].
+pub fn fig2_core_numbers() -> Vec<u32> {
+    vec![1, 2, 2, 2, 1, 1]
+}
+
+/// The And order the paper highlights for Figure 2 (`{f,e,a,b,c,d}`),
+/// which satisfies Theorem 4's non-decreasing-κ condition.
+pub fn fig2_kappa_order() -> Vec<u32> {
+    vec![5, 4, 0, 1, 2, 3]
+}
+
+/// The paper's Figure 3 graph (vertices a..h = 0..7): two K4s sharing the
+/// edge (c,d) plus vertex `h` completing a second 4-clique on {c,e,f,h}
+/// and a pendant vertex `g` on `e`.
+///
+/// * As a truss instance (Fig. 3a): the whole graph is a single 1-truss
+///   component, all but `g`'s pendant edge form the 2-truss region.
+/// * As a (3,4) instance (Fig. 3b): two *separate* 1-(3,4) nuclei —
+///   `{a,b,c,d}` and `{c,d,e,f,h}` — because no 4-clique carries a
+///   triangle of one into the other.
+pub fn fig3_nucleus_toy() -> CsrGraph {
+    graph_from_edges([
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
+        (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef
+        (4, 6), // pendant g on e
+        (2, 7), (4, 7), (5, 7), // h adjacent to c,e,f -> K4 cefh
+    ])
+}
+
+/// The paper's Figure 4 degree-levels toy (a..g = 0..6).
+///
+/// Levels: `L0 = {a}`, `L1 = {b}`, `L2 = {c, g}`, `L3 = {d, e, f}`.
+pub fn fig4_levels_toy() -> CsrGraph {
+    graph_from_edges([
+        (0, 1),
+        (1, 2), (1, 6),
+        (2, 3), (2, 4), (2, 5),
+        (6, 3), (6, 4), (6, 5),
+        (3, 4), (3, 5), (4, 5),
+    ])
+}
+
+/// Expected degree level of each vertex of [`fig4_levels_toy`].
+pub fn fig4_levels() -> Vec<u32> {
+    vec![0, 1, 2, 3, 3, 3, 2]
+}
+
+/// A 9-vertex truss toy in the spirit of the paper's Figure 5 walkthrough:
+/// edge (a,b) participates in four triangles (with c, d, e, i) whose ρ
+/// values form `L = {4, 3, 3, 2}`, giving `τ₁(ab) = H(L) = 3`.
+pub fn fig5_truss_toy() -> CsrGraph {
+    // a=0, b=1, c=2, d=3, e=4, f=5, g=6, h=7, i=8.
+    // Dense block around {a,b,c,d,e} plus a lighter wing {f,g,h,i}.
+    graph_from_edges([
+        (0, 1), // ab
+        (0, 2), (1, 2), // abc
+        (0, 3), (1, 3), // abd
+        (0, 4), (1, 4), // abe
+        (0, 8), (1, 8), // abi
+        (2, 3), (2, 4), (3, 4), // cde clique with a,b
+        (2, 8), // ci
+        (4, 5), (5, 6), (4, 6), // efg triangle
+        (5, 7), (6, 7), // fgh triangle
+        (3, 8), // di
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::LocalConfig;
+    use crate::levels::degree_levels;
+    use crate::peel::peel;
+    use crate::snd::snd;
+    use crate::space::{CliqueSpace, CoreSpace, TrussSpace};
+
+    #[test]
+    fn fig2_matches_expected_cores() {
+        let g = fig2_core_toy();
+        let sp = CoreSpace::new(&g);
+        assert_eq!(peel(&sp).kappa, fig2_core_numbers());
+        assert_eq!(snd(&sp, &LocalConfig::sequential()).tau, fig2_core_numbers());
+    }
+
+    #[test]
+    fn fig4_matches_expected_levels() {
+        let g = fig4_levels_toy();
+        let sp = CoreSpace::new(&g);
+        assert_eq!(degree_levels(&sp).level, fig4_levels());
+    }
+
+    #[test]
+    fn fig5_first_update_of_ab() {
+        let g = fig5_truss_toy();
+        let sp = TrussSpace::precomputed(&g);
+        let ab = g.edge_id(0, 1).unwrap() as usize;
+        // τ0 = triangle counts; edge ab must be in exactly 4 triangles.
+        assert_eq!(sp.degree(ab), 4);
+        // One synchronous iteration: τ1(ab) = 3 like the paper's trace.
+        let r = snd(&sp, &LocalConfig::sequential().max_iterations(1));
+        assert_eq!(r.tau[ab], 3);
+    }
+
+    #[test]
+    fn fig3_truss_side() {
+        let g = fig3_nucleus_toy();
+        let sp = TrussSpace::precomputed(&g);
+        let kappa = peel(&sp).kappa;
+        // Pendant edge (e,g) has no triangles: κ3 = 0.
+        assert_eq!(kappa[g.edge_id(4, 6).unwrap() as usize], 0);
+        // Edges inside the K4s reach κ3 = 2.
+        assert_eq!(kappa[g.edge_id(0, 1).unwrap() as usize], 2);
+        assert_eq!(kappa[g.edge_id(2, 3).unwrap() as usize], 2);
+    }
+}

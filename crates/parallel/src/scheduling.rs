@@ -1,0 +1,267 @@
+//! Chunked parallel-for with static and dynamic scheduling.
+//!
+//! `parallel_for_chunks(n, cfg, f)` partitions `0..n` into chunks and runs
+//! `f(range)` on worker threads. With [`Policy::Dynamic`] chunks are claimed
+//! from a shared atomic counter (OpenMP `schedule(dynamic)`); with
+//! [`Policy::Static`] each worker receives one contiguous stripe up front
+//! (OpenMP `schedule(static)`), which reproduces the load-imbalance
+//! pathology the paper describes for the notification mechanism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ParallelConfig;
+
+/// Scheduling policy for [`parallel_for_chunks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Chunks are claimed dynamically from a shared counter.
+    Dynamic,
+    /// The index space is split into `threads` contiguous stripes.
+    Static,
+}
+
+/// Per-run scheduler telemetry (chunks processed per worker), used by the
+/// scheduling ablation bench to visualize load imbalance.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulerStats {
+    /// Number of chunks each worker processed.
+    pub chunks_per_worker: Vec<usize>,
+}
+
+impl SchedulerStats {
+    /// Max/min chunk-count imbalance ratio (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.chunks_per_worker.iter().copied().max().unwrap_or(0);
+        let min = self.chunks_per_worker.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// Runs `f` over `0..n` in parallel chunks. `f` must be `Sync` (it is shared
+/// by reference across workers) and is invoked with disjoint ranges covering
+/// `0..n` exactly once.
+pub fn parallel_for_chunks<F>(n: usize, cfg: ParallelConfig, f: F) -> SchedulerStats
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    parallel_for_chunks_with(n, cfg, || (), |(), r| f(r))
+}
+
+/// Like [`parallel_for_chunks`] but with per-worker state created by `init`
+/// (e.g. a scratch `HBuffer`), passed mutably to every chunk the worker
+/// claims.
+pub fn parallel_for_chunks_with<S, I, F>(
+    n: usize,
+    cfg: ParallelConfig,
+    init: I,
+    f: F,
+) -> SchedulerStats
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    let threads = cfg.threads.max(1);
+    let chunk = cfg.chunk.max(1);
+    if n == 0 {
+        return SchedulerStats { chunks_per_worker: vec![0; threads] };
+    }
+    if threads == 1 {
+        let mut s = init();
+        let mut done = 0usize;
+        let mut chunks = 0usize;
+        while done < n {
+            let hi = (done + chunk).min(n);
+            f(&mut s, done..hi);
+            done = hi;
+            chunks += 1;
+        }
+        return SchedulerStats { chunks_per_worker: vec![chunks] };
+    }
+
+    match cfg.policy {
+        #[allow(clippy::needless_range_loop)]
+        Policy::Dynamic => {
+            let next = AtomicUsize::new(0);
+            let counters: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let next = &next;
+                    let counter = &counters[t];
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut s = init();
+                        loop {
+                            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(n);
+                            f(&mut s, lo..hi);
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            SchedulerStats {
+                chunks_per_worker: counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        Policy::Static => {
+            let per = n.div_ceil(threads);
+            let counters: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let lo = (t * per).min(n);
+                    let hi = ((t + 1) * per).min(n);
+                    let counter = &counters[t];
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut s = init();
+                        let mut at = lo;
+                        while at < hi {
+                            let end = (at + chunk).min(hi);
+                            f(&mut s, at..end);
+                            at = end;
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            SchedulerStats {
+                chunks_per_worker: counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn sum_check(threads: usize, policy: Policy, n: usize, chunk: usize) {
+        let cfg = ParallelConfig { threads, chunk, policy };
+        let total = AtomicU64::new(0);
+        let calls = AtomicUsize::new(0);
+        parallel_for_chunks(n, cfg, |r| {
+            let mut s = 0u64;
+            for i in r {
+                s += i as u64;
+            }
+            total.fetch_add(s, Ordering::Relaxed);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        let expect = (n as u64).saturating_sub(1) * n as u64 / 2;
+        assert_eq!(total.load(Ordering::Relaxed), expect, "threads={threads} {policy:?}");
+        let expected_calls = match policy {
+            // Static chunks each stripe separately, so count per stripe.
+            Policy::Static if threads > 1 && n > 0 => {
+                let per = n.div_ceil(threads);
+                (0..threads)
+                    .map(|t| {
+                        let lo = (t * per).min(n);
+                        let hi = ((t + 1) * per).min(n);
+                        (hi - lo).div_ceil(chunk.max(1))
+                    })
+                    .sum()
+            }
+            _ => n.div_ceil(chunk.max(1)),
+        };
+        assert_eq!(calls.load(Ordering::Relaxed), expected_calls);
+    }
+
+    #[test]
+    fn covers_index_space_exactly_once() {
+        for &threads in &[1usize, 2, 4, 7] {
+            for &policy in &[Policy::Dynamic, Policy::Static] {
+                for &n in &[0usize, 1, 5, 100, 1001] {
+                    sum_check(threads, policy, n, 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_of_one_works() {
+        sum_check(3, Policy::Dynamic, 50, 1);
+        sum_check(3, Policy::Static, 50, 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        // Each worker counts its own chunks in local state; stats must agree.
+        let cfg = ParallelConfig { threads: 4, chunk: 8, policy: Policy::Dynamic };
+        let seen = AtomicUsize::new(0);
+        let stats = parallel_for_chunks_with(
+            1000,
+            cfg,
+            || 0usize,
+            |local, r| {
+                *local += 1;
+                seen.fetch_add(r.len(), Ordering::Relaxed);
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 1000);
+        let total_chunks: usize = stats.chunks_per_worker.iter().sum();
+        assert_eq!(total_chunks, 1000usize.div_ceil(8));
+    }
+
+    #[test]
+    fn static_policy_stripes_are_contiguous() {
+        use std::sync::Mutex;
+        let cfg = ParallelConfig { threads: 3, chunk: 4, policy: Policy::Static };
+        let ranges = Mutex::new(Vec::new());
+        parallel_for_chunks(30, cfg, |r| {
+            ranges.lock().unwrap().push(r);
+        });
+        let mut rs = ranges.into_inner().unwrap();
+        rs.sort_by_key(|r| r.start);
+        // Disjoint cover of 0..30.
+        let mut at = 0;
+        for r in rs {
+            assert_eq!(r.start, at);
+            at = r.end;
+        }
+        assert_eq!(at, 30);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let s = SchedulerStats { chunks_per_worker: vec![4, 2] };
+        assert!((s.imbalance() - 2.0).abs() < 1e-12);
+        let z = SchedulerStats { chunks_per_worker: vec![0, 0] };
+        assert_eq!(z.imbalance(), 1.0);
+        let inf = SchedulerStats { chunks_per_worker: vec![3, 0] };
+        assert!(inf.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn borrows_caller_stack() {
+        // The whole point of scoped threads: write into a caller-owned slice.
+        let mut out = vec![0u32; 256];
+        {
+            let cells: Vec<std::sync::atomic::AtomicU32> =
+                (0..256).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+            parallel_for_chunks(256, ParallelConfig::with_threads(4).chunk(16), |r| {
+                for i in r {
+                    cells[i].store(i as u32 * 2, Ordering::Relaxed);
+                }
+            });
+            for (i, c) in cells.iter().enumerate() {
+                out[i] = c.load(Ordering::Relaxed);
+            }
+        }
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+}

@@ -1,0 +1,51 @@
+//! The runtime/quality trade-off: approximate truss decomposition by
+//! stopping the local iteration early (the paper's Figures 1a/6/7).
+//!
+//! Peeling offers no intermediate answers — densest regions emerge last —
+//! but every Snd iteration yields a complete approximate decomposition
+//! with a one-sided guarantee (τ_t ≥ κ, Theorem 1). This example prints
+//! the Kendall-τ accuracy, the max relative error and the *stability
+//! indicator* (fraction of edges unchanged in the last sweep — computable
+//! without ground truth) after each iteration, on a facebook-scale graph.
+//!
+//! Run with: `cargo run --release --example approximate_truss`
+
+use hdsd::datasets::Dataset;
+use hdsd::metrics::{kendall_tau_b, relative_error_stats};
+use hdsd::prelude::*;
+
+fn main() {
+    let g = Dataset::Fb.generate(0.5);
+    println!(
+        "facebook stand-in: {} vertices, {} edges, {} triangles",
+        g.num_vertices(),
+        g.num_edges(),
+        hdsd::graph::total_triangles(&g)
+    );
+
+    let space = TrussSpace::precomputed(&g);
+    let exact = peel(&space).kappa;
+
+    println!("\nSnd truss decomposition, per-iteration quality:");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "iter", "updates", "kendall-τ", "exact-frac", "mean-rel-err", "stability"
+    );
+    let total = space_len(&space) as f64;
+    snd_with_observer(&space, &LocalConfig::default(), &mut |ev| {
+        let kt = kendall_tau_b(ev.tau, &exact);
+        let stats = relative_error_stats(ev.tau, &exact);
+        let stability = 1.0 - ev.updates as f64 / total;
+        println!(
+            "{:>5} {:>10} {:>12.4} {:>12.3} {:>12.4} {:>12.4}",
+            ev.iteration, ev.updates, kt, stats.exact_fraction, stats.mean_relative_error, stability
+        );
+    });
+
+    println!("\nthe stability column needs no ground truth: when it crosses ~0.99 the");
+    println!("ranking is already almost exact — the paper's informed stopping rule.");
+}
+
+fn space_len<S: CliqueSpace>(space: &S) -> usize {
+    space.num_cliques()
+}

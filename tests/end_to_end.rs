@@ -1,0 +1,144 @@
+//! End-to-end pipelines across every crate: datasets → decomposition →
+//! hierarchy/metrics/queries, exercising the public API exactly the way
+//! the benchmark harness and a downstream user would.
+
+use hdsd::datasets::Dataset;
+use hdsd::metrics::{histogram, kendall_tau_b, relative_error_stats, spearman_rho};
+use hdsd::prelude::*;
+
+#[test]
+fn dataset_to_truss_hierarchy_pipeline() {
+    let g = Dataset::Fb.generate(0.15);
+    let space = TrussSpace::precomputed(&g);
+    let exact = peel(&space);
+    let local = snd(&space, &LocalConfig::default());
+    assert_eq!(local.tau, exact.kappa);
+    assert!(local.converged);
+
+    let forest = build_hierarchy(&space, &exact.kappa);
+    assert!(!forest.is_empty());
+    // Densities of the innermost nuclei beat the graph average.
+    let overall = hdsd::graph::density(&g);
+    let leaf_best = forest
+        .leaves()
+        .into_iter()
+        .map(|l| forest.node_density(l, &space, &g).density)
+        .fold(0.0f64, f64::max);
+    assert!(leaf_best > overall, "leaf {leaf_best} vs overall {overall}");
+}
+
+#[test]
+fn convergence_rate_curve_is_monotone_in_quality() {
+    // The f1a experiment shape: Kendall-τ vs iterations must be
+    // non-decreasing (within tolerance) and end at 1.0.
+    let g = Dataset::Tw.generate(0.08);
+    let space = TrussSpace::precomputed(&g);
+    let exact = peel(&space).kappa;
+    let mut kts = Vec::new();
+    snd_with_observer(&space, &LocalConfig::default(), &mut |ev| {
+        kts.push(kendall_tau_b(ev.tau, &exact));
+    });
+    assert!(kts.len() >= 2);
+    assert!((kts.last().unwrap() - 1.0).abs() < 1e-9, "must end exact");
+    // Quality roughly improves (allow small dips from rank ties).
+    let mut max_seen = f64::MIN;
+    let mut big_dips = 0;
+    for &kt in &kts {
+        if kt < max_seen - 0.05 {
+            big_dips += 1;
+        }
+        max_seen = max_seen.max(kt);
+    }
+    assert_eq!(big_dips, 0, "quality curve has large regressions: {kts:?}");
+    // Spearman agrees directionally at the end.
+    assert!(spearman_rho(&exact, &exact) > 0.999);
+}
+
+#[test]
+fn and_processes_less_work_than_snd_with_notifications() {
+    let g = Dataset::Sse.generate(0.1);
+    let space = CoreSpace::new(&g);
+    let s = snd(&space, &LocalConfig::default());
+    let a = and(&space, &LocalConfig::default(), &Order::Natural);
+    assert_eq!(s.tau, a.tau);
+    assert!(
+        a.total_processed() < s.total_processed(),
+        "And+notification {} should beat Snd {}",
+        a.total_processed(),
+        s.total_processed()
+    );
+}
+
+#[test]
+fn query_estimates_match_full_decomposition_trajectory() {
+    let g = Dataset::Wnd.generate(0.15);
+    let space = CoreSpace::new(&g);
+    let mut snapshots: Vec<Vec<u32>> = Vec::new();
+    snd_with_observer(&space, &LocalConfig::default(), &mut |ev| {
+        snapshots.push(ev.tau.to_vec());
+    });
+    let queries: Vec<u32> = (0..10u32).map(|i| i * (g.num_vertices() as u32 / 10)).collect();
+    for t in [1usize, 2] {
+        let ests = estimate_core_numbers(&g, &queries, t);
+        for (&q, est) in queries.iter().zip(&ests) {
+            assert_eq!(est.estimate, snapshots[t - 1][q as usize], "q={q} t={t}");
+        }
+    }
+}
+
+#[test]
+fn error_stats_and_histogram_compose() {
+    let g = Dataset::Fb.generate(0.1);
+    let space = CoreSpace::new(&g);
+    let exact = peel(&space).kappa;
+    let approx = snd(&space, &LocalConfig::default().max_iterations(2)).tau;
+    let stats = relative_error_stats(&approx, &exact);
+    assert!(stats.exact_fraction > 0.0 && stats.exact_fraction <= 1.0);
+    let h = histogram(exact.iter().copied());
+    assert_eq!(h.total as usize, exact.len());
+    assert_eq!(h.max_value(), exact.iter().copied().max());
+}
+
+#[test]
+fn degree_level_bound_holds_on_registry_graphs() {
+    for d in [Dataset::Fb, Dataset::Sse] {
+        let g = d.generate(0.08);
+        let space = CoreSpace::new(&g);
+        let lv = degree_levels(&space);
+        let r = snd(&space, &LocalConfig::default());
+        assert!(
+            r.iterations_to_converge() <= lv.snd_iteration_bound(),
+            "{}: {} > {}",
+            d.short_name(),
+            r.iterations_to_converge(),
+            lv.snd_iteration_bound()
+        );
+    }
+}
+
+#[test]
+fn io_round_trip_preserves_decomposition() {
+    let g = Dataset::Tw.generate(0.05);
+    let dir = std::env::temp_dir().join("hdsd_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tw.txt");
+    hdsd::graph::io::write_edge_list(&g, &path).unwrap();
+    let g2 = hdsd::graph::io::read_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let k1 = peel(&CoreSpace::new(&g)).kappa;
+    let k2 = peel(&CoreSpace::new(&g2)).kappa;
+    assert_eq!(k1, k2);
+}
+
+#[test]
+fn parallel_consistency_across_thread_counts() {
+    let g = Dataset::Hg.generate(0.05);
+    let space = TrussSpace::precomputed(&g);
+    let baseline = peel(&space).kappa;
+    for threads in [1usize, 2, 3, 8] {
+        let r = snd(&space, &LocalConfig::with_threads(threads));
+        assert_eq!(r.tau, baseline, "threads={threads}");
+        let a = and(&space, &LocalConfig::with_threads(threads), &Order::Natural);
+        assert_eq!(a.tau, baseline, "and threads={threads}");
+    }
+}

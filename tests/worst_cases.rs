@@ -1,0 +1,188 @@
+//! Adversarial structures for the convergence theory: the paper's degree
+//! levels model the *worst case* for iterative convergence, and these
+//! graphs realize it (long paths and lollipops force information to travel
+//! one hop per synchronous iteration), alongside stress shapes (stars,
+//! cliques, disconnected unions) that probe boundary behaviour.
+
+use hdsd::prelude::*;
+use hdsd::graph::graph_from_edges;
+
+/// Path graph 0-1-…-(n−1).
+fn path(n: u32) -> hdsd::graph::CsrGraph {
+    graph_from_edges((0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// Lollipop: K_k clique with a path of length `tail` attached.
+fn lollipop(k: u32, tail: u32) -> hdsd::graph::CsrGraph {
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in u + 1..k {
+            edges.push((u, v));
+        }
+    }
+    for i in 0..tail {
+        edges.push((k - 1 + i, k + i));
+    }
+    graph_from_edges(edges)
+}
+
+#[test]
+fn path_needs_linear_iterations() {
+    // On a path, τ of interior vertices drops only when the wave of 1s
+    // reaches them: Snd needs ~n/2 iterations — degree levels predict it.
+    let n = 101;
+    let g = path(n);
+    let sp = CoreSpace::new(&g);
+    let lv = degree_levels(&sp);
+    let r = snd(&sp, &LocalConfig::default());
+    assert!(r.converged);
+    assert!(r.tau.iter().all(|&k| k == 1));
+    // levels = ceil(n/2); iterations within bound and of the same order.
+    assert_eq!(lv.num_levels, (n as usize).div_ceil(2));
+    assert!(r.iterations_to_converge() <= lv.snd_iteration_bound());
+    assert!(
+        r.iterations_to_converge() >= lv.num_levels / 2,
+        "path should be a near-tight case: {} vs {} levels",
+        r.iterations_to_converge(),
+        lv.num_levels
+    );
+}
+
+#[test]
+fn lollipop_kappa_and_slow_tail() {
+    let g = lollipop(6, 30);
+    let sp = CoreSpace::new(&g);
+    let exact = peel(&sp);
+    // clique vertices: κ = 5; tail: κ = 1.
+    for v in 0..5 {
+        assert_eq!(exact.kappa[v], 5);
+    }
+    assert_eq!(exact.kappa[35], 1);
+    let r = snd(&sp, &LocalConfig::default());
+    assert_eq!(r.tau, exact.kappa);
+    // The tail forces many iterations even though the clique stabilizes
+    // instantly: locality of the algorithm made visible.
+    assert!(r.iterations_to_converge() >= 10);
+}
+
+#[test]
+fn star_graph_boundaries() {
+    // Star with 5000 leaves: hub degree huge, κ = 1 everywhere.
+    let g = graph_from_edges((1..=5000u32).map(|i| (0, i)));
+    let sp = CoreSpace::new(&g);
+    let r = snd(&sp, &LocalConfig::default());
+    assert!(r.tau.iter().all(|&k| k == 1));
+    // Exactly one updating sweep: the hub's h-index over 5000 ones is 1.
+    assert_eq!(r.iterations_to_converge(), 1);
+    // Truss: no triangles at all.
+    let t = TrussSpace::precomputed(&g);
+    assert!(peel(&t).kappa.iter().all(|&k| k == 0));
+}
+
+#[test]
+fn clique_is_immediate_for_all_spaces() {
+    let mut edges = Vec::new();
+    for u in 0..12u32 {
+        for v in u + 1..12 {
+            edges.push((u, v));
+        }
+    }
+    let g = graph_from_edges(edges);
+    let core = CoreSpace::new(&g);
+    let r = snd(&core, &LocalConfig::default());
+    assert!(r.tau.iter().all(|&k| k == 11));
+    assert_eq!(r.iterations_to_converge(), 0, "degrees are already κ");
+    let truss = TrussSpace::precomputed(&g);
+    assert!(snd(&truss, &LocalConfig::default()).tau.iter().all(|&k| k == 10));
+    let nuc = Nucleus34Space::precomputed(&g);
+    assert!(snd(&nuc, &LocalConfig::default()).tau.iter().all(|&k| k == 9));
+}
+
+#[test]
+fn disconnected_components_decompose_independently() {
+    // K5 ∪ path ∪ isolated vertices.
+    let mut edges = Vec::new();
+    for u in 0..5u32 {
+        for v in u + 1..5 {
+            edges.push((u, v));
+        }
+    }
+    edges.extend([(10, 11), (11, 12)]);
+    let g = hdsd::graph::GraphBuilder::new().with_num_vertices(20).edges(edges).build();
+    let sp = CoreSpace::new(&g);
+    let kappa = peel(&sp).kappa;
+    assert!(kappa[0..5].iter().all(|&k| k == 4));
+    assert_eq!(&kappa[10..13], &[1, 1, 1]);
+    assert!(kappa[13..].iter().all(|&k| k == 0));
+    assert_eq!(snd(&sp, &LocalConfig::default()).tau, kappa);
+    // Hierarchy: one root per component with s-cliques.
+    let h = build_hierarchy(&sp, &kappa);
+    assert_eq!(h.roots.len(), 2);
+}
+
+#[test]
+fn two_level_onion_converges_level_by_level() {
+    // Rings of decreasing connectivity around a core clique: checks that
+    // convergence proceeds outside-in as Theorem 3 describes.
+    // K6 core (κ=5), each core vertex also wired to a C12 ring (κ=2).
+    let mut edges = Vec::new();
+    for u in 0..6u32 {
+        for v in u + 1..6 {
+            edges.push((u, v));
+        }
+    }
+    for i in 0..12u32 {
+        edges.push((6 + i, 6 + (i + 1) % 12));
+    }
+    edges.push((0, 6));
+    let g = graph_from_edges(edges);
+    let sp = CoreSpace::new(&g);
+    let exact = peel(&sp).kappa;
+    let lv = degree_levels(&sp);
+    let mut per_iter_convergence: Vec<usize> = Vec::new();
+    snd_with_observer(&sp, &LocalConfig::default(), &mut |ev| {
+        per_iter_convergence.push(
+            ev.tau.iter().zip(&exact).filter(|(&a, &b)| a == b).count(),
+        );
+    });
+    // convergence count is monotone non-decreasing over iterations
+    assert!(per_iter_convergence.windows(2).all(|w| w[0] <= w[1]));
+    // and everything in levels <= 1 is converged after the first sweep
+    let after_one = {
+        let r1 = snd(&sp, &LocalConfig::default().max_iterations(1));
+        exact
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| lv.level[i] <= 1)
+            .all(|(i, &k)| r1.tau[i] == k)
+    };
+    assert!(after_one, "Theorem 3 at t=1");
+}
+
+#[test]
+fn duplicate_heavy_input_is_canonicalized_before_decomposition() {
+    // The builder dedupes; decomposition must be independent of input noise.
+    let clean = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
+    let noisy = graph_from_edges([
+        (0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (2, 0), (0, 2), (2, 2), (1, 1),
+    ]);
+    assert_eq!(clean.edges(), noisy.edges());
+    assert_eq!(
+        peel(&CoreSpace::new(&clean)).kappa,
+        peel(&CoreSpace::new(&noisy)).kappa
+    );
+}
+
+#[test]
+fn max_iterations_zero_like_behaviour() {
+    // A 1-iteration cap still yields a valid decomposition bound.
+    let g = lollipop(5, 10);
+    let sp = CoreSpace::new(&g);
+    let exact = peel(&sp).kappa;
+    let r = snd(&sp, &LocalConfig::default().max_iterations(1));
+    assert!(!r.converged);
+    assert_eq!(r.sweeps, 1);
+    for (a, k) in r.tau.iter().zip(&exact) {
+        assert!(a >= k);
+    }
+}
