@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hdsd_datasets::Dataset;
-use hdsd_nucleus::{
-    and, peel, snd, CoreSpace, LocalConfig, Nucleus34Space, Order, TrussSpace,
-};
+use hdsd_nucleus::{and, peel, snd, CoreSpace, LocalConfig, Nucleus34Space, Order, TrussSpace};
 
 fn bench_core(c: &mut Criterion) {
     let g = Dataset::Sse.generate(0.25);

@@ -11,9 +11,8 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("triangle_count_per_edge", |b| {
         b.iter(|| count_triangles_per_edge(std::hint::black_box(&g)))
     });
-    group.bench_function("triangle_total", |b| {
-        b.iter(|| total_triangles(std::hint::black_box(&g)))
-    });
+    group
+        .bench_function("triangle_total", |b| b.iter(|| total_triangles(std::hint::black_box(&g))));
     group.bench_function("triangle_list_build", |b| {
         b.iter(|| TriangleList::build(std::hint::black_box(&g)))
     });

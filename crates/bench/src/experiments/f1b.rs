@@ -45,15 +45,13 @@ pub fn run(env: &Env) {
         }
         let g = env.load(d);
         let space = TrussSpace::precomputed(&g);
-        let (_, peel_time) = time_best(2, || {
-            peel_parallel(&space, ParallelConfig::with_threads(max_threads))
-        });
+        let (_, peel_time) =
+            time_best(2, || peel_parallel(&space, ParallelConfig::with_threads(max_threads)));
         let mut row = vec![d.short_name().to_string(), ms(peel_time)];
         let mut speeds = Vec::new();
         for &threads in &sweep {
-            let (_, and_time) = time_best(2, || {
-                and(&space, &LocalConfig::with_threads(threads), &Order::Natural)
-            });
+            let (_, and_time) =
+                time_best(2, || and(&space, &LocalConfig::with_threads(threads), &Order::Natural));
             row.push(ms(and_time));
             speeds.push(format!("{:.2}x", peel_time.as_secs_f64() / and_time.as_secs_f64()));
         }

@@ -20,12 +20,7 @@ pub fn run(env: &Env) {
     for (e, &k) in exact.iter().enumerate() {
         by_kappa.entry(k).or_insert(e);
     }
-    let sample: Vec<usize> = by_kappa
-        .values()
-        .rev()
-        .take(8)
-        .copied()
-        .collect();
+    let sample: Vec<usize> = by_kappa.values().rev().take(8).copied().collect();
 
     let mut trajectories: Vec<Vec<u32>> = vec![Vec::new(); sample.len()];
     // Record τ0 explicitly.

@@ -3,9 +3,7 @@
 //! variant recomputes far fewer r-cliques once plateaus dominate.
 
 use hdsd_datasets::Dataset;
-use hdsd_nucleus::{
-    and_with_options, CliqueSpace, CoreSpace, LocalConfig, Order, TrussSpace,
-};
+use hdsd_nucleus::{and_with_options, CliqueSpace, CoreSpace, LocalConfig, Order, TrussSpace};
 
 use crate::{ms, time, Env, Table};
 

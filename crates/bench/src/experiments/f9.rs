@@ -4,9 +4,7 @@
 
 use hdsd_datasets::Dataset;
 use hdsd_metrics::relative_error_stats;
-use hdsd_nucleus::{
-    estimate_core_numbers, estimate_truss_numbers, peel, CoreSpace, TrussSpace,
-};
+use hdsd_nucleus::{estimate_core_numbers, estimate_truss_numbers, peel, CoreSpace, TrussSpace};
 
 use crate::{Env, Table};
 
@@ -17,7 +15,12 @@ pub fn run(env: &Env) {
     println!("Figure 9 — query-driven local estimation ({NUM_QUERIES} queries per row)\n");
     for d in [Dataset::Fb, Dataset::Tw] {
         let g = env.load(d);
-        println!("== {} ({} vertices, {} edges) ==", d.short_name(), g.num_vertices(), g.num_edges());
+        println!(
+            "== {} ({} vertices, {} edges) ==",
+            d.short_name(),
+            g.num_vertices(),
+            g.num_edges()
+        );
 
         // Core-number queries.
         let core = CoreSpace::new(&g);
@@ -43,7 +46,11 @@ pub fn run(env: &Env) {
                 format!("{:.3}", stats.exact_fraction),
                 format!("{:.4}", stats.mean_relative_error),
                 format!("{}", stats.max_abs_error),
-                format!("{:.0} ({:.1}%)", avg_explored, 100.0 * avg_explored / g.num_vertices() as f64),
+                format!(
+                    "{:.0} ({:.1}%)",
+                    avg_explored,
+                    100.0 * avg_explored / g.num_vertices() as f64
+                ),
             ]);
         }
 

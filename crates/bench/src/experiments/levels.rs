@@ -47,10 +47,7 @@ fn row<S: CliqueSpace>(t: &Table, name: &str, space_label: &str, space: &S) {
         human(space.num_cliques() as u64),
         format!("{}", lv.num_levels),
         format!("{}", r.iterations_to_converge()),
-        format!(
-            "{:.2}x",
-            lv.num_levels as f64 / r.iterations_to_converge().max(1) as f64
-        ),
+        format!("{:.2}x", lv.num_levels as f64 / r.iterations_to_converge().max(1) as f64),
         format!("{:.1}", h.mean()),
         format!("{}", h.percentile(0.99)),
     ]);

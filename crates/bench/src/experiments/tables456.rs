@@ -55,7 +55,11 @@ pub fn run(env: &Env, which: Which) {
             }
             Which::Nucleus34 => {
                 let (sp, build_time) = time(|| Nucleus34Space::precomputed(&g));
-                println!("  [{}: triangle/K4 materialization {}ms]", d.short_name(), build_time.as_millis());
+                println!(
+                    "  [{}: triangle/K4 materialization {}ms]",
+                    d.short_name(),
+                    build_time.as_millis()
+                );
                 row(&t, d, &sp);
             }
         }

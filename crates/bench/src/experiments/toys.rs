@@ -77,7 +77,10 @@ fn fig4() {
     for (name, v) in ["a", "b", "c", "d", "e", "f", "g"].iter().zip(0..) {
         println!("  level({name}) = {}", lv.level[v as usize]);
     }
-    println!("  level sizes: {:?} (paper: L0={{a}}, L1={{b}}, L2={{c,g}}, L3={{d,e,f}})\n", lv.level_sizes());
+    println!(
+        "  level sizes: {:?} (paper: L0={{a}}, L1={{b}}, L2={{c,g}}, L3={{d,e,f}})\n",
+        lv.level_sizes()
+    );
 }
 
 fn fig5() {

@@ -27,10 +27,7 @@ pub struct Env {
 impl Default for Env {
     fn default() -> Self {
         Env {
-            scale: std::env::var("HDSD_SCALE")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0.25),
+            scale: std::env::var("HDSD_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.25),
             threads: hdsd_parallel::default_threads(),
             data_dir: std::env::var("HDSD_DATA_DIR")
                 .map(PathBuf::from)
@@ -54,8 +51,7 @@ impl Env {
                 }
                 "--threads" => {
                     i += 1;
-                    env.threads =
-                        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(env.threads);
+                    env.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(env.threads);
                 }
                 "--data-dir" => {
                     i += 1;

@@ -107,10 +107,10 @@ pub fn holme_kim(n: u32, m_attach: u32, p_triad: f64, seed: u64) -> CsrGraph {
     let mut b = GraphBuilder::new();
     let seed_n = m_attach + 1;
     let connect = |b: &mut GraphBuilder,
-                       adj: &mut Vec<Vec<VertexId>>,
-                       endpoints: &mut Vec<VertexId>,
-                       u: VertexId,
-                       v: VertexId| {
+                   adj: &mut Vec<Vec<VertexId>>,
+                   endpoints: &mut Vec<VertexId>,
+                   u: VertexId,
+                   v: VertexId| {
         b.add_edge(u, v);
         adj[u as usize].push(v);
         adj[v as usize].push(u);
@@ -129,7 +129,8 @@ pub fn holme_kim(n: u32, m_attach: u32, p_triad: f64, seed: u64) -> CsrGraph {
         let mut guard = 0u32;
         while targets.len() < m_attach as usize {
             guard += 1;
-            let use_triad = last_pref.is_some() && rng.gen::<f64>() < p_triad && guard < 8 * m_attach;
+            let use_triad =
+                last_pref.is_some() && rng.gen::<f64>() < p_triad && guard < 8 * m_attach;
             let candidate = if use_triad {
                 let t = last_pref.unwrap();
                 let nbrs = &adj[t as usize];
@@ -359,7 +360,7 @@ mod tests {
         let g = rmat(10, 8, (0.57, 0.19, 0.19, 0.05), 1);
         assert_eq!(g.num_vertices(), 1024);
         assert!(g.num_edges() > 2000); // dedup removes some of the 8192
-        // skew check: the top-degree vertex dominates the median
+                                       // skew check: the top-degree vertex dominates the median
         let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
         degs.sort_unstable();
         assert!(degs[degs.len() - 1] >= 10 * degs[degs.len() / 2].max(1));
@@ -417,28 +418,19 @@ mod tests {
         let ba = barabasi_albert(800, 5, 13);
         let t_hk = hdsd_graph::total_triangles(&hk);
         let t_ba = hdsd_graph::total_triangles(&ba);
-        assert!(
-            t_hk > t_ba,
-            "triad formation should add triangles: HK {t_hk} vs BA {t_ba}"
-        );
+        assert!(t_hk > t_ba, "triad formation should add triangles: HK {t_hk} vs BA {t_ba}");
         let cc = hdsd_graph::connected_components(&hk);
         assert_eq!(cc.num_components, 1);
     }
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(
-            barabasi_albert(100, 2, 11).edges(),
-            barabasi_albert(100, 2, 11).edges()
-        );
+        assert_eq!(barabasi_albert(100, 2, 11).edges(), barabasi_albert(100, 2, 11).edges());
         assert_eq!(
             rmat(8, 4, (0.57, 0.19, 0.19, 0.05), 11).edges(),
             rmat(8, 4, (0.57, 0.19, 0.19, 0.05), 11).edges()
         );
-        assert_eq!(
-            watts_strogatz(60, 6, 0.2, 11).edges(),
-            watts_strogatz(60, 6, 0.2, 11).edges()
-        );
+        assert_eq!(watts_strogatz(60, 6, 0.2, 11).edges(), watts_strogatz(60, 6, 0.2, 11).edges());
         assert_eq!(
             planted_partition(&[20, 20], 0.4, 0.05, 11).edges(),
             planted_partition(&[20, 20], 0.4, 0.05, 11).edges()

@@ -72,12 +72,7 @@ impl GraphBuilder {
         raw.sort_unstable();
         raw.dedup();
 
-        let n = raw
-            .iter()
-            .map(|&(_, v)| v as usize + 1)
-            .max()
-            .unwrap_or(0)
-            .max(min_vertices);
+        let n = raw.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0).max(min_vertices);
         assert!(
             raw.len() <= EdgeId::MAX as usize,
             "edge count {} exceeds u32 edge-id space",
@@ -141,18 +136,14 @@ mod tests {
 
     #[test]
     fn dedups_and_drops_loops() {
-        let g = GraphBuilder::new()
-            .edges([(1, 0), (0, 1), (2, 2), (1, 2), (2, 1), (0, 1)])
-            .build();
+        let g = GraphBuilder::new().edges([(1, 0), (0, 1), (2, 2), (1, 2), (2, 1), (0, 1)]).build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
     }
 
     #[test]
     fn neighbor_lists_sorted_with_matching_eids() {
-        let g = GraphBuilder::new()
-            .edges([(3, 1), (3, 0), (3, 2), (0, 1)])
-            .build();
+        let g = GraphBuilder::new().edges([(3, 1), (3, 0), (3, 2), (0, 1)]).build();
         assert_eq!(g.neighbors(3), &[0, 1, 2]);
         for (w, e) in g.neighbors_with_edges(3) {
             let (a, b) = g.edge_endpoints(e);

@@ -11,26 +11,15 @@ use crate::orientation::Orientation;
 use crate::triangles::{for_each_triangle, TriangleList};
 
 /// Calls `f([u, v, w, x])` once per 4-clique, ranks ascending.
-pub fn for_each_k4(
-    g: &CsrGraph,
-    orient: &Orientation,
-    mut f: impl FnMut([VertexId; 4]),
-) {
+pub fn for_each_k4(g: &CsrGraph, orient: &Orientation, mut f: impl FnMut([VertexId; 4])) {
     for_each_triangle(g, orient, |_, _, _, [u, v, w]| {
-        let (ou, ov, ow) = (
-            orient.out_neighbors(u),
-            orient.out_neighbors(v),
-            orient.out_neighbors(w),
-        );
+        let (ou, ov, ow) =
+            (orient.out_neighbors(u), orient.out_neighbors(v), orient.out_neighbors(w));
         // Three-way merge on rank-sorted lists, skipping past rank(w).
         let rw = orient.rank(w);
         let (mut a, mut b, mut c) = (0usize, 0usize, 0usize);
         while a < ou.len() && b < ov.len() && c < ow.len() {
-            let (ra, rb, rc) = (
-                orient.rank(ou[a]),
-                orient.rank(ov[b]),
-                orient.rank(ow[c]),
-            );
+            let (ra, rb, rc) = (orient.rank(ou[a]), orient.rank(ov[b]), orient.rank(ow[c]));
             let rmax = ra.max(rb).max(rc);
             if rmax <= rw {
                 // candidates must rank above w; advance the minimum
@@ -253,8 +242,17 @@ mod tests {
     fn two_overlapping_k4s() {
         // K4 on {0,1,2,3} and K4 on {2,3,4,5} sharing edge (2,3).
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
         ]);
         assert_eq!(total_k4(&g), 2);
         let tl = TriangleList::build(&g);

@@ -24,11 +24,7 @@ impl ComponentLabels {
     /// The label of the largest component, or `None` for an empty graph.
     pub fn largest(&self) -> Option<u32> {
         let sizes = self.sizes();
-        sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i as u32)
+        sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32)
     }
 
     /// Vertices of component `c`.

@@ -81,10 +81,7 @@ impl CsrGraph {
         &self,
         v: VertexId,
     ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.neighbors(v)
-            .iter()
-            .copied()
-            .zip(self.neighbor_edge_ids(v).iter().copied())
+        self.neighbors(v).iter().copied().zip(self.neighbor_edge_ids(v).iter().copied())
     }
 
     /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
@@ -112,9 +109,7 @@ impl CsrGraph {
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
         let nbrs = self.neighbors(a);
-        nbrs.binary_search(&b)
-            .ok()
-            .map(|i| self.adj_edge_ids[self.offsets[a as usize] + i])
+        nbrs.binary_search(&b).ok().map(|i| self.adj_edge_ids[self.offsets[a as usize] + i])
     }
 
     /// Iterates all vertex ids.
@@ -125,19 +120,13 @@ impl CsrGraph {
 
     /// Maximum degree, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as VertexId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Sum of `min(deg(u), deg(v))` over edges: the classical bound on
     /// triangle-enumeration work. Useful for picking strategies in benches.
     pub fn intersection_work_bound(&self) -> usize {
-        self.edges
-            .iter()
-            .map(|&(u, v)| self.degree(u).min(self.degree(v)))
-            .sum()
+        self.edges.iter().map(|&(u, v)| self.degree(u).min(self.degree(v))).sum()
     }
 
     /// Memory footprint of the CSR arrays, in bytes (for reporting).

@@ -121,11 +121,7 @@ impl Orientation {
         let n = g.num_vertices();
         let mut offsets = vec![0usize; n + 1];
         for v in 0..n as VertexId {
-            let c = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| order.before(v, w))
-                .count();
+            let c = g.neighbors(v).iter().filter(|&&w| order.before(v, w)).count();
             offsets[v as usize + 1] = c;
         }
         for i in 0..n {
@@ -262,9 +258,7 @@ mod tests {
     #[test]
     fn degeneracy_bounds_out_degree() {
         // Random-ish sparse graph: a few overlapping triangles.
-        let g = graph_from_edges([
-            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 0),
-        ]);
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 0)]);
         let (ord, d) = degeneracy_order(&g);
         let o = Orientation::new(&g, VertexOrder { rank: ord.rank.clone() });
         assert!(o.max_out_degree() <= d as usize);

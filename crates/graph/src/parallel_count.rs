@@ -59,16 +59,12 @@ pub fn total_k4_parallel(g: &CsrGraph, cfg: ParallelConfig) -> u64 {
             for_each_triangle_at(&orient, u as VertexId, &mut |_, _, _, [a, b, w]| {
                 // Extend triangle (a,b,w) by every x above w in rank, as in
                 // `for_each_k4`, but scoped to this worker's vertex range.
-                let (oa, ob, ow) = (
-                    orient.out_neighbors(a),
-                    orient.out_neighbors(b),
-                    orient.out_neighbors(w),
-                );
+                let (oa, ob, ow) =
+                    (orient.out_neighbors(a), orient.out_neighbors(b), orient.out_neighbors(w));
                 let rw = orient.rank(w);
                 let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
                 while i < oa.len() && j < ob.len() && k < ow.len() {
-                    let (ra, rb, rc) =
-                        (orient.rank(oa[i]), orient.rank(ob[j]), orient.rank(ow[k]));
+                    let (ra, rb, rc) = (orient.rank(oa[i]), orient.rank(ob[j]), orient.rank(ow[k]));
                     let rmax = ra.max(rb).max(rc);
                     if rmax <= rw {
                         if ra <= rb && ra <= rc {

@@ -211,10 +211,7 @@ impl TriangleList {
     pub fn triangle_id(&self, g: &CsrGraph, a: VertexId, b: VertexId, c: VertexId) -> Option<u32> {
         let e = g.edge_id(a, b)?;
         let thirds = self.thirds_of_edge(e);
-        thirds
-            .binary_search(&c)
-            .ok()
-            .map(|i| self.edge_tris[self.edge_tri_offsets[e as usize] + i])
+        thirds.binary_search(&c).ok().map(|i| self.edge_tris[self.edge_tri_offsets[e as usize] + i])
     }
 
     /// For each triangle incident to edge `e`, the other two edge ids.

@@ -77,8 +77,17 @@ impl HBuffer {
     ///
     /// `len` must equal the number of items yielded; the h-index can never
     /// exceed it, which is what keeps the bucket array bounded.
+    ///
+    /// # Panics
+    /// Panics (in every build mode) when the iterator yields a different
+    /// number of items than `len`. The internal bucket array is restored to
+    /// its clean state *before* panicking, so a caller that catches the
+    /// unwind — or reuses a buffer shared across tests — can never observe
+    /// corrupted counts in subsequent computations.
     pub fn compute_iter(&mut self, len: usize, values: impl Iterator<Item = u32>) -> u32 {
         if len == 0 {
+            let yielded = values.count();
+            assert_eq!(yielded, 0, "compute_iter: len is 0 but iterator yielded {yielded} items");
             return 0;
         }
         if self.counts.len() < len + 1 {
@@ -87,10 +96,23 @@ impl HBuffer {
         let cap = len as u32;
         let mut yielded = 0usize;
         for v in values {
+            if yielded == len {
+                // Over-long iterator: restore the buffer before reporting,
+                // so the contract violation cannot poison later calls.
+                for c in self.counts[..=len].iter_mut() {
+                    *c = 0;
+                }
+                panic!("compute_iter: iterator yielded more than len = {len} items");
+            }
             self.counts[v.min(cap) as usize] += 1;
             yielded += 1;
         }
-        debug_assert_eq!(yielded, len, "compute_iter: len must match iterator length");
+        if yielded != len {
+            for c in self.counts[..=len].iter_mut() {
+                *c = 0;
+            }
+            panic!("compute_iter: iterator yielded {yielded} items, len said {len}");
+        }
         // Suffix scan: h = largest i with (# values >= i) >= i.
         let mut at_least = 0u32;
         let mut h = 0u32;
@@ -116,6 +138,92 @@ impl HBuffer {
         }
         HSession { buf: self, cap, pushed: 0 }
     }
+
+    /// Fused ρ-min + h-index kernel over a flat (CSR) container slice.
+    ///
+    /// `others` is the packed other-member array of one r-clique: each
+    /// consecutive `group` ids form one container (one s-clique), so the
+    /// container count is `others.len() / group`. For every container the
+    /// kernel computes `ρ = min τ(other)` and bucket-counts it in the same
+    /// pass — no callback dispatch, no intermediate ρ buffer, one linear
+    /// walk over contiguous memory. This is the hot inner loop of the
+    /// flat-cache sweep path (see `hdsd-nucleus`'s container cache).
+    ///
+    /// # Panics
+    /// Panics when `group == 0` or `others.len()` is not a multiple of
+    /// `group`.
+    pub fn fused_rho_h<F: Fn(u32) -> u32>(
+        &mut self,
+        others: &[u32],
+        group: usize,
+        tau_of: F,
+    ) -> u32 {
+        assert!(group > 0, "fused_rho_h: group must be positive");
+        assert!(
+            others.len().is_multiple_of(group),
+            "fused_rho_h: slice length {} is not a multiple of group {group}",
+            others.len()
+        );
+        let n = others.len() / group;
+        if n == 0 {
+            return 0;
+        }
+        if self.counts.len() < n + 1 {
+            self.counts.resize(n + 1, 0);
+        }
+        let cap = n as u32;
+        for container in others.chunks_exact(group) {
+            let mut rho = u32::MAX;
+            for &o in container {
+                rho = rho.min(tau_of(o));
+            }
+            self.counts[rho.min(cap) as usize] += 1;
+        }
+        let mut at_least = 0u32;
+        let mut h = 0u32;
+        for i in (1..=n).rev() {
+            at_least += self.counts[i];
+            if at_least >= i as u32 {
+                h = i as u32;
+                break;
+            }
+        }
+        for c in self.counts[..=n].iter_mut() {
+            *c = 0;
+        }
+        h
+    }
+}
+
+/// Fused ρ-min + plateau check over a flat (CSR) container slice: is the
+/// h-index of the per-container ρ values at least `h`? Early-exits after
+/// `h` qualifying containers, so re-checking a converged r-clique touches
+/// `O(h · group)` contiguous words. Companion of [`HBuffer::fused_rho_h`]
+/// (the §4.4 "preserve τ" shortcut, specialized for the flat layout).
+pub fn fused_rho_preserves<F: Fn(u32) -> u32>(
+    others: &[u32],
+    group: usize,
+    h: u32,
+    tau_of: F,
+) -> bool {
+    assert!(group > 0, "fused_rho_preserves: group must be positive");
+    if h == 0 {
+        return true;
+    }
+    let mut qualifying = 0u32;
+    for container in others.chunks_exact(group) {
+        let mut rho = u32::MAX;
+        for &o in container {
+            rho = rho.min(tau_of(o));
+        }
+        if rho >= h {
+            qualifying += 1;
+            if qualifying >= h {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// In-progress h-index computation over a reusable [`HBuffer`].
@@ -357,6 +465,69 @@ mod tests {
             }
             assert_eq!(s.len(), c.len());
             assert_eq!(s.finish(), h_index_sorted_ref(c), "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn compute_iter_rejects_length_mismatch_without_corrupting_buffer() {
+        // Under-long iterator: must panic, and the buffer must stay clean.
+        let mut buf = HBuffer::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            buf.compute_iter(5, [9u32, 9].into_iter())
+        }));
+        assert!(r.is_err(), "under-long iterator must be rejected");
+        assert_eq!(buf.compute(&[1, 1]), 1, "buffer corrupted by failed call");
+
+        // Over-long iterator: same contract.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            buf.compute_iter(2, [9u32, 9, 9, 9].into_iter())
+        }));
+        assert!(r.is_err(), "over-long iterator must be rejected");
+        assert_eq!(buf.compute(&[3, 3, 3]), 3, "buffer corrupted by failed call");
+
+        // len = 0 with a non-empty iterator is also a mismatch.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            buf.compute_iter(0, [1u32].into_iter())
+        }));
+        assert!(r.is_err());
+        assert_eq!(buf.compute(&[2, 2]), 2);
+    }
+
+    fn rho_of(flat: &[u32], group: usize, tau: &[u32]) -> Vec<u32> {
+        flat.chunks_exact(group)
+            .map(|c| c.iter().map(|&o| tau[o as usize]).min().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fused_rho_h_matches_two_pass_reference() {
+        let tau = [4u32, 1, 7, 3, 5, 2, 6, 0];
+        let mut buf = HBuffer::new();
+        for group in 1..=3usize {
+            // Containers over ids 0..8, several per test case.
+            let flat: Vec<u32> = (0..24).map(|i| (i * 5 + 3) % 8).collect();
+            let flat = &flat[..(24 / group) * group];
+            let rhos = rho_of(flat, group, &tau);
+            let expect = h_index_sorted_ref(&rhos);
+            let got = buf.fused_rho_h(flat, group, |o| tau[o as usize]);
+            assert_eq!(got, expect, "group {group}");
+            // Buffer stays clean between calls.
+            assert_eq!(buf.compute(&[1, 1]), 1);
+        }
+        assert_eq!(buf.fused_rho_h(&[], 2, |_| 0), 0);
+    }
+
+    #[test]
+    fn fused_preserve_matches_definition() {
+        let tau = [4u32, 1, 7, 3, 5, 2, 6, 0];
+        for group in 1..=3usize {
+            let flat: Vec<u32> = (0..24).map(|i| (i * 7 + 1) % 8).collect();
+            let flat = &flat[..(24 / group) * group];
+            let rhos = rho_of(flat, group, &tau);
+            let h = h_index_sorted_ref(&rhos);
+            assert!(fused_rho_preserves(flat, group, h, |o| tau[o as usize]));
+            assert!(!fused_rho_preserves(flat, group, h + 1, |o| tau[o as usize]));
+            assert!(fused_rho_preserves(flat, group, 0, |o| tau[o as usize]));
         }
     }
 

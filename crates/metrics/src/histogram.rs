@@ -12,10 +12,7 @@ pub struct Histogram {
 impl Histogram {
     /// Maximum observed value, or `None` when empty.
     pub fn max_value(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|i| i as u32)
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u32)
     }
 
     /// Mean observed value (0 for empty histograms).
@@ -23,12 +20,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(v, &c)| v as f64 * c as f64)
-            .sum();
+        let sum: f64 = self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
         sum / self.total as f64
     }
 

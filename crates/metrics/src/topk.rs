@@ -17,9 +17,7 @@ pub fn jaccard_top_k(a: &[u32], b: &[u32], k: usize) -> f64 {
     }
     let top = |v: &[u32]| -> Vec<u32> {
         let mut idx: Vec<u32> = (0..v.len() as u32).collect();
-        idx.sort_unstable_by(|&x, &y| {
-            v[y as usize].cmp(&v[x as usize]).then(x.cmp(&y))
-        });
+        idx.sort_unstable_by(|&x, &y| v[y as usize].cmp(&v[x as usize]).then(x.cmp(&y)));
         let mut t = idx[..k].to_vec();
         t.sort_unstable();
         t

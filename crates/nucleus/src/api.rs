@@ -58,9 +58,7 @@ pub fn densest_nucleus<S: CliqueSpace>(
     let mut best: Option<(NucleusDensity, u32)> = None;
     for id in 0..forest.len() as u32 {
         let d = forest.node_density(id, space, g);
-        if d.vertices >= min_vertices
-            && best.is_none_or(|(b, _)| d.density > b.density)
-        {
+        if d.vertices >= min_vertices && best.is_none_or(|(b, _)| d.density > b.density) {
             best = Some((d, id));
         }
     }
@@ -125,9 +123,20 @@ mod tests {
 
     fn two_k4_bridge() -> CsrGraph {
         graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 A
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), // K4 B
-            (3, 8), (8, 4), // degree-2 connector
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4 A
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7), // K4 B
+            (3, 8),
+            (8, 4), // degree-2 connector
         ])
     }
 
@@ -159,8 +168,15 @@ mod tests {
     #[test]
     fn densest_nucleus_finds_the_k4() {
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (3, 4), (4, 5), (5, 6), // tail
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (3, 4),
+            (4, 5),
+            (5, 6), // tail
         ]);
         let sp = CoreSpace::new(&g);
         let (d, verts) = densest_nucleus(&sp, &g, 4).unwrap();

@@ -6,26 +6,60 @@
 //! in non-decreasing final-κ order (the peeling order) converges in a
 //! single iteration, while adversarial orders degrade toward Snd behaviour.
 //!
-//! The §4.2.1 **notification mechanism** is implemented as the paper
-//! describes: each r-clique carries a wake flag `c(·)`; a clique marks
-//! itself idle after recomputing and is woken only when a neighbor's τ
-//! changes, which skips the plateau recomputation that otherwise dominates
-//! late iterations.
+//! ## Scheduling the notification mechanism
+//!
+//! The §4.2.1 **notification mechanism** — each r-clique carries a wake
+//! flag `c(·)`, marks itself idle after recomputing, and is woken only when
+//! a neighbor's τ changes — is what makes And beat Snd in practice. How the
+//! awake set is *scheduled* is a separate choice ([`crate::SweepMode`]):
+//!
+//! * [`SweepMode::Frontier`] (default) keeps the awake r-cliques in an
+//!   explicit dedup-on-insert worklist ([`hdsd_parallel::FrontierQueue`]).
+//!   Each sweep drains the worklist snapshot — sorted back into the
+//!   requested processing order — so per-sweep cost is `O(|frontier|)`,
+//!   not `O(n)`. Late, nearly-converged sweeps touch only the handful of
+//!   r-cliques that can still change.
+//! * [`SweepMode::FlagScan`] is the paper's literal formulation: walk the
+//!   full permutation every sweep and test the wake flag per r-clique. It
+//!   recomputes the same r-cliques as `Frontier` but pays `O(n)` idle flag
+//!   checks per sweep (counted in `SchedulerStats::items_skipped`).
+//! * [`SweepMode::FullScan`] disables notification entirely (the Figure-8
+//!   ablation baseline): every sweep recomputes every r-clique.
+//!
+//! The wake semantics are identical across modes: an r-clique woken while
+//! it still awaits processing in the current sweep is visited once, in
+//! place, with the newer τ values; one woken after its visit is scheduled
+//! for the next sweep.
+//!
+//! ## Flat container cache
+//!
+//! Independently of scheduling, sweeps can run against a one-shot CSR
+//! materialization of the space's containers
+//! ([`crate::space::FlatContainers`]) instead of the callback walk, turning
+//! per-container adjacency intersections into contiguous `u32` reads fed to
+//! the fused ρ-min + h-index kernels of `hdsd-hindex`. The cache is gated
+//! by [`LocalConfig::container_cache_budget`] and by each space's
+//! [`CliqueSpace::prefers_flat_cache`] hint.
+//!
+//! ## Parallel variant
 //!
 //! A parallel variant shares τ through relaxed atomics: workers may read a
 //! mix of old and new values, which the paper argues (and Theorem 1's
 //! monotone, lower-bounded descent guarantees) still converges to the same
 //! fixed point — in the worst case it degenerates to the synchronous
-//! schedule. A final full verification sweep certifies the fixed point, so
-//! results are exact regardless of races.
+//! schedule. Frontier sweeps drain the worklist snapshot with dynamic chunk
+//! hand-out (the paper's `schedule(dynamic)` ablation applies unchanged).
+//! A final full verification sweep certifies the fixed point, so results
+//! are exact regardless of races.
 
 use hdsd_hindex::HBuffer;
-use hdsd_parallel::{parallel_for_chunks_with, AtomicBitset, AtomicU32Vec};
-use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use hdsd_parallel::{
+    parallel_for_chunks_with, AtomicBitset, AtomicU32Vec, FrontierQueue, SchedulerStats,
+};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use crate::convergence::{ConvergenceResult, IterationEvent, LocalConfig};
-use crate::space::{rho, CliqueSpace};
+use crate::convergence::{ConvergenceResult, IterationEvent, LocalConfig, SweepMode};
+use crate::space::{CliqueSpace, FlatAccess, FlatContainers, SweepAccess, WalkAccess};
 
 /// Processing order for the asynchronous sweep.
 #[derive(Clone, Debug, Default)]
@@ -82,13 +116,14 @@ impl Order {
 }
 
 /// Runs And to convergence (or the iteration cap) with wake-flag
-/// notifications enabled.
+/// notifications enabled, scheduled per [`LocalConfig::sweep_mode`].
 pub fn and<S: CliqueSpace>(space: &S, cfg: &LocalConfig, order: &Order) -> ConvergenceResult {
     and_with_options(space, cfg, order, true, &mut |_| {})
 }
 
 /// Runs And without the notification mechanism (every sweep recomputes
 /// every r-clique) — the ablation baseline for Figure 8-style experiments.
+/// Equivalent to forcing [`SweepMode::FullScan`].
 pub fn and_without_notification<S: CliqueSpace>(
     space: &S,
     cfg: &LocalConfig,
@@ -105,11 +140,8 @@ pub fn and_with_options<S: CliqueSpace>(
     notification: bool,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
-    if cfg.parallel.threads <= 1 {
-        and_sequential(space, cfg, order, notification, None, observer)
-    } else {
-        and_parallel(space, cfg, order, notification, observer)
-    }
+    let mode = if notification { cfg.sweep_mode } else { SweepMode::FullScan };
+    dispatch(space, cfg, order, mode, None, observer)
 }
 
 /// And starting from a caller-provided τ instead of the S-degrees.
@@ -133,24 +165,156 @@ pub fn and_resume<S: CliqueSpace>(
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
-    and_sequential(space, cfg, order, true, Some(tau_init), observer)
+    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), observer)
 }
 
-fn and_sequential<S: CliqueSpace>(
+/// Resolves the access layer (flat cache vs callback walk) and the
+/// sequential/parallel driver, then runs the sweeps. The drivers are
+/// monomorphized over [`SweepAccess`], so the hot per-container loop has no
+/// dynamic dispatch either way.
+fn dispatch<S: CliqueSpace>(
     space: &S,
     cfg: &LocalConfig,
     order: &Order,
-    notification: bool,
+    mode: SweepMode,
     tau_init: Option<Vec<u32>>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
-    let n = space.num_cliques();
     let perm = order.permutation(space);
-    let mut tau = tau_init.unwrap_or_else(|| space.initial_degrees());
-    // Wake flags: all r-cliques start active (line 4 of Algorithm 3).
-    let mut active = vec![true; n];
+    let flat =
+        cfg.container_cache_budget.and_then(|budget| FlatContainers::build_within(space, budget));
+    match &flat {
+        Some(f) => drive(&FlatAccess(f), cfg, &perm, mode, tau_init, observer),
+        None => drive(&WalkAccess(space), cfg, &perm, mode, tau_init, observer),
+    }
+}
+
+fn drive<A: SweepAccess>(
+    access: &A,
+    cfg: &LocalConfig,
+    perm: &[u32],
+    mode: SweepMode,
+    tau_init: Option<Vec<u32>>,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    if cfg.parallel.threads <= 1 {
+        and_sequential(access, cfg, perm, mode, tau_init, observer)
+    } else {
+        and_parallel(access, cfg, perm, mode, tau_init, observer)
+    }
+}
+
+/// The concurrent frontier worklist plus the bookkeeping that keeps epochs
+/// honoring the requested processing order: each sweep drains the queue
+/// into a snapshot and sorts it by permutation rank, so `Order` means the
+/// same thing it does under a full scan.
+struct EpochFrontier {
+    queue: FrontierQueue,
+    rank: Vec<u32>,
+    snapshot: Vec<u32>,
+}
+
+impl EpochFrontier {
+    /// Builds the worklist with every r-clique scheduled (line 4 of
+    /// Algorithm 3: all start awake).
+    fn seeded(perm: &[u32]) -> Self {
+        let queue = FrontierQueue::new(perm.len());
+        let mut rank = vec![0u32; perm.len()];
+        for (k, &i) in perm.iter().enumerate() {
+            rank[i as usize] = k as u32;
+            queue.push(i);
+        }
+        EpochFrontier { queue, rank, snapshot: Vec::with_capacity(perm.len()) }
+    }
+
+    /// Moves the scheduled ids into this sweep's snapshot, ordered by
+    /// permutation rank. Ids keep their scheduled bit until a worker
+    /// [`FrontierQueue::unmark`]s them right before recomputation.
+    fn begin_sweep(&mut self) {
+        self.snapshot.clear();
+        self.queue.drain_into(&mut self.snapshot);
+        let rank = &self.rank;
+        self.snapshot.sort_unstable_by_key(|&i| rank[i as usize]);
+    }
+
+    /// Schedules every r-clique again (the certification sweep).
+    fn reschedule_all(&self, perm: &[u32]) {
+        for &i in perm {
+            self.queue.push(i);
+        }
+    }
+}
+
+/// Single-threaded counterpart of [`EpochFrontier`]: the same dedup-on-
+/// insert epoch protocol, but with a plain bool membership array and a
+/// plain `Vec` accumulator. Wake pushes are the hottest frontier operation
+/// (one per container member per update), so the sequential driver must
+/// not pay test-and-set atomics for them.
+struct SeqFrontier {
+    queued: Vec<bool>,
+    next: Vec<u32>,
+    rank: Vec<u32>,
+    snapshot: Vec<u32>,
+}
+
+impl SeqFrontier {
+    fn seeded(perm: &[u32]) -> Self {
+        let n = perm.len();
+        let mut rank = vec![0u32; n];
+        for (k, &i) in perm.iter().enumerate() {
+            rank[i as usize] = k as u32;
+        }
+        SeqFrontier {
+            queued: vec![true; n],
+            next: perm.to_vec(),
+            rank,
+            snapshot: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, id: usize) {
+        if !self.queued[id] {
+            self.queued[id] = true;
+            self.next.push(id as u32);
+        }
+    }
+
+    /// Swaps the accumulated worklist into the sweep snapshot, ordered by
+    /// permutation rank. Membership flags stay set until `unmark`.
+    fn begin_sweep(&mut self) {
+        std::mem::swap(&mut self.snapshot, &mut self.next);
+        self.next.clear();
+        let rank = &self.rank;
+        self.snapshot.sort_unstable_by_key(|&i| rank[i as usize]);
+    }
+
+    fn reschedule_all(&mut self, perm: &[u32]) {
+        for &i in perm {
+            self.push(i as usize);
+        }
+    }
+}
+
+fn and_sequential<A: SweepAccess>(
+    access: &A,
+    cfg: &LocalConfig,
+    perm: &[u32],
+    mode: SweepMode,
+    tau_init: Option<Vec<u32>>,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    let n = access.len();
+    let mut tau = tau_init.unwrap_or_else(|| access.initial());
     let mut buf = HBuffer::new();
 
+    let mut frontier =
+        if mode == SweepMode::Frontier { Some(SeqFrontier::seeded(perm)) } else { None };
+    // Wake flags, FlagScan only (all r-cliques start active, as in the
+    // paper); the other modes never read them, so don't pay the O(n).
+    let mut active = if mode == SweepMode::FlagScan { vec![true; n] } else { Vec::new() };
+
+    let mut scheduler = SchedulerStats::from_chunks(vec![0]);
     let mut updates_per_iter = Vec::new();
     let mut processed_per_iter = Vec::new();
     let mut converged = false;
@@ -163,26 +327,61 @@ fn and_sequential<S: CliqueSpace>(
         }
         let mut updates = 0usize;
         let mut processed = 0usize;
-        for &iu in &perm {
-            let i = iu as usize;
-            if notification && !active[i] {
-                continue;
+        match &mut frontier {
+            Some(f) => {
+                f.begin_sweep();
+                for idx in 0..f.snapshot.len() {
+                    let i = f.snapshot[idx] as usize;
+                    // Unmark before recomputing: a same-sweep neighbor
+                    // update re-schedules us (the paper's line 17).
+                    f.queued[i] = false;
+                    processed += 1;
+                    let old = tau[i];
+                    let new =
+                        access.recompute(i, old, |o| tau[o], &mut buf, cfg.preserve_check).min(old);
+                    if new != old {
+                        debug_assert!(new < old);
+                        tau[i] = new;
+                        updates += 1;
+                        let SeqFrontier { queued, next, .. } = &mut *f;
+                        access.wake(i, |o| {
+                            if !queued[o] {
+                                queued[o] = true;
+                                next.push(o as u32);
+                            }
+                        });
+                    }
+                }
             }
-            processed += 1;
-            // Mark idle before recomputing; a same-sweep neighbor update
-            // re-wakes us (the paper's line 17 semantics).
-            active[i] = false;
-            let old = tau[i];
-            let new = update_inplace(space, i, old, &tau, &mut buf, cfg.preserve_check);
-            if new != old {
-                debug_assert!(new < old);
-                tau[i] = new;
-                updates += 1;
-                if notification {
-                    space.for_each_neighbor(i, |o| active[o] = true);
+            None => {
+                for &iu in perm {
+                    let i = iu as usize;
+                    if mode == SweepMode::FlagScan && !active[i] {
+                        scheduler.items_skipped += 1;
+                        continue;
+                    }
+                    processed += 1;
+                    // Mark idle before recomputing; a same-sweep neighbor
+                    // update re-wakes us (the paper's line 17 semantics).
+                    if mode == SweepMode::FlagScan {
+                        active[i] = false;
+                    }
+                    let old = tau[i];
+                    let new =
+                        access.recompute(i, old, |o| tau[o], &mut buf, cfg.preserve_check).min(old);
+                    if new != old {
+                        debug_assert!(new < old);
+                        tau[i] = new;
+                        updates += 1;
+                        if mode == SweepMode::FlagScan {
+                            access.wake(i, |o| active[o] = true);
+                        }
+                    }
                 }
             }
         }
+        scheduler.chunks_per_worker[0] += 1;
+        scheduler.items_processed += processed as u64;
         sweeps += 1;
         updates_per_iter.push(updates);
         processed_per_iter.push(processed);
@@ -191,8 +390,11 @@ fn and_sequential<S: CliqueSpace>(
         if updates == 0 {
             // With notifications, a zero-update sweep may simply mean
             // "nobody was awake"; certify with one full sweep.
-            if notification && processed < n {
-                active.iter_mut().for_each(|a| *a = true);
+            if processed < n {
+                match &mut frontier {
+                    Some(f) => f.reschedule_all(perm),
+                    None => active.iter_mut().for_each(|a| *a = true),
+                }
                 continue;
             }
             converged = true;
@@ -208,21 +410,26 @@ fn and_sequential<S: CliqueSpace>(
         }
     }
 
-    ConvergenceResult { tau, sweeps, converged, updates_per_iter, processed_per_iter }
+    ConvergenceResult { tau, sweeps, converged, updates_per_iter, processed_per_iter, scheduler }
 }
 
-fn and_parallel<S: CliqueSpace>(
-    space: &S,
+fn and_parallel<A: SweepAccess>(
+    access: &A,
     cfg: &LocalConfig,
-    order: &Order,
-    notification: bool,
+    perm: &[u32],
+    mode: SweepMode,
+    tau_init: Option<Vec<u32>>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
-    let n = space.num_cliques();
-    let perm = order.permutation(space);
-    let tau = AtomicU32Vec::from_vec(space.initial_degrees());
-    let active = AtomicBitset::new(n, true);
+    let n = access.len();
+    let tau = AtomicU32Vec::from_vec(tau_init.unwrap_or_else(|| access.initial()));
 
+    let mut frontier =
+        if mode == SweepMode::Frontier { Some(EpochFrontier::seeded(perm)) } else { None };
+    // Wake flags, FlagScan only; Frontier/FullScan never touch them.
+    let active = AtomicBitset::new(if mode == SweepMode::FlagScan { n } else { 0 }, true);
+
+    let mut scheduler = SchedulerStats::default();
     let mut updates_per_iter = Vec::new();
     let mut processed_per_iter = Vec::new();
     let mut converged = false;
@@ -236,56 +443,117 @@ fn and_parallel<S: CliqueSpace>(
         }
         let updates = AtomicUsize::new(0);
         let processed = AtomicUsize::new(0);
-        let perm_ref: &[u32] = &perm;
+        let skipped = AtomicU64::new(0);
         let tau_ref = &tau;
-        let active_ref = &active;
         let updates_ref = &updates;
         let processed_ref = &processed;
 
-        parallel_for_chunks_with(n, cfg.parallel, HBuffer::new, |buf, range| {
-            let mut local_updates = 0usize;
-            let mut local_processed = 0usize;
-            for k in range {
-                let i = perm_ref[k] as usize;
-                if notification && !active_ref.get(i) {
-                    continue;
-                }
-                local_processed += 1;
-                active_ref.clear(i);
-                let old = tau_ref.get(i);
-                let new = update_atomic(space, i, old, tau_ref, buf, cfg.preserve_check);
-                if new != old {
-                    tau_ref.set(i, new);
-                    local_updates += 1;
-                    if notification {
-                        space.for_each_neighbor(i, |o| {
-                            active_ref.set(o);
-                        });
+        // Both paths hand out chunks through the shared scheduler, so the
+        // dynamic-vs-static policy ablation applies to frontier sweeps too;
+        // the frontier path chunks the drained snapshot instead of 0..n.
+        let sweep_stats = match &mut frontier {
+            Some(f) => {
+                f.begin_sweep();
+                let EpochFrontier { queue, snapshot, .. } = &*f;
+                let work: &[u32] = snapshot;
+                parallel_for_chunks_with(work.len(), cfg.parallel, HBuffer::new, |buf, range| {
+                    let mut local_updates = 0usize;
+                    for k in range.clone() {
+                        let iu = work[k];
+                        let i = iu as usize;
+                        queue.unmark(iu);
+                        let old = tau_ref.get(i);
+                        let new = access
+                            .recompute(i, old, |o| tau_ref.get(o), buf, cfg.preserve_check)
+                            .min(old);
+                        if new != old {
+                            tau_ref.set(i, new);
+                            local_updates += 1;
+                            access.wake(i, |o| {
+                                queue.push(o as u32);
+                            });
+                        }
                     }
-                }
+                    if local_updates > 0 {
+                        updates_ref.fetch_add(local_updates, Ordering::Relaxed);
+                    }
+                    processed_ref.fetch_add(range.len(), Ordering::Relaxed);
+                })
             }
-            if local_updates > 0 {
-                updates_ref.fetch_add(local_updates, Ordering::Relaxed);
+            None => {
+                let active_ref = &active;
+                let skipped_ref = &skipped;
+                parallel_for_chunks_with(n, cfg.parallel, HBuffer::new, |buf, range| {
+                    let mut local_updates = 0usize;
+                    let mut local_processed = 0usize;
+                    let mut local_skipped = 0u64;
+                    for k in range {
+                        let i = perm[k] as usize;
+                        if mode == SweepMode::FlagScan && !active_ref.get(i) {
+                            local_skipped += 1;
+                            continue;
+                        }
+                        local_processed += 1;
+                        if mode == SweepMode::FlagScan {
+                            active_ref.clear(i);
+                        }
+                        let old = tau_ref.get(i);
+                        let new = access
+                            .recompute(i, old, |o| tau_ref.get(o), buf, cfg.preserve_check)
+                            .min(old);
+                        if new != old {
+                            tau_ref.set(i, new);
+                            local_updates += 1;
+                            if mode == SweepMode::FlagScan {
+                                access.wake(i, |o| {
+                                    active_ref.set(o);
+                                });
+                            }
+                        }
+                    }
+                    if local_updates > 0 {
+                        updates_ref.fetch_add(local_updates, Ordering::Relaxed);
+                    }
+                    if local_processed > 0 {
+                        processed_ref.fetch_add(local_processed, Ordering::Relaxed);
+                    }
+                    if local_skipped > 0 {
+                        skipped_ref.fetch_add(local_skipped, Ordering::Relaxed);
+                    }
+                })
             }
-            if local_processed > 0 {
-                processed_ref.fetch_add(local_processed, Ordering::Relaxed);
-            }
-        });
+        };
 
+        scheduler.merge(&sweep_stats);
         sweeps += 1;
         let u = updates.load(Ordering::Relaxed);
         let p = processed.load(Ordering::Relaxed);
+        scheduler.items_processed += p as u64;
+        scheduler.items_skipped += skipped.load(Ordering::Relaxed);
         updates_per_iter.push(u);
         processed_per_iter.push(p);
         tau.copy_to_slice(&mut tau_snapshot);
-        observer(IterationEvent { iteration: sweeps, tau: &tau_snapshot, updates: u, processed: p });
+        observer(IterationEvent {
+            iteration: sweeps,
+            tau: &tau_snapshot,
+            updates: u,
+            processed: p,
+        });
 
         if u == 0 {
             // Races (or sleeping cliques) could hide pending work: certify
             // the fixed point with a full sweep before declaring victory.
             if p < n {
-                for i in 0..n {
-                    active.set(i);
+                match &frontier {
+                    Some(f) => f.reschedule_all(perm),
+                    // Only FlagScan can under-process a sweep (FullScan
+                    // always visits all n, so `p < n` is unreachable there
+                    // and the empty bitset is never touched).
+                    None => {
+                        for i in 0..n {
+                            active.set(i);
+                        }
+                    }
                 }
                 continue;
             }
@@ -308,96 +576,8 @@ fn and_parallel<S: CliqueSpace>(
         converged,
         updates_per_iter,
         processed_per_iter,
+        scheduler,
     }
-}
-
-/// One in-place update against a plain τ array (sequential And).
-#[inline]
-fn update_inplace<S: CliqueSpace>(
-    space: &S,
-    i: usize,
-    old: u32,
-    tau: &[u32],
-    buf: &mut HBuffer,
-    preserve_check: bool,
-) -> u32 {
-    if old == 0 {
-        return 0;
-    }
-    if preserve_check {
-        let mut qualifying = 0u32;
-        let preserved = space
-            .try_for_each_container(i, |others| {
-                if rho(tau, others) >= old {
-                    qualifying += 1;
-                    if qualifying >= old {
-                        return ControlFlow::Break(());
-                    }
-                }
-                ControlFlow::Continue(())
-            })
-            .is_break();
-        if preserved {
-            return old;
-        }
-    }
-    let deg = space.degree(i) as usize;
-    let mut session = buf.session(deg);
-    space.for_each_container(i, |others| session.push(rho(tau, others)));
-    // Clamp to `old`: a no-op on the standard τ0 = d_s descent (H never
-    // exceeds the previous value there), but essential for warm starts
-    // (`and_resume`), where H may exceed a stale τ. The clamped iteration
-    // computes min(τ, Uτ), whose only fixpoint ≥ κ is κ itself: a stall
-    // means τ ≤ Uτ everywhere, which (Lemma 1 / the Theorem-4 argument)
-    // forces τ ≤ κ.
-    session.finish().min(old)
-}
-
-/// One in-place update against atomic τ (parallel And).
-#[inline]
-fn update_atomic<S: CliqueSpace>(
-    space: &S,
-    i: usize,
-    old: u32,
-    tau: &AtomicU32Vec,
-    buf: &mut HBuffer,
-    preserve_check: bool,
-) -> u32 {
-    if old == 0 {
-        return 0;
-    }
-    let rho_atomic = |others: &[usize]| -> u32 {
-        let mut m = u32::MAX;
-        for &o in others {
-            m = m.min(tau.get(o));
-        }
-        m
-    };
-    if preserve_check {
-        let mut qualifying = 0u32;
-        let preserved = space
-            .try_for_each_container(i, |others| {
-                if rho_atomic(others) >= old {
-                    qualifying += 1;
-                    if qualifying >= old {
-                        return ControlFlow::Break(());
-                    }
-                }
-                ControlFlow::Continue(())
-            })
-            .is_break();
-        if preserved {
-            return old;
-        }
-    }
-    let deg = space.degree(i) as usize;
-    let mut session = buf.session(deg);
-    space.for_each_container(i, |others| session.push(rho_atomic(others)));
-    // Concurrent writers may have changed neighbor τ mid-walk; the computed
-    // value is still a valid member of the monotone descent (never below κ
-    // because every read value is ≥ κ by Theorem 1). Clamp to `old` to keep
-    // per-clique monotonicity even under torn reads.
-    session.finish().min(old)
 }
 
 #[cfg(test)]
@@ -417,12 +597,7 @@ mod tests {
         let g = hdsd_datasets::holme_kim(250, 4, 0.5, 21);
         let sp = CoreSpace::new(&g);
         let exact = peel(&sp).kappa;
-        for order in [
-            Order::Natural,
-            Order::Reverse,
-            Order::Random(7),
-            Order::IncreasingDegree,
-        ] {
+        for order in [Order::Natural, Order::Reverse, Order::Random(7), Order::IncreasingDegree] {
             let r = and(&sp, &LocalConfig::sequential(), &order);
             assert_eq!(r.tau, exact, "order {order:?}");
             assert!(r.converged);
@@ -461,11 +636,7 @@ mod tests {
         assert_eq!(alpha.tau, vec![1, 2, 2, 2, 1, 1]);
         assert_eq!(alpha.iterations_to_converge(), 2);
         // f=5, e=4, a=0, b=1, c=2, d=3
-        let good = and(
-            &sp,
-            &LocalConfig::sequential(),
-            &Order::Custom(vec![5, 4, 0, 1, 2, 3]),
-        );
+        let good = and(&sp, &LocalConfig::sequential(), &Order::Custom(vec![5, 4, 0, 1, 2, 3]));
         assert_eq!(good.tau, vec![1, 2, 2, 2, 1, 1]);
         assert_eq!(good.iterations_to_converge(), 1);
     }
@@ -503,6 +674,48 @@ mod tests {
     }
 
     #[test]
+    fn sweep_modes_agree_and_frontier_skips_nothing() {
+        let g = hdsd_datasets::holme_kim(350, 5, 0.6, 17);
+        let sp = TrussSpace::precomputed(&g);
+        let exact = peel(&sp).kappa;
+
+        let frontier =
+            and(&sp, &LocalConfig::sequential().sweep_mode(SweepMode::Frontier), &Order::Natural);
+        let flags =
+            and(&sp, &LocalConfig::sequential().sweep_mode(SweepMode::FlagScan), &Order::Natural);
+        let full =
+            and(&sp, &LocalConfig::sequential().sweep_mode(SweepMode::FullScan), &Order::Natural);
+
+        for r in [&frontier, &flags, &full] {
+            assert_eq!(r.tau, exact);
+            assert!(r.converged);
+        }
+        assert_eq!(frontier.scheduler.items_skipped, 0, "frontier never visits idle work");
+        assert!(flags.scheduler.items_skipped > 0, "flag scan pays idle checks");
+        assert_eq!(
+            flags.scheduler.items_skipped + flags.scheduler.items_processed,
+            (sp.num_cliques() * flags.sweeps) as u64,
+            "flag scan touches n items every sweep"
+        );
+        assert!(frontier.total_processed() < full.total_processed());
+    }
+
+    #[test]
+    fn flat_cache_does_not_change_behaviour() {
+        let g = hdsd_datasets::holme_kim(300, 5, 0.5, 23);
+        let sp = TrussSpace::precomputed(&g);
+        let cached = and(&sp, &LocalConfig::sequential(), &Order::Natural);
+        let walked =
+            and(&sp, &LocalConfig::sequential().without_container_cache(), &Order::Natural);
+        assert_eq!(cached.tau, walked.tau);
+        assert_eq!(cached.sweeps, walked.sweeps);
+        assert_eq!(cached.processed_per_iter, walked.processed_per_iter);
+        // A budget too small for the cache must silently fall back.
+        let tiny = and(&sp, &LocalConfig::sequential().container_cache_budget(1), &Order::Natural);
+        assert_eq!(tiny.tau, walked.tau);
+    }
+
+    #[test]
     fn parallel_and_matches_exact_results() {
         let g = hdsd_datasets::holme_kim(300, 5, 0.5, 33);
         let core = CoreSpace::new(&g);
@@ -517,8 +730,22 @@ mod tests {
         }
         let truss = TrussSpace::precomputed(&g);
         let exact_t = peel(&truss).kappa;
-        let r = and(&truss, &LocalConfig::with_threads(4), &Order::Natural);
-        assert_eq!(r.tau, exact_t);
+        for mode in [SweepMode::Frontier, SweepMode::FlagScan] {
+            let r = and(&truss, &LocalConfig::with_threads(4).sweep_mode(mode), &Order::Natural);
+            assert_eq!(r.tau, exact_t, "mode {mode:?}");
+            assert!(r.converged);
+        }
+    }
+
+    #[test]
+    fn parallel_frontier_reports_chunk_telemetry() {
+        let g = hdsd_datasets::holme_kim(400, 5, 0.5, 3);
+        let sp = CoreSpace::new(&g);
+        let cfg = LocalConfig::with_threads(4);
+        let r = and(&sp, &cfg, &Order::Natural);
+        assert_eq!(r.scheduler.chunks_per_worker.len(), 4);
+        assert!(r.scheduler.total_chunks() > 0);
+        assert_eq!(r.scheduler.items_processed, r.total_processed());
     }
 
     #[test]

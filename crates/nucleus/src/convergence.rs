@@ -1,7 +1,32 @@
 //! Shared configuration, telemetry and result types for the local
 //! (iterative h-index) algorithms.
 
-use hdsd_parallel::ParallelConfig;
+use hdsd_parallel::{ParallelConfig, SchedulerStats};
+
+/// How And visits awake r-cliques within an iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Frontier scheduling: an explicit dedup-on-insert worklist of awake
+    /// r-cliques; per-iteration cost is `O(frontier)`, not `O(n)`. The
+    /// default — this is what makes late, nearly-converged iterations
+    /// cheap.
+    #[default]
+    Frontier,
+    /// The paper's literal §4.2.1 formulation: scan the full permutation
+    /// every iteration and check a wake flag per r-clique. Recomputes
+    /// essentially the same work as `Frontier` (an idle r-clique woken
+    /// mid-sweep at a later position is picked up one sweep earlier), but
+    /// pays `O(n)` flag checks per sweep; kept as an ablation reference.
+    FlagScan,
+    /// No notification at all: recompute every r-clique every iteration
+    /// (the Figure-8 baseline).
+    FullScan,
+}
+
+/// Default byte budget for the flat container cache (256 MiB). Sweeps on
+/// spaces that prefer the cache materialize it when the estimate fits; see
+/// [`crate::space::FlatContainers`].
+pub const DEFAULT_CONTAINER_CACHE_BUDGET: usize = 256 << 20;
 
 /// Configuration of a Snd / And run.
 #[derive(Clone, Copy, Debug)]
@@ -20,6 +45,13 @@ pub struct LocalConfig {
     /// r-cliques whose τ changed in a sweep drops to `1 − threshold` — i.e.
     /// stability ≥ threshold. `None` disables the rule.
     pub stability_threshold: Option<f64>,
+    /// How And schedules awake r-cliques (ignored by Snd, which is
+    /// synchronous by definition). Only consulted when notification is on.
+    pub sweep_mode: SweepMode,
+    /// Byte budget for the flat container cache; `None` disables caching.
+    /// Spaces whose layout is already flat opt out regardless (see
+    /// [`crate::space::CliqueSpace::prefers_flat_cache`]).
+    pub container_cache_budget: Option<usize>,
 }
 
 impl Default for LocalConfig {
@@ -29,6 +61,8 @@ impl Default for LocalConfig {
             max_iterations: None,
             preserve_check: true,
             stability_threshold: None,
+            sweep_mode: SweepMode::Frontier,
+            container_cache_budget: Some(DEFAULT_CONTAINER_CACHE_BUDGET),
         }
     }
 }
@@ -63,6 +97,25 @@ impl LocalConfig {
     /// example).
     pub fn stop_when_stable(mut self, threshold: f64) -> Self {
         self.stability_threshold = Some(threshold.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Selects how And schedules awake r-cliques (ablation knob).
+    pub fn sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.sweep_mode = mode;
+        self
+    }
+
+    /// Sets the flat-container-cache byte budget.
+    pub fn container_cache_budget(mut self, bytes: usize) -> Self {
+        self.container_cache_budget = Some(bytes);
+        self
+    }
+
+    /// Disables the flat container cache (every sweep walks the space's
+    /// containers through the callback interface).
+    pub fn without_container_cache(mut self) -> Self {
+        self.container_cache_budget = None;
         self
     }
 
@@ -106,6 +159,11 @@ pub struct ConvergenceResult {
     pub updates_per_iter: Vec<usize>,
     /// r-cliques recomputed per sweep.
     pub processed_per_iter: Vec<usize>,
+    /// Scheduler telemetry aggregated over the whole run: chunk handout per
+    /// worker plus the processed/skipped item split (frontier scheduling
+    /// keeps `items_skipped` at zero by construction; the flag-scan mode
+    /// counts every idle flag check it pays for).
+    pub scheduler: SchedulerStats,
 }
 
 impl ConvergenceResult {
@@ -139,6 +197,7 @@ mod tests {
             converged: true,
             updates_per_iter: vec![10, 3, 0, 0],
             processed_per_iter: vec![10, 10, 4, 0],
+            scheduler: SchedulerStats::default(),
         };
         assert_eq!(r.iterations_to_converge(), 2);
         assert_eq!(r.total_processed(), 24);

@@ -25,8 +25,7 @@ pub fn write_kappa_tsv<S: CliqueSpace>(
     for (i, &k) in kappa.iter().enumerate() {
         verts.clear();
         space.vertices_of(i, &mut verts);
-        let joined =
-            verts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+        let joined = verts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
         writeln!(out, "{i}\t{joined}\t{k}")?;
     }
     Ok(())
@@ -73,8 +72,14 @@ mod tests {
 
     fn sample() -> CsrGraph {
         graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (3, 4), (4, 5), // tail
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (3, 4),
+            (4, 5), // tail
         ])
     }
 
@@ -118,11 +123,7 @@ mod tests {
             assert!(text.starts_with("digraph nuclei {"));
             assert!(text.trim_end().ends_with('}'));
             // one node line per nucleus
-            assert_eq!(
-                text.matches("[label=").count(),
-                h.len(),
-                "node count mismatch:\n{text}"
-            );
+            assert_eq!(text.matches("[label=").count(), h.len(), "node count mismatch:\n{text}");
             // edge count = total children
             let edges: usize = h.nodes.iter().map(|n| n.children.len()).sum();
             assert_eq!(text.matches(" -> ").count(), edges);

@@ -112,21 +112,14 @@ impl Hierarchy {
     /// Maximum nesting depth of the forest.
     pub fn depth(&self) -> usize {
         fn rec(h: &Hierarchy, id: u32) -> usize {
-            1 + h.nodes[id as usize]
-                .children
-                .iter()
-                .map(|&c| rec(h, c))
-                .max()
-                .unwrap_or(0)
+            1 + h.nodes[id as usize].children.iter().map(|&c| rec(h, c)).max().unwrap_or(0)
         }
         self.roots.iter().map(|&r| rec(self, r)).max().unwrap_or(0)
     }
 
     /// Nodes at a given threshold `k` — the maximal k-(r,s) nuclei.
     pub fn nuclei_at(&self, k: u32) -> Vec<u32> {
-        (0..self.nodes.len() as u32)
-            .filter(|&i| self.nodes[i as usize].k == k)
-            .collect()
+        (0..self.nodes.len() as u32).filter(|&i| self.nodes[i as usize].k == k).collect()
     }
 }
 
@@ -188,12 +181,7 @@ pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
 
     // Ensures the component rooted at `root` has a node at threshold `k`,
     // wrapping or creating as needed, and returns that node id.
-    fn node_at_k(
-        nodes: &mut Vec<HierarchyNode>,
-        node_of: &mut [u32],
-        root: u32,
-        k: u32,
-    ) -> u32 {
+    fn node_at_k(nodes: &mut Vec<HierarchyNode>, node_of: &mut [u32], root: u32, k: u32) -> u32 {
         let cur = node_of[root as usize];
         if cur == u32::MAX {
             let id = nodes.len() as u32;
@@ -307,9 +295,8 @@ pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
     }
     let mut nodes = compacted;
 
-    let roots: Vec<u32> = (0..nodes.len() as u32)
-        .filter(|&i| nodes[i as usize].parent.is_none())
-        .collect();
+    let roots: Vec<u32> =
+        (0..nodes.len() as u32).filter(|&i| nodes[i as usize].parent.is_none()).collect();
 
     // Sizes bottom-up.
     fn size_rec(nodes: &mut [HierarchyNode], id: u32) -> usize {
@@ -338,9 +325,22 @@ mod tests {
     fn nested_core_graph() -> hdsd_graph::CsrGraph {
         // K5 {0..4} bridged to a 2-core triangle {5,6,7}, tail 8-9.
         graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
-            (5, 6), (6, 7), (7, 5), (0, 5),
-            (5, 8), (8, 9),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (5, 6),
+            (6, 7),
+            (7, 5),
+            (0, 5),
+            (5, 8),
+            (8, 9),
         ])
     }
 
@@ -369,9 +369,20 @@ mod tests {
         // Two K4s joined through a degree-2 connector vertex 8:
         // the 3-cores are separate; the 2-core is the whole graph.
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 A
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), // K4 B
-            (3, 8), (8, 4), // connector
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4 A
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7), // K4 B
+            (3, 8),
+            (8, 4), // connector
         ]);
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
@@ -397,8 +408,18 @@ mod tests {
         // With a direct bridge edge the union *is* one 3-core (every vertex
         // keeps degree ≥ 3), so the hierarchy must report a single nucleus.
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
             (3, 4),
         ]);
         let sp = CoreSpace::new(&g);
@@ -418,10 +439,21 @@ mod tests {
         // are reported separately. a=0, b=1, c=2, d=3, e=4, f=5, h=7
         // (g=6 pendant on e).
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
-            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4 abcd
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5), // K4 cdef
             (4, 6), // pendant g-e
-            (2, 7), (4, 7), (5, 7), // h adjacent to c,e,f => K4 cefh
+            (2, 7),
+            (4, 7),
+            (5, 7), // h adjacent to c,e,f => K4 cefh
         ]);
         let sp = Nucleus34Space::precomputed(&g);
         let kappa = peel(&sp).kappa;
@@ -513,15 +545,9 @@ mod tests {
         // most steps; we check the aggregate: max leaf density exceeds the
         // root density.
         let root_d = h.node_density(h.roots[0], &sp, &g).density;
-        let best_leaf = h
-            .leaves()
-            .iter()
-            .map(|&l| h.node_density(l, &sp, &g).density)
-            .fold(0.0f64, f64::max);
-        assert!(
-            best_leaf >= root_d,
-            "leaf density {best_leaf} < root density {root_d}"
-        );
+        let best_leaf =
+            h.leaves().iter().map(|&l| h.node_density(l, &sp, &g).density).fold(0.0f64, f64::max);
+        assert!(best_leaf >= root_d, "leaf density {best_leaf} < root density {root_d}");
     }
 
     #[test]

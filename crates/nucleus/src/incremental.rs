@@ -92,10 +92,8 @@ impl IncrementalCore {
     /// Removes a batch of edges (absent edges ignored) and refreshes κ.
     /// Returns the number of sweeps the refresh needed.
     pub fn remove_edges(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
-        let drop: std::collections::HashSet<(u32, u32)> = edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let drop: std::collections::HashSet<(u32, u32)> =
+            edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         let mut b = GraphBuilder::with_capacity(self.graph.num_edges())
             .with_num_vertices(self.graph.num_vertices());
         for &(u, v) in self.graph.edges() {
@@ -107,9 +105,8 @@ impl IncrementalCore {
         // κ never increases under deletion: stale κ (clamped to the new
         // degrees) remains an upper bound.
         let space = CoreSpace::new(&graph);
-        let tau_init: Vec<u32> = (0..graph.num_vertices())
-            .map(|v| self.kappa[v].min(space.degree(v)))
-            .collect();
+        let tau_init: Vec<u32> =
+            (0..graph.num_vertices()).map(|v| self.kappa[v].min(space.degree(v))).collect();
         let r = and_resume(&space, &self.cfg, &Order::Natural, tau_init, &mut |_| {});
         debug_assert!(r.converged);
         self.graph = graph;
@@ -145,8 +142,7 @@ mod tests {
     fn deletions_match_from_scratch() {
         let g = hdsd_datasets::holme_kim(120, 4, 0.5, 3);
         let mut inc = IncrementalCore::new(g);
-        let some_edges: Vec<(u32, u32)> =
-            inc.graph().edges().iter().copied().step_by(17).collect();
+        let some_edges: Vec<(u32, u32)> = inc.graph().edges().iter().copied().step_by(17).collect();
         inc.remove_edges(&some_edges);
         check_exact(&inc);
         // removing a non-existent edge is a no-op
@@ -178,10 +174,7 @@ mod tests {
         };
         let mut inc = IncrementalCore::new(g);
         let sweeps = inc.insert_edges(&[(0, 400)]);
-        assert!(
-            sweeps < cold,
-            "warm start took {sweeps} sweeps, cold start {cold}"
-        );
+        assert!(sweeps < cold, "warm start took {sweeps} sweeps, cold start {cold}");
         check_exact(&inc);
     }
 

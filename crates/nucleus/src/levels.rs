@@ -51,11 +51,7 @@ pub fn degree_levels<S: CliqueSpace>(space: &S) -> DegreeLevels {
     let mut batch: Vec<usize> = Vec::new();
 
     while remaining > 0 {
-        let min_deg = (0..n)
-            .filter(|&i| !removed[i])
-            .map(|i| deg[i])
-            .min()
-            .expect("remaining > 0");
+        let min_deg = (0..n).filter(|&i| !removed[i]).map(|i| deg[i]).min().expect("remaining > 0");
         batch.clear();
         batch.extend((0..n).filter(|&i| !removed[i] && deg[i] == min_deg));
         // Remove the whole batch; a container dies the first time one of
@@ -114,10 +110,17 @@ mod tests {
         // (deg 2 each). a=0, b=1, c=2, d=3, e=4, f=5, g=6.
         graph_from_edges([
             (0, 1), // a-b
-            (1, 2), (1, 6), // b-c, b-g
-            (2, 3), (2, 4), (2, 5), // c-{d,e,f}
-            (6, 3), (6, 4), (6, 5), // g-{d,e,f}
-            (3, 4), (3, 5), (4, 5), // d-e-f triangle
+            (1, 2),
+            (1, 6), // b-c, b-g
+            (2, 3),
+            (2, 4),
+            (2, 5), // c-{d,e,f}
+            (6, 3),
+            (6, 4),
+            (6, 5), // g-{d,e,f}
+            (3, 4),
+            (3, 5),
+            (4, 5), // d-e-f triangle
         ])
     }
 

@@ -55,11 +55,13 @@ pub mod space;
 pub mod toys;
 
 pub use api::{
-    approx_core_numbers, approx_truss_numbers, core_numbers, densest_nucleus,
-    maximum_core_of, maximum_truss_of, nucleus34_numbers, truss_numbers,
+    approx_core_numbers, approx_truss_numbers, core_numbers, densest_nucleus, maximum_core_of,
+    maximum_truss_of, nucleus34_numbers, truss_numbers,
 };
 pub use asynchronous::{and, and_resume, and_with_options, and_without_notification, Order};
-pub use convergence::{ConvergenceResult, IterationEvent, LocalConfig};
+pub use convergence::{
+    ConvergenceResult, IterationEvent, LocalConfig, SweepMode, DEFAULT_CONTAINER_CACHE_BUDGET,
+};
 pub use export::{write_hierarchy_dot, write_kappa_tsv};
 pub use hierarchy::{build_hierarchy, Hierarchy, HierarchyNode};
 pub use incremental::IncrementalCore;
@@ -67,17 +69,19 @@ pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{peel, peel_parallel, PeelResult};
 pub use query::{estimate_core_numbers, estimate_truss_numbers, local_estimate, QueryEstimate};
 pub use snd::{snd, snd_with_observer};
-pub use space::{CliqueSpace, CoreSpace, GenericSpace, Nucleus34Space, TrussSpace, Vertex13Space};
+pub use space::{
+    CliqueSpace, CoreSpace, FlatContainers, GenericSpace, Nucleus34Space, TrussSpace, Vertex13Space,
+};
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::api::{core_numbers, densest_nucleus, truss_numbers};
     pub use crate::asynchronous::{and, Order};
-    pub use crate::convergence::{ConvergenceResult, LocalConfig};
+    pub use crate::convergence::{ConvergenceResult, LocalConfig, SweepMode};
     pub use crate::hierarchy::build_hierarchy;
     pub use crate::levels::degree_levels;
     pub use crate::peel::peel;
     pub use crate::snd::snd;
-    pub use crate::api::{core_numbers, densest_nucleus, truss_numbers};
     pub use crate::space::{
         CliqueSpace, CoreSpace, GenericSpace, Nucleus34Space, TrussSpace, Vertex13Space,
     };

@@ -107,8 +107,7 @@ pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResu
     if n == 0 {
         return PeelResult { kappa: Vec::new(), order: Vec::new(), max_kappa: 0 };
     }
-    let deg: Vec<AtomicU32> =
-        space.initial_degrees().into_iter().map(AtomicU32::new).collect();
+    let deg: Vec<AtomicU32> = space.initial_degrees().into_iter().map(AtomicU32::new).collect();
     // round[i] = batch in which i was peeled (u32::MAX = still alive).
     let round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     let mut kappa = vec![0u32; n];
@@ -119,7 +118,7 @@ pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResu
     let mut frontier: Vec<usize> = Vec::new();
     let mut max_kappa = 0u32;
     // Items whose degree crossed down onto `k` during the decrement pass.
-    let crossed = parking_lot::Mutex::new(Vec::<usize>::new());
+    let crossed = std::sync::Mutex::new(Vec::<usize>::new());
 
     while remaining > 0 {
         if frontier.is_empty() {
@@ -207,7 +206,7 @@ pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResu
                 });
             }
             if !local_crossed.is_empty() {
-                crossed_ref.lock().append(&mut local_crossed);
+                crossed_ref.lock().unwrap().append(&mut local_crossed);
             }
         });
         current_round += 1;
@@ -215,13 +214,11 @@ pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResu
         // Next frontier at the same threshold: the crossings (still alive,
         // deduped — an item crosses at most once, but guard anyway).
         frontier.clear();
-        let mut crossed_items = std::mem::take(&mut *crossed.lock());
+        let mut crossed_items = std::mem::take(&mut *crossed.lock().unwrap());
         crossed_items.sort_unstable();
         crossed_items.dedup();
         frontier.extend(
-            crossed_items
-                .into_iter()
-                .filter(|&i| round[i].load(Ordering::Relaxed) == u32::MAX),
+            crossed_items.into_iter().filter(|&i| round[i].load(Ordering::Relaxed) == u32::MAX),
         );
     }
 
@@ -250,9 +247,18 @@ mod tests {
         // 3-core: K4 on {0,1,2,3}; 2-core: cycle {4,5,6} attached to 0;
         // 1-core: path 7-8 hanging off 4.
         graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (4, 5), (5, 6), (6, 4), (0, 4), // triangle + bridge
-            (4, 7), (7, 8), // tail
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (0, 4), // triangle + bridge
+            (4, 7),
+            (7, 8), // tail
         ])
     }
 
@@ -307,10 +313,20 @@ mod tests {
         // those edges get 1; pendant edges 0.
         // We reproduce the left graph: a=0,b=1,c=2,d=3,e=4,f=5,g=6,h=7.
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
-            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef (via cd)
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4 abcd
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5), // K4 cdef (via cd)
             (4, 6), // pendant g on e
-            (4, 7), (5, 7), // h triangle with e,f
+            (4, 7),
+            (5, 7), // h triangle with e,f
         ]);
         let sp = TrussSpace::precomputed(&g);
         let r = peel(&sp);
@@ -329,7 +345,15 @@ mod tests {
     #[test]
     fn generic_matches_specialized_spaces() {
         let g = graph_from_edges([
-            (0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 2), (1, 3), (0, 4), (1, 4),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 2),
+            (1, 3),
+            (0, 4),
+            (1, 4),
         ]);
         // (1,2)
         let gen12 = GenericSpace::new(&g, 1, 2);

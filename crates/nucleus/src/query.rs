@@ -73,7 +73,8 @@ pub fn local_estimate<S: CliqueSpace>(space: &S, q: usize, t: usize) -> QueryEst
                 // Reads may touch cliques outside the explored ball only
                 // when d == radius boundary neighbors were explored at
                 // d + 1 <= t; cliques never explored read their d_s.
-                let read = |o: usize| -> u32 { tau.get(&o).copied().unwrap_or_else(|| space.degree(o)) };
+                let read =
+                    |o: usize| -> u32 { tau.get(&o).copied().unwrap_or_else(|| space.degree(o)) };
                 let new = update_one_map(space, i, old, &read, &mut buf);
                 curr.push((i, new));
             }
@@ -116,10 +117,7 @@ pub fn estimate_core_numbers(
     iterations: usize,
 ) -> Vec<QueryEstimate> {
     let space = crate::space::CoreSpace::new(graph);
-    queries
-        .iter()
-        .map(|&v| local_estimate(&space, v as usize, iterations))
-        .collect()
+    queries.iter().map(|&v| local_estimate(&space, v as usize, iterations)).collect()
 }
 
 /// Estimates truss numbers (κ₃) for a set of query edges.
@@ -129,10 +127,7 @@ pub fn estimate_truss_numbers(
     iterations: usize,
 ) -> Vec<QueryEstimate> {
     let space = crate::space::TrussSpace::on_the_fly(graph);
-    query_edges
-        .iter()
-        .map(|&e| local_estimate(&space, e as usize, iterations))
-        .collect()
+    query_edges.iter().map(|&e| local_estimate(&space, e as usize, iterations)).collect()
 }
 
 #[cfg(test)]
@@ -156,7 +151,8 @@ mod tests {
             for t in 1..=3usize {
                 let est = local_estimate(&sp, q, t);
                 assert_eq!(
-                    est.estimate, snapshots[t - 1][q],
+                    est.estimate,
+                    snapshots[t - 1][q],
                     "query {q} at t={t} disagrees with global Snd"
                 );
             }

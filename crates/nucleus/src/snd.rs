@@ -11,12 +11,11 @@
 //! facts are asserted (debug) and tested.
 
 use hdsd_hindex::HBuffer;
-use hdsd_parallel::{parallel_for_chunks_with, AtomicU32Vec};
-use std::ops::ControlFlow;
+use hdsd_parallel::{parallel_for_chunks_with, AtomicU32Vec, SchedulerStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::convergence::{ConvergenceResult, IterationEvent, LocalConfig};
-use crate::space::{rho, CliqueSpace};
+use crate::space::{CliqueSpace, FlatAccess, FlatContainers, SweepAccess, WalkAccess};
 
 /// Runs Snd to convergence (or the configured iteration cap).
 pub fn snd<S: CliqueSpace>(space: &S, cfg: &LocalConfig) -> ConvergenceResult {
@@ -25,16 +24,35 @@ pub fn snd<S: CliqueSpace>(space: &S, cfg: &LocalConfig) -> ConvergenceResult {
 
 /// Runs Snd, invoking `observer` after every iteration with the fresh τ
 /// values — the hook behind the convergence-rate and plateau experiments.
+///
+/// Like And, the sweep body runs against the flat container cache when
+/// [`LocalConfig::container_cache_budget`] admits it (Snd revisits every
+/// r-clique every iteration, so it benefits even more from the contiguous
+/// layout); the cache never changes results, only memory traffic.
 pub fn snd_with_observer<S: CliqueSpace>(
     space: &S,
     cfg: &LocalConfig,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
-    let n = space.num_cliques();
-    let tau = AtomicU32Vec::from_vec(space.initial_degrees());
+    let flat =
+        cfg.container_cache_budget.and_then(|budget| FlatContainers::build_within(space, budget));
+    match &flat {
+        Some(f) => snd_driver(&FlatAccess(f), cfg, observer),
+        None => snd_driver(&WalkAccess(space), cfg, observer),
+    }
+}
+
+fn snd_driver<A: SweepAccess>(
+    access: &A,
+    cfg: &LocalConfig,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    let n = access.len();
+    let tau = AtomicU32Vec::from_vec(access.initial());
     let mut tau_prev = vec![0u32; n];
     let mut tau_snapshot = vec![0u32; n];
 
+    let mut scheduler = SchedulerStats::default();
     let mut updates_per_iter = Vec::new();
     let mut processed_per_iter = Vec::new();
     let mut converged = false;
@@ -51,33 +69,35 @@ pub fn snd_with_observer<S: CliqueSpace>(
         let tau_ref = &tau;
         let updates_ref = &updates;
 
-        parallel_for_chunks_with(
-            n,
-            cfg.parallel,
-            HBuffer::new,
-            |buf, range| {
-                let mut local_updates = 0usize;
-                for i in range {
-                    let old = tau_prev_ref[i];
-                    let new = update_one(space, i, old, tau_prev_ref, buf, cfg.preserve_check);
-                    debug_assert!(new <= old, "monotonicity violated at {i}: {old} -> {new}");
-                    if new != old {
-                        tau_ref.set(i, new);
-                        local_updates += 1;
-                    }
+        let sweep_stats = parallel_for_chunks_with(n, cfg.parallel, HBuffer::new, |buf, range| {
+            let mut local_updates = 0usize;
+            for i in range {
+                let old = tau_prev_ref[i];
+                let new = access.recompute(i, old, |o| tau_prev_ref[o], buf, cfg.preserve_check);
+                debug_assert!(new <= old, "monotonicity violated at {i}: {old} -> {new}");
+                if new != old {
+                    tau_ref.set(i, new);
+                    local_updates += 1;
                 }
-                if local_updates > 0 {
-                    updates_ref.fetch_add(local_updates, Ordering::Relaxed);
-                }
-            },
-        );
+            }
+            if local_updates > 0 {
+                updates_ref.fetch_add(local_updates, Ordering::Relaxed);
+            }
+        });
 
+        scheduler.merge(&sweep_stats);
+        scheduler.items_processed += n as u64;
         sweeps += 1;
         let u = updates.load(Ordering::Relaxed);
         updates_per_iter.push(u);
         processed_per_iter.push(n);
         tau.copy_to_slice(&mut tau_snapshot);
-        observer(IterationEvent { iteration: sweeps, tau: &tau_snapshot, updates: u, processed: n });
+        observer(IterationEvent {
+            iteration: sweeps,
+            tau: &tau_snapshot,
+            updates: u,
+            processed: n,
+        });
 
         if u == 0 {
             converged = true;
@@ -99,46 +119,8 @@ pub fn snd_with_observer<S: CliqueSpace>(
         converged,
         updates_per_iter,
         processed_per_iter,
+        scheduler,
     }
-}
-
-/// One τ update for r-clique `i` against the frozen `tau_read` values.
-/// Shared by Snd (reads previous iteration) and the query-driven estimator.
-#[inline]
-pub(crate) fn update_one<S: CliqueSpace>(
-    space: &S,
-    i: usize,
-    old: u32,
-    tau_read: &[u32],
-    buf: &mut HBuffer,
-    preserve_check: bool,
-) -> u32 {
-    if old == 0 {
-        return 0;
-    }
-    if preserve_check {
-        // §4.4: if at least `old` containers have ρ ≥ old, τ is preserved
-        // (H cannot exceed old by monotonicity). Early-exits the walk.
-        let mut qualifying = 0u32;
-        let preserved = space
-            .try_for_each_container(i, |others| {
-                if rho(tau_read, others) >= old {
-                    qualifying += 1;
-                    if qualifying >= old {
-                        return ControlFlow::Break(());
-                    }
-                }
-                ControlFlow::Continue(())
-            })
-            .is_break();
-        if preserved {
-            return old;
-        }
-    }
-    let deg = space.degree(i) as usize;
-    let mut session = buf.session(deg);
-    space.for_each_container(i, |others| session.push(rho(tau_read, others)));
-    session.finish()
 }
 
 #[cfg(test)]
@@ -183,9 +165,20 @@ mod tests {
     #[test]
     fn snd_equals_peeling_on_truss_and_nucleus() {
         let g = graph_from_edges([
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // second K4 via (2,3)
-            (4, 6), (4, 7), (5, 7), // fringe
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5), // second K4 via (2,3)
+            (4, 6),
+            (4, 7),
+            (5, 7), // fringe
         ]);
         let truss = TrussSpace::precomputed(&g);
         assert_eq!(snd(&truss, &LocalConfig::sequential()).tau, peel(&truss).kappa);

@@ -33,9 +33,7 @@ impl CliqueSpace for CoreSpace<'_> {
     }
 
     fn initial_degrees(&self) -> Vec<u32> {
-        (0..self.graph.num_vertices() as VertexId)
-            .map(|v| self.graph.degree(v) as u32)
-            .collect()
+        (0..self.graph.num_vertices() as VertexId).map(|v| self.graph.degree(v) as u32).collect()
     }
 
     fn degree(&self, i: usize) -> u32 {
@@ -73,6 +71,10 @@ impl CliqueSpace for CoreSpace<'_> {
 
     fn name(&self) -> String {
         "(1,2) k-core".to_string()
+    }
+
+    fn prefers_flat_cache(&self) -> bool {
+        false // containers are the CSR neighbor lists; a cache is a copy
     }
 }
 

@@ -138,6 +138,10 @@ impl CliqueSpace for GenericSpace<'_> {
     fn name(&self) -> String {
         format!("({},{}) generic", self.r, self.s)
     }
+
+    fn prefers_flat_cache(&self) -> bool {
+        false // already materialized as flat CSR internally
+    }
 }
 
 /// Enumerates all k-cliques (vertices ascending), concatenated into one
@@ -175,11 +179,8 @@ fn extend_cliques(
             out.extend_from_slice(current);
         } else {
             // New candidates: later candidates adjacent to w.
-            let next: Vec<VertexId> = candidates[i + 1..]
-                .iter()
-                .copied()
-                .filter(|&x| g.has_edge(w, x))
-                .collect();
+            let next: Vec<VertexId> =
+                candidates[i + 1..].iter().copied().filter(|&x| g.has_edge(w, x)).collect();
             extend_cliques(g, k, current, &next, out);
         }
         current.pop();

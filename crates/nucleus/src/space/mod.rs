@@ -14,18 +14,21 @@
 //! `Uτ(R) = H({ρ(S, R)})` aggregates one ρ per container.
 
 pub mod core12;
+pub mod flat;
 pub mod generic;
 pub mod nucleus34;
 pub mod truss23;
 pub mod vertex13;
 
 pub use core12::CoreSpace;
+pub use flat::{others_per_container, FlatContainers};
 pub use generic::GenericSpace;
 pub use nucleus34::Nucleus34Space;
 pub use truss23::TrussSpace;
 pub use vertex13::Vertex13Space;
 
 use hdsd_graph::VertexId;
+use hdsd_hindex::HBuffer;
 
 /// Maximum `binom(s, r) - 1` supported by the fixed-size container buffer.
 /// (1,2) → 1, (2,3) → 2, (3,4) → 3; the generic space may exceed this and
@@ -88,6 +91,147 @@ pub trait CliqueSpace: Sync {
     /// Short human-readable name for reports, e.g. `"(2,3) k-truss"`.
     fn name(&self) -> String {
         format!("({},{}) nucleus", self.r(), self.s())
+    }
+
+    /// Whether materializing a [`FlatContainers`] cache is expected to speed
+    /// up iterative sweeps over this space. Defaults to `true`; spaces whose
+    /// native layout already *is* a flat CSR (the (1,2) core space, the
+    /// generic space) override this to `false` so the sweep drivers skip a
+    /// pointless copy.
+    fn prefers_flat_cache(&self) -> bool {
+        true
+    }
+}
+
+/// Uniform access layer for the hot sweep loops: the same Snd/And kernels
+/// run against either a [`CliqueSpace`] callback walk ([`WalkAccess`]) or a
+/// materialized [`FlatContainers`] cache ([`FlatAccess`]). Monomorphized —
+/// no dynamic dispatch on the per-container path.
+pub(crate) trait SweepAccess: Sync {
+    /// Number of r-cliques.
+    fn len(&self) -> usize;
+
+    /// Initial τ values (the S-degrees).
+    fn initial(&self) -> Vec<u32>;
+
+    /// Recomputes `H({ρ(S, R_i)})` for r-clique `i` against the τ values
+    /// served by `read`, with the §4.4 preserve-τ shortcut against `old`
+    /// when `preserve` is set. Returns the raw h-index (callers clamp).
+    fn recompute<F: Fn(usize) -> u32>(
+        &self,
+        i: usize,
+        old: u32,
+        read: F,
+        buf: &mut HBuffer,
+        preserve: bool,
+    ) -> u32;
+
+    /// Calls `f` for every r-clique sharing a container with `i` (the wake
+    /// set of the notification mechanism). May repeat ids.
+    fn wake<F: FnMut(usize)>(&self, i: usize, f: F);
+}
+
+/// [`SweepAccess`] over the space's own container walk.
+pub(crate) struct WalkAccess<'a, S: CliqueSpace>(pub &'a S);
+
+impl<S: CliqueSpace> SweepAccess for WalkAccess<'_, S> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.num_cliques()
+    }
+
+    fn initial(&self) -> Vec<u32> {
+        self.0.initial_degrees()
+    }
+
+    fn recompute<F: Fn(usize) -> u32>(
+        &self,
+        i: usize,
+        old: u32,
+        read: F,
+        buf: &mut HBuffer,
+        preserve: bool,
+    ) -> u32 {
+        if old == 0 {
+            return 0;
+        }
+        let rho_of = |others: &[usize]| -> u32 {
+            let mut m = u32::MAX;
+            for &o in others {
+                m = m.min(read(o));
+            }
+            m
+        };
+        if preserve {
+            // §4.4: at least `old` containers with ρ ≥ old ⇒ H stays `old`.
+            let mut qualifying = 0u32;
+            let preserved = self
+                .0
+                .try_for_each_container(i, |others| {
+                    if rho_of(others) >= old {
+                        qualifying += 1;
+                        if qualifying >= old {
+                            return std::ops::ControlFlow::Break(());
+                        }
+                    }
+                    std::ops::ControlFlow::Continue(())
+                })
+                .is_break();
+            if preserved {
+                return old;
+            }
+        }
+        let deg = self.0.degree(i) as usize;
+        let mut session = buf.session(deg);
+        self.0.for_each_container(i, |others| session.push(rho_of(others)));
+        session.finish()
+    }
+
+    #[inline]
+    fn wake<F: FnMut(usize)>(&self, i: usize, f: F) {
+        self.0.for_each_neighbor(i, f);
+    }
+}
+
+/// [`SweepAccess`] over a materialized flat cache, using the fused
+/// ρ-min + h-index kernels of `hdsd-hindex`.
+pub(crate) struct FlatAccess<'a>(pub &'a FlatContainers);
+
+impl SweepAccess for FlatAccess<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.num_cliques()
+    }
+
+    fn initial(&self) -> Vec<u32> {
+        (0..self.0.num_cliques()).map(|i| self.0.degree(i)).collect()
+    }
+
+    fn recompute<F: Fn(usize) -> u32>(
+        &self,
+        i: usize,
+        old: u32,
+        read: F,
+        buf: &mut HBuffer,
+        preserve: bool,
+    ) -> u32 {
+        if old == 0 {
+            return 0;
+        }
+        let others = self.0.containers(i);
+        let group = self.0.group();
+        let tau_of = |o: u32| read(o as usize);
+        if preserve && hdsd_hindex::fused_rho_preserves(others, group, old, tau_of) {
+            return old;
+        }
+        buf.fused_rho_h(others, group, tau_of)
+    }
+
+    #[inline]
+    fn wake<F: FnMut(usize)>(&self, i: usize, mut f: F) {
+        for &o in self.0.containers(i) {
+            f(o as usize);
+        }
     }
 }
 

@@ -61,11 +61,8 @@ impl<'g> Nucleus34Space<'g> {
         mut f: F,
     ) -> std::ops::ControlFlow<()> {
         let [a, b, c] = self.triangles.tri_verts[t];
-        let (na, nb, nc) = (
-            self.graph.neighbors(a),
-            self.graph.neighbors(b),
-            self.graph.neighbors(c),
-        );
+        let (na, nb, nc) =
+            (self.graph.neighbors(a), self.graph.neighbors(b), self.graph.neighbors(c));
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
         while i < na.len() && j < nb.len() && k < nc.len() {
             let (x, y, z) = (na[i], nb[j], nc[k]);
@@ -142,9 +139,7 @@ impl CliqueSpace for Nucleus34Space<'_> {
                     let t_acd = self.triangles.triangle_id(self.graph, a, c, d);
                     let t_bcd = self.triangles.triangle_id(self.graph, b, c, d);
                     match (t_abd, t_acd, t_bcd) {
-                        (Some(x), Some(y), Some(z)) => {
-                            f(&[x as usize, y as usize, z as usize])
-                        }
+                        (Some(x), Some(y), Some(z)) => f(&[x as usize, y as usize, z as usize]),
                         _ => unreachable!("extension vertex must close all three triangles"),
                     }
                 })

@@ -46,7 +46,9 @@ impl<'g> TrussSpace<'g> {
     pub fn on_the_fly(graph: &'g CsrGraph) -> Self {
         TrussSpace {
             graph,
-            strategy: Strategy::OnTheFly { tri_counts: hdsd_graph::count_triangles_per_edge(graph) },
+            strategy: Strategy::OnTheFly {
+                tri_counts: hdsd_graph::count_triangles_per_edge(graph),
+            },
         }
     }
 

@@ -37,10 +37,21 @@ pub fn fig2_kappa_order() -> Vec<u32> {
 ///   triangle of one into the other.
 pub fn fig3_nucleus_toy() -> CsrGraph {
     graph_from_edges([
-        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4 abcd
-        (2, 4), (2, 5), (3, 4), (3, 5), (4, 5), // K4 cdef
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 2),
+        (1, 3),
+        (2, 3), // K4 abcd
+        (2, 4),
+        (2, 5),
+        (3, 4),
+        (3, 5),
+        (4, 5), // K4 cdef
         (4, 6), // pendant g on e
-        (2, 7), (4, 7), (5, 7), // h adjacent to c,e,f -> K4 cefh
+        (2, 7),
+        (4, 7),
+        (5, 7), // h adjacent to c,e,f -> K4 cefh
     ])
 }
 
@@ -50,10 +61,17 @@ pub fn fig3_nucleus_toy() -> CsrGraph {
 pub fn fig4_levels_toy() -> CsrGraph {
     graph_from_edges([
         (0, 1),
-        (1, 2), (1, 6),
-        (2, 3), (2, 4), (2, 5),
-        (6, 3), (6, 4), (6, 5),
-        (3, 4), (3, 5), (4, 5),
+        (1, 2),
+        (1, 6),
+        (2, 3),
+        (2, 4),
+        (2, 5),
+        (6, 3),
+        (6, 4),
+        (6, 5),
+        (3, 4),
+        (3, 5),
+        (4, 5),
     ])
 }
 
@@ -70,14 +88,23 @@ pub fn fig5_truss_toy() -> CsrGraph {
     // Dense block around {a,b,c,d,e} plus a lighter wing {f,g,h,i}.
     graph_from_edges([
         (0, 1), // ab
-        (0, 2), (1, 2), // abc
-        (0, 3), (1, 3), // abd
-        (0, 4), (1, 4), // abe
-        (0, 8), (1, 8), // abi
-        (2, 3), (2, 4), (3, 4), // cde clique with a,b
+        (0, 2),
+        (1, 2), // abc
+        (0, 3),
+        (1, 3), // abd
+        (0, 4),
+        (1, 4), // abe
+        (0, 8),
+        (1, 8), // abi
+        (2, 3),
+        (2, 4),
+        (3, 4), // cde clique with a,b
         (2, 8), // ci
-        (4, 5), (5, 6), (4, 6), // efg triangle
-        (5, 7), (6, 7), // fgh triangle
+        (4, 5),
+        (5, 6),
+        (4, 6), // efg triangle
+        (5, 7),
+        (6, 7), // fgh triangle
         (3, 8), // di
     ])
 }

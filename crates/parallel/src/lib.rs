@@ -14,7 +14,9 @@
 
 pub mod scheduling;
 
-pub use scheduling::{parallel_for_chunks, parallel_for_chunks_with, Policy, SchedulerStats};
+pub use scheduling::{
+    parallel_for_chunks, parallel_for_chunks_with, FrontierQueue, Policy, SchedulerStats,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 

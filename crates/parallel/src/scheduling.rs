@@ -7,9 +7,9 @@
 //! (OpenMP `schedule(static)`), which reproduces the load-imbalance
 //! pathology the paper describes for the notification mechanism.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
-use crate::ParallelConfig;
+use crate::{AtomicBitset, ParallelConfig};
 
 /// Scheduling policy for [`parallel_for_chunks`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,15 +20,30 @@ pub enum Policy {
     Static,
 }
 
-/// Per-run scheduler telemetry (chunks processed per worker), used by the
-/// scheduling ablation bench to visualize load imbalance.
+/// Per-run scheduler telemetry, used by the scheduling ablation benches to
+/// visualize load imbalance and to count useful vs wasted sweep work.
+///
+/// `items_processed` / `items_skipped` are filled in by the *callers* of the
+/// scheduling primitives (the decomposition sweeps), which are the only
+/// layer that knows whether an index was real work or an idle flag-check:
+/// under frontier scheduling `items_skipped` stays 0 by construction, while
+/// the full-scan baseline accumulates one skip per idle r-clique visited.
 #[derive(Clone, Debug, Default)]
 pub struct SchedulerStats {
     /// Number of chunks each worker processed.
     pub chunks_per_worker: Vec<usize>,
+    /// Work items actually recomputed.
+    pub items_processed: u64,
+    /// Work items visited but skipped (idle under the notification flags).
+    pub items_skipped: u64,
 }
 
 impl SchedulerStats {
+    /// Stats with only chunk telemetry (item counters zero).
+    pub fn from_chunks(chunks_per_worker: Vec<usize>) -> Self {
+        SchedulerStats { chunks_per_worker, ..Default::default() }
+    }
+
     /// Max/min chunk-count imbalance ratio (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
         let max = self.chunks_per_worker.iter().copied().max().unwrap_or(0);
@@ -42,6 +57,122 @@ impl SchedulerStats {
         } else {
             max as f64 / min as f64
         }
+    }
+
+    /// Folds another run's telemetry into this one (chunk counts add
+    /// index-wise; item counters add).
+    pub fn merge(&mut self, other: &SchedulerStats) {
+        if self.chunks_per_worker.len() < other.chunks_per_worker.len() {
+            self.chunks_per_worker.resize(other.chunks_per_worker.len(), 0);
+        }
+        for (a, &b) in self.chunks_per_worker.iter_mut().zip(&other.chunks_per_worker) {
+            *a += b;
+        }
+        self.items_processed += other.items_processed;
+        self.items_skipped += other.items_skipped;
+    }
+
+    /// Total chunks across workers.
+    pub fn total_chunks(&self) -> usize {
+        self.chunks_per_worker.iter().sum()
+    }
+}
+
+/// A concurrent dedup-on-insert worklist for frontier scheduling.
+///
+/// Holds ids from a fixed universe `0..universe`. Membership is tracked by
+/// an [`AtomicBitset`], so [`FrontierQueue::push`] is an O(1) test-and-set:
+/// an id already scheduled (bit set) is not enqueued twice. Ids accumulate
+/// in a fixed-capacity array via a relaxed bump pointer — the capacity is
+/// the universe size, which dedup makes sufficient by construction.
+///
+/// The intended epoch protocol (asynchronous frontier sweeps):
+///
+/// 1. workers pop items from a *drained snapshot* of the previous epoch,
+///    call [`FrontierQueue::unmark`] on each before recomputing it, and
+///    [`FrontierQueue::push`] every neighbor whose value changed;
+/// 2. after the epoch barrier, [`FrontierQueue::drain_into`] moves the
+///    accumulated ids into the next snapshot (bits stay set — they mean
+///    "scheduled", and the ids are still scheduled, just in the new epoch).
+///
+/// An id woken while it still awaits processing in the current epoch keeps
+/// its bit and is *not* re-enqueued: the pending visit will observe the
+/// newer τ values, exactly the paper's notification semantics.
+#[derive(Debug)]
+pub struct FrontierQueue {
+    items: Vec<AtomicU32>,
+    tail: AtomicUsize,
+    queued: AtomicBitset,
+}
+
+impl FrontierQueue {
+    /// Empty queue over ids `0..universe`, no bits set.
+    pub fn new(universe: usize) -> Self {
+        FrontierQueue {
+            items: (0..universe).map(|_| AtomicU32::new(0)).collect(),
+            tail: AtomicUsize::new(0),
+            queued: AtomicBitset::new(universe, false),
+        }
+    }
+
+    /// Universe size (also the queue capacity).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of ids currently enqueued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail.load(Ordering::Relaxed).min(self.items.len())
+    }
+
+    /// True when nothing is enqueued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `id` unless already scheduled. Returns whether it was
+    /// enqueued now.
+    #[inline]
+    pub fn push(&self, id: u32) -> bool {
+        debug_assert!((id as usize) < self.universe());
+        if self.queued.set(id as usize) {
+            return false; // already scheduled
+        }
+        let slot = self.tail.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(slot < self.items.len(), "FrontierQueue overflow — dedup invariant broken");
+        self.items[slot].store(id, Ordering::Relaxed);
+        true
+    }
+
+    /// Clears `id`'s scheduled bit (call when a worker starts processing
+    /// it). Returns the previous value.
+    #[inline]
+    pub fn unmark(&self, id: u32) -> bool {
+        self.queued.clear(id as usize)
+    }
+
+    /// Whether `id` is currently scheduled.
+    #[inline]
+    pub fn is_marked(&self, id: u32) -> bool {
+        self.queued.get(id as usize)
+    }
+
+    /// Moves all enqueued ids into `out` (appending) and resets the queue's
+    /// buffer. Scheduled bits are left set — the drained ids remain
+    /// scheduled, now owned by the caller's epoch snapshot.
+    ///
+    /// Requires external synchronization (call between epochs, after the
+    /// worker barrier), which is the natural structure of the sweep loop.
+    pub fn drain_into(&self, out: &mut Vec<u32>) {
+        let n = self.len();
+        out.reserve(n);
+        for slot in &self.items[..n] {
+            out.push(slot.load(Ordering::Relaxed));
+        }
+        self.tail.store(0, Ordering::Relaxed);
     }
 }
 
@@ -71,7 +202,7 @@ where
     let threads = cfg.threads.max(1);
     let chunk = cfg.chunk.max(1);
     if n == 0 {
-        return SchedulerStats { chunks_per_worker: vec![0; threads] };
+        return SchedulerStats::from_chunks(vec![0; threads]);
     }
     if threads == 1 {
         let mut s = init();
@@ -83,7 +214,7 @@ where
             done = hi;
             chunks += 1;
         }
-        return SchedulerStats { chunks_per_worker: vec![chunks] };
+        return SchedulerStats::from_chunks(vec![chunks]);
     }
 
     match cfg.policy {
@@ -111,9 +242,9 @@ where
                     });
                 }
             });
-            SchedulerStats {
-                chunks_per_worker: counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            }
+            SchedulerStats::from_chunks(
+                counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            )
         }
         #[allow(clippy::needless_range_loop)]
         Policy::Static => {
@@ -138,9 +269,9 @@ where
                     });
                 }
             });
-            SchedulerStats {
-                chunks_per_worker: counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            }
+            SchedulerStats::from_chunks(
+                counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            )
         }
     }
 }
@@ -238,12 +369,92 @@ mod tests {
 
     #[test]
     fn imbalance_metric() {
-        let s = SchedulerStats { chunks_per_worker: vec![4, 2] };
+        let s = SchedulerStats::from_chunks(vec![4, 2]);
         assert!((s.imbalance() - 2.0).abs() < 1e-12);
-        let z = SchedulerStats { chunks_per_worker: vec![0, 0] };
+        let z = SchedulerStats::from_chunks(vec![0, 0]);
         assert_eq!(z.imbalance(), 1.0);
-        let inf = SchedulerStats { chunks_per_worker: vec![3, 0] };
+        let inf = SchedulerStats::from_chunks(vec![3, 0]);
         assert!(inf.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn frontier_queue_dedups_on_insert() {
+        let q = FrontierQueue::new(16);
+        assert!(q.is_empty());
+        assert!(q.push(3));
+        assert!(q.push(7));
+        assert!(!q.push(3), "second push of a scheduled id must be a no-op");
+        assert_eq!(q.len(), 2);
+        assert!(q.is_marked(3) && q.is_marked(7) && !q.is_marked(0));
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out, vec![3, 7]);
+        assert!(q.is_empty());
+        // Bits survive the drain: the ids are still scheduled (caller owns
+        // them now), so re-pushing is still deduped until unmark.
+        assert!(!q.push(3));
+        assert!(q.unmark(3));
+        assert!(q.push(3));
+    }
+
+    #[test]
+    fn frontier_queue_concurrent_pushes_never_duplicate() {
+        let n = 4096usize;
+        let q = FrontierQueue::new(n);
+        // 4 threads race to push overlapping id ranges.
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..n {
+                        if (i + t) % 2 == 0 {
+                            q.push(i as u32);
+                        }
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        let total = out.len();
+        out.sort_unstable();
+        out.dedup();
+        assert_eq!(out.len(), total, "duplicate ids escaped the dedup bitset");
+        assert_eq!(out.len(), n, "every id pushed by some thread must appear once");
+    }
+
+    #[test]
+    fn frontier_queue_epoch_protocol_round_trip() {
+        let q = FrontierQueue::new(8);
+        for id in [1u32, 5, 2] {
+            q.push(id);
+        }
+        let mut current = Vec::new();
+        q.drain_into(&mut current);
+        // Epoch: process current, waking id+1 for even ids.
+        for &id in &current {
+            q.unmark(id);
+            if id % 2 == 0 {
+                q.push(id + 1);
+            }
+        }
+        let mut next = Vec::new();
+        q.drain_into(&mut next);
+        assert_eq!(next, vec![3]);
+    }
+
+    #[test]
+    fn scheduler_stats_merge_adds() {
+        let mut a = SchedulerStats::from_chunks(vec![1, 2]);
+        a.items_processed = 10;
+        let mut b = SchedulerStats::from_chunks(vec![3, 4, 5]);
+        b.items_processed = 7;
+        b.items_skipped = 2;
+        a.merge(&b);
+        assert_eq!(a.chunks_per_worker, vec![4, 6, 5]);
+        assert_eq!(a.items_processed, 17);
+        assert_eq!(a.items_skipped, 2);
+        assert_eq!(a.total_chunks(), 15);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! slice of the proptest API its tests use: range and tuple strategies,
+//! `collection::vec`, `prop_map`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * no shrinking — a failing case reports its inputs (via the panic
+//!   message of the assert that fired) but is not minimized;
+//! * generation is driven by a fixed-seed SplitMix64 stream, so every run
+//!   of a test explores the same cases (fully reproducible CI).
+
+/// Test-runner plumbing: RNG and configuration.
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream used to drive generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Fixed-seed RNG (every test run sees the same case stream).
+        pub fn deterministic() -> Self {
+            TestRng(0x5EED_CAFE_F00D_D00D)
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be positive.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Per-test configuration (`cases` = iterations to run).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` iterations.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident)+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A B);
+    impl_tuple_strategy!(A B C);
+    impl_tuple_strategy!(A B C D);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with lengths drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// any number of `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_strategy_respect_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let xs = crate::collection::vec(0u32..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+            let fixed = crate::collection::vec(0u32..5, 4).generate(&mut rng);
+            assert_eq!(fixed.len(), 4);
+            let (a, b) = (0u32..10, 5u32..6).generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_with_config_runs(xs in crate::collection::vec(0u32..50, 0..20)) {
+            prop_assert!(xs.len() < 20);
+            prop_assert_eq!(xs.iter().filter(|&&x| x >= 50).count(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config_runs(a in 0u32..4, b in 1usize..3) {
+            prop_assert!(a < 4);
+            prop_assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+}

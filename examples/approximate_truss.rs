@@ -38,7 +38,12 @@ fn main() {
         let stability = 1.0 - ev.updates as f64 / total;
         println!(
             "{:>5} {:>10} {:>12.4} {:>12.3} {:>12.4} {:>12.4}",
-            ev.iteration, ev.updates, kt, stats.exact_fraction, stats.mean_relative_error, stability
+            ev.iteration,
+            ev.updates,
+            kt,
+            stats.exact_fraction,
+            stats.mean_relative_error,
+            stability
         );
     });
 

@@ -56,8 +56,7 @@ fn report<S: CliqueSpace>(space: &S, g: &hdsd::graph::CsrGraph) {
     );
 
     // Print the root-to-leaf chain densities for the largest root.
-    let Some(&root) = forest.roots.iter().max_by_key(|&&r| forest.nodes[r as usize].size)
-    else {
+    let Some(&root) = forest.roots.iter().max_by_key(|&&r| forest.nodes[r as usize].size) else {
         return;
     };
     let mut frontier = vec![(root, 0usize)];

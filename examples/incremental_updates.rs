@@ -49,9 +49,8 @@ fn main() {
             );
         } else {
             let m = inc.graph().num_edges() as u64;
-            let victims: Vec<(u32, u32)> = (0..20)
-                .map(|_| inc.graph().edges()[rand(m) as usize])
-                .collect();
+            let victims: Vec<(u32, u32)> =
+                (0..20).map(|_| inc.graph().edges()[rand(m) as usize]).collect();
             let t = Instant::now();
             let sweeps = inc.remove_edges(&victims);
             println!(

@@ -14,11 +14,7 @@ use hdsd::prelude::*;
 
 fn main() {
     let g = hdsd::datasets::holme_kim(10_000, 8, 0.5, 123);
-    println!(
-        "graph: {} vertices, {} edges",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
 
     // Ground truth (what a full decomposition would cost us).
     let core = CoreSpace::new(&g);
@@ -29,7 +25,10 @@ fn main() {
     let exact_q: Vec<u32> = queries.iter().map(|&q| exact[q as usize]).collect();
 
     println!("\ncore-number estimation, 50 queries:");
-    println!("{:>5} {:>12} {:>12} {:>14} {:>16}", "iters", "exact-frac", "mean-rel-err", "max-abs-err", "avg-explored");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>16}",
+        "iters", "exact-frac", "mean-rel-err", "max-abs-err", "avg-explored"
+    );
     for t in [0usize, 1, 2, 3, 4, 6, 8] {
         let ests = estimate_core_numbers(&g, &queries, t);
         let est_vals: Vec<u32> = ests.iter().map(|e| e.estimate).collect();

@@ -64,7 +64,7 @@ pub mod prelude {
         and, and_without_notification, build_hierarchy, degree_levels, estimate_core_numbers,
         estimate_truss_numbers, local_estimate, peel, peel_parallel, snd, snd_with_observer,
         CliqueSpace, ConvergenceResult, CoreSpace, GenericSpace, LocalConfig, Nucleus34Space,
-        Order, TrussSpace,
+        Order, SweepMode, TrussSpace,
     };
-    pub use hdsd_parallel::ParallelConfig;
+    pub use hdsd_parallel::{ParallelConfig, SchedulerStats};
 }

@@ -139,16 +139,10 @@ fn hierarchy_on_registry_dataset_is_consistent() {
     let kappa = peel(&sp).kappa;
     let forest = build_hierarchy(&sp, &kappa);
     // Spot-check the deepest leaf satisfies its k.
-    let leaf = *forest
-        .leaves()
-        .iter()
-        .max_by_key(|&&l| forest.nodes[l as usize].k)
-        .unwrap();
+    let leaf = *forest.leaves().iter().max_by_key(|&&l| forest.nodes[l as usize].k).unwrap();
     let k = forest.nodes[leaf as usize].k;
     let member_edges = forest.member_cliques(leaf);
-    let sub = GraphBuilder::new()
-        .edges(member_edges.iter().map(|&e| g.edge_endpoints(e)))
-        .build();
+    let sub = GraphBuilder::new().edges(member_edges.iter().map(|&e| g.edge_endpoints(e))).build();
     let counts = hdsd::graph::count_triangles_per_edge(&sub);
     assert!(counts.iter().all(|&c| c >= k), "deepest truss leaf fails its k");
 }

@@ -4,8 +4,8 @@
 //! one hop per synchronous iteration), alongside stress shapes (stars,
 //! cliques, disconnected unions) that probe boundary behaviour.
 
-use hdsd::prelude::*;
 use hdsd::graph::graph_from_edges;
+use hdsd::prelude::*;
 
 /// Path graph 0-1-…-(n−1).
 fn path(n: u32) -> hdsd::graph::CsrGraph {
@@ -141,20 +141,14 @@ fn two_level_onion_converges_level_by_level() {
     let lv = degree_levels(&sp);
     let mut per_iter_convergence: Vec<usize> = Vec::new();
     snd_with_observer(&sp, &LocalConfig::default(), &mut |ev| {
-        per_iter_convergence.push(
-            ev.tau.iter().zip(&exact).filter(|(&a, &b)| a == b).count(),
-        );
+        per_iter_convergence.push(ev.tau.iter().zip(&exact).filter(|(&a, &b)| a == b).count());
     });
     // convergence count is monotone non-decreasing over iterations
     assert!(per_iter_convergence.windows(2).all(|w| w[0] <= w[1]));
     // and everything in levels <= 1 is converged after the first sweep
     let after_one = {
         let r1 = snd(&sp, &LocalConfig::default().max_iterations(1));
-        exact
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| lv.level[i] <= 1)
-            .all(|(i, &k)| r1.tau[i] == k)
+        exact.iter().enumerate().filter(|&(i, _)| lv.level[i] <= 1).all(|(i, &k)| r1.tau[i] == k)
     };
     assert!(after_one, "Theorem 3 at t=1");
 }
@@ -163,14 +157,10 @@ fn two_level_onion_converges_level_by_level() {
 fn duplicate_heavy_input_is_canonicalized_before_decomposition() {
     // The builder dedupes; decomposition must be independent of input noise.
     let clean = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
-    let noisy = graph_from_edges([
-        (0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (2, 0), (0, 2), (2, 2), (1, 1),
-    ]);
+    let noisy =
+        graph_from_edges([(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (2, 0), (0, 2), (2, 2), (1, 1)]);
     assert_eq!(clean.edges(), noisy.edges());
-    assert_eq!(
-        peel(&CoreSpace::new(&clean)).kappa,
-        peel(&CoreSpace::new(&noisy)).kappa
-    );
+    assert_eq!(peel(&CoreSpace::new(&clean)).kappa, peel(&CoreSpace::new(&noisy)).kappa);
 }
 
 #[test]
