@@ -37,12 +37,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     match exp {
         "t3" => t3::run(&env),
-        "f1a" => f1a::run(&env, "truss"),
-        "f6" => {
-            f1a::run(&env, "core");
-            println!();
-            f1a::run(&env, "34");
-        }
+        "f1a" => run_f1a(&env),
+        "f6" => run_f6(&env),
         "f1b" => f1b::run(&env),
         "toys" => toys::run(&env),
         "f5" => f5::run(&env),
@@ -93,12 +89,21 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
 ];
 
 fn run_f1a(env: &Env) {
-    f1a::run(env, "truss");
+    fail_clean(f1a::run(env, "truss"));
 }
 fn run_f6(env: &Env) {
-    f1a::run(env, "core");
+    fail_clean(f1a::run(env, "core"));
     println!();
-    f1a::run(env, "34");
+    fail_clean(f1a::run(env, "34"));
+}
+
+/// Prints a convergence-experiment error and exits non-zero instead of
+/// unwinding through the bench harness.
+fn fail_clean(r: Result<(), String>) {
+    if let Err(e) = r {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    }
 }
 fn run_t4(env: &Env) {
     tables456::run(env, tables456::Which::Core);

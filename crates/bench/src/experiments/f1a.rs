@@ -10,8 +10,13 @@ use hdsd_nucleus::{peel, snd_with_observer, CoreSpace, LocalConfig, Nucleus34Spa
 use crate::{Env, Table};
 
 /// Regenerates the convergence-rate series for one decomposition
-/// (`which` ∈ {"core", "truss", "34"}).
-pub fn run(env: &Env, which: &str) {
+/// (`which` ∈ {"core", "truss", "34"}). Returns an error on an unknown
+/// decomposition name so bench binaries can fail cleanly instead of
+/// panicking.
+pub fn run(env: &Env, which: &str) -> Result<(), String> {
+    if !matches!(which, "core" | "truss" | "34") {
+        return Err(format!("unknown decomposition {which:?} (use core|truss|34)"));
+    }
     println!("Figure 1a — convergence rate (Kendall-τ vs iterations), {which} decomposition\n");
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for d in CONVERGENCE_SET {
@@ -28,11 +33,10 @@ pub fn run(env: &Env, which: &str) {
                 let sp = TrussSpace::precomputed(&g);
                 trace(&sp)
             }
-            "34" => {
+            _ => {
                 let sp = Nucleus34Space::precomputed(&g);
                 trace(&sp)
             }
-            other => panic!("unknown decomposition {other:?} (use core|truss|34)"),
         };
         series.push((d.short_name().to_string(), kts));
     }
@@ -55,6 +59,7 @@ pub fn run(env: &Env, which: &str) {
     }
     println!("\nPaper shape: τ ranking is ~exact (Kendall-τ ≈ 1.0) within ~10 iterations");
     println!("on every graph, long before full convergence.");
+    Ok(())
 }
 
 fn trace<S: hdsd_nucleus::CliqueSpace>(space: &S) -> Vec<f64> {

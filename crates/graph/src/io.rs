@@ -1,4 +1,5 @@
-//! SNAP-style edge-list I/O.
+//! SNAP-style edge-list I/O, plus a versioned binary graph section used by
+//! the `hdsd-service` snapshot format.
 //!
 //! The paper's datasets (as-skitter, soc-LiveJournal, …) ship as whitespace
 //! separated `u v` lines with `#` comments. This reader accepts that format
@@ -6,11 +7,96 @@
 //! otherwise falls back to the synthetic stand-ins in `hdsd-datasets`.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
+
+/// Magic prefix of the binary graph section.
+pub const GRAPH_BINARY_MAGIC: &[u8; 8] = b"HDSDGRPH";
+/// Current binary graph section version.
+pub const GRAPH_BINARY_VERSION: u32 = 1;
+
+/// Writes one little-endian `u32`.
+pub fn write_u32(out: &mut impl Write, v: u32) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+/// Writes one little-endian `u64`.
+pub fn write_u64(out: &mut impl Write, v: u64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+/// Reads one little-endian `u32`.
+pub fn read_u32(input: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    input.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads one little-endian `u64`.
+pub fn read_u64(input: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    input.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes the graph as a self-delimiting binary section: magic, version,
+/// vertex/edge counts, then the canonical `u < v` edge list as `u32` pairs.
+/// Isolated trailing vertices are preserved (unlike the text format).
+pub fn write_graph_binary(g: &CsrGraph, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(GRAPH_BINARY_MAGIC)?;
+    write_u32(out, GRAPH_BINARY_VERSION)?;
+    write_u64(out, g.num_vertices() as u64)?;
+    write_u64(out, g.num_edges() as u64)?;
+    for &(u, v) in g.edges() {
+        write_u32(out, u)?;
+        write_u32(out, v)?;
+    }
+    Ok(())
+}
+
+/// Reads a binary graph section written by [`write_graph_binary`].
+pub fn read_graph_binary(input: &mut impl Read) -> io::Result<CsrGraph> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != GRAPH_BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an hdsd binary graph"));
+    }
+    let version = read_u32(input)?;
+    if version != GRAPH_BINARY_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported graph section version {version}"),
+        ));
+    }
+    let n = read_u64(input)? as usize;
+    let m = read_u64(input)? as usize;
+    // Both counts are untrusted. Ids must fit u32; the vertex count is
+    // additionally tied to the edge count (allowing a generous isolated-id
+    // margin for sparse id spaces) so a corrupt header cannot make
+    // `build()` allocate tens of GB of CSR offsets before any read fails.
+    if n > u32::MAX as usize || m > (u32::MAX as usize) * 16 || n > 16 * m + (1 << 24) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible graph dimensions"));
+    }
+    // Clamp the up-front reservation so a corrupt edge count fails on a
+    // short read rather than attempting a huge allocation.
+    let mut b = GraphBuilder::with_capacity(m.min(1 << 22)).with_num_vertices(n);
+    for _ in 0..m {
+        let u = read_u32(input)?;
+        let v = read_u32(input)?;
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    if g.num_edges() != m || g.num_vertices() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "binary graph section is not canonical (duplicate or self-loop edges)",
+        ));
+    }
+    Ok(g)
+}
 
 /// Reads an edge list. Lines starting with `#` or `%` are comments; blank
 /// lines are skipped; vertex ids must fit in `u32`. Ids are used as-is
@@ -85,6 +171,33 @@ mod tests {
         assert!(read_edge_list_from(Cursor::new("0\n")).is_err());
         assert!(read_edge_list_from(Cursor::new("a b\n")).is_err());
         assert!(read_edge_list_from(Cursor::new("-1 2\n")).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_isolated_vertices() {
+        let g = GraphBuilder::new()
+            .with_num_vertices(10)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        let g2 = read_graph_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g2.num_vertices(), 10);
+    }
+
+    #[test]
+    fn binary_reader_rejects_garbage() {
+        assert!(read_graph_binary(&mut &b"not a graph at all"[..]).is_err());
+        let mut buf = Vec::new();
+        write_graph_binary(&crate::builder::graph_from_edges([(0, 1)]), &mut buf).unwrap();
+        buf[8] = 99; // corrupt the version
+        assert!(read_graph_binary(&mut buf.as_slice()).is_err());
+        // Truncated payload
+        let mut buf = Vec::new();
+        write_graph_binary(&crate::builder::graph_from_edges([(0, 1), (1, 2)]), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_graph_binary(&mut buf.as_slice()).is_err());
     }
 
     #[test]

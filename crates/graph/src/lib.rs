@@ -36,6 +36,7 @@ pub use builder::{graph_from_edges, GraphBuilder};
 pub use cliques4::{count_k4_per_triangle, for_each_k4, total_k4, K4List};
 pub use components::{connected_components, ComponentLabels};
 pub use csr::{CsrGraph, EdgeId, VertexId};
+pub use io::{read_edge_list, read_graph_binary, write_edge_list, write_graph_binary};
 pub use orientation::{degeneracy_order, degree_order, Orientation, VertexOrder};
 pub use parallel_count::{
     count_triangles_per_edge_parallel, total_k4_parallel, total_triangles_parallel,

@@ -141,7 +141,7 @@ pub fn and_with_options<S: CliqueSpace>(
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     let mode = if notification { cfg.sweep_mode } else { SweepMode::FullScan };
-    dispatch(space, cfg, order, mode, None, observer)
+    dispatch(space, cfg, order, mode, None, None, observer)
 }
 
 /// And starting from a caller-provided τ instead of the S-degrees.
@@ -165,7 +165,29 @@ pub fn and_resume<S: CliqueSpace>(
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
-    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), observer)
+    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), None, observer)
+}
+
+/// [`and_resume`] with only `awake` initially scheduled instead of the
+/// whole universe — the incremental-maintenance fast path: after an edge
+/// batch, only the cliques whose τ or containers the batch may have
+/// changed need a first look; everything else is woken on demand by the
+/// notification mechanism.
+///
+/// Exactness does not depend on `awake` being complete: the convergence
+/// protocol's final certification sweep recomputes every clique before
+/// declaring a fixed point, so an under-seeded run costs extra sweeps, not
+/// correctness. (`SweepMode::FullScan` ignores `awake` by construction.)
+pub fn and_resume_awake<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    tau_init: Vec<u32>,
+    awake: &[u32],
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> ConvergenceResult {
+    assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
+    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), Some(awake), observer)
 }
 
 /// Resolves the access layer (flat cache vs callback walk) and the
@@ -178,14 +200,15 @@ fn dispatch<S: CliqueSpace>(
     order: &Order,
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
+    awake: Option<&[u32]>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     let perm = order.permutation(space);
     let flat =
         cfg.container_cache_budget.and_then(|budget| FlatContainers::build_within(space, budget));
     match &flat {
-        Some(f) => drive(&FlatAccess(f), cfg, &perm, mode, tau_init, observer),
-        None => drive(&WalkAccess(space), cfg, &perm, mode, tau_init, observer),
+        Some(f) => drive(&FlatAccess(f), cfg, &perm, mode, tau_init, awake, observer),
+        None => drive(&WalkAccess(space), cfg, &perm, mode, tau_init, awake, observer),
     }
 }
 
@@ -195,12 +218,13 @@ fn drive<A: SweepAccess>(
     perm: &[u32],
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
+    awake: Option<&[u32]>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     if cfg.parallel.threads <= 1 {
-        and_sequential(access, cfg, perm, mode, tau_init, observer)
+        and_sequential(access, cfg, perm, mode, tau_init, awake, observer)
     } else {
-        and_parallel(access, cfg, perm, mode, tau_init, observer)
+        and_parallel(access, cfg, perm, mode, tau_init, awake, observer)
     }
 }
 
@@ -216,12 +240,15 @@ struct EpochFrontier {
 
 impl EpochFrontier {
     /// Builds the worklist with every r-clique scheduled (line 4 of
-    /// Algorithm 3: all start awake).
-    fn seeded(perm: &[u32]) -> Self {
+    /// Algorithm 3: all start awake), or only `awake` when given (the
+    /// incremental warm-start path).
+    fn seeded(perm: &[u32], awake: Option<&[u32]>) -> Self {
         let queue = FrontierQueue::new(perm.len());
         let mut rank = vec![0u32; perm.len()];
         for (k, &i) in perm.iter().enumerate() {
             rank[i as usize] = k as u32;
+        }
+        for &i in awake.unwrap_or(perm) {
             queue.push(i);
         }
         EpochFrontier { queue, rank, snapshot: Vec::with_capacity(perm.len()) }
@@ -258,18 +285,32 @@ struct SeqFrontier {
 }
 
 impl SeqFrontier {
-    fn seeded(perm: &[u32]) -> Self {
+    fn seeded(perm: &[u32], awake: Option<&[u32]>) -> Self {
         let n = perm.len();
         let mut rank = vec![0u32; n];
         for (k, &i) in perm.iter().enumerate() {
             rank[i as usize] = k as u32;
         }
-        SeqFrontier {
-            queued: vec![true; n],
-            next: perm.to_vec(),
-            rank,
-            snapshot: Vec::with_capacity(n),
+        let mut f = match awake {
+            Some(_) => SeqFrontier {
+                queued: vec![false; n],
+                next: Vec::new(),
+                rank,
+                snapshot: Vec::with_capacity(n),
+            },
+            None => SeqFrontier {
+                queued: vec![true; n],
+                next: perm.to_vec(),
+                rank,
+                snapshot: Vec::with_capacity(n),
+            },
+        };
+        if let Some(ids) = awake {
+            for &i in ids {
+                f.push(i as usize);
+            }
         }
+        f
     }
 
     #[inline]
@@ -302,6 +343,7 @@ fn and_sequential<A: SweepAccess>(
     perm: &[u32],
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
+    awake: Option<&[u32]>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     let n = access.len();
@@ -309,10 +351,19 @@ fn and_sequential<A: SweepAccess>(
     let mut buf = HBuffer::new();
 
     let mut frontier =
-        if mode == SweepMode::Frontier { Some(SeqFrontier::seeded(perm)) } else { None };
+        if mode == SweepMode::Frontier { Some(SeqFrontier::seeded(perm, awake)) } else { None };
     // Wake flags, FlagScan only (all r-cliques start active, as in the
-    // paper); the other modes never read them, so don't pay the O(n).
-    let mut active = if mode == SweepMode::FlagScan { vec![true; n] } else { Vec::new() };
+    // paper, unless an initial awake set narrows it); the other modes
+    // never read them, so don't pay the O(n).
+    let mut active = match (mode, awake) {
+        (SweepMode::FlagScan, None) => vec![true; n],
+        (SweepMode::FlagScan, Some(ids)) => {
+            let mut a = vec![false; n];
+            ids.iter().for_each(|&i| a[i as usize] = true);
+            a
+        }
+        _ => Vec::new(),
+    };
 
     let mut scheduler = SchedulerStats::from_chunks(vec![0]);
     let mut updates_per_iter = Vec::new();
@@ -419,15 +470,24 @@ fn and_parallel<A: SweepAccess>(
     perm: &[u32],
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
+    awake: Option<&[u32]>,
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     let n = access.len();
     let tau = AtomicU32Vec::from_vec(tau_init.unwrap_or_else(|| access.initial()));
 
     let mut frontier =
-        if mode == SweepMode::Frontier { Some(EpochFrontier::seeded(perm)) } else { None };
+        if mode == SweepMode::Frontier { Some(EpochFrontier::seeded(perm, awake)) } else { None };
     // Wake flags, FlagScan only; Frontier/FullScan never touch them.
-    let active = AtomicBitset::new(if mode == SweepMode::FlagScan { n } else { 0 }, true);
+    let active =
+        AtomicBitset::new(if mode == SweepMode::FlagScan { n } else { 0 }, awake.is_none());
+    if mode == SweepMode::FlagScan {
+        if let Some(ids) = awake {
+            for &i in ids {
+                active.set(i as usize);
+            }
+        }
+    }
 
     let mut scheduler = SchedulerStats::default();
     let mut updates_per_iter = Vec::new();

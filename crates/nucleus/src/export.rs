@@ -1,13 +1,157 @@
 //! Exporting decomposition results: κ tables as TSV, hierarchies as
-//! GraphViz dot — the artifacts downstream analyses (or a paper's figures)
-//! consume.
+//! GraphViz dot, and the versioned binary **snapshot** format the
+//! `hdsd-service` engine uses for fast restart (graph + per-space κ +
+//! resident hierarchies in one self-contained file).
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 
+use hdsd_graph::io::{read_u32, read_u64, write_u32, write_u64};
 use hdsd_graph::CsrGraph;
 
-use crate::hierarchy::Hierarchy;
+use crate::hierarchy::{Hierarchy, HierarchyNode};
 use crate::space::CliqueSpace;
+
+/// Magic prefix of a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HDSDSNAP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One decomposition's resident state inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpaceSnapshot {
+    /// The `(r, s)` of the decomposition.
+    pub rs: (u32, u32),
+    /// Exact κ per r-clique (ids follow the snapshot graph's space).
+    pub kappa: Vec<u32>,
+    /// The nucleus forest, when it was resident at save time.
+    pub hierarchy: Option<Hierarchy>,
+}
+
+/// A restartable image of a serving engine: the graph plus every
+/// decomposition's κ (and optional hierarchy).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The graph at save time.
+    pub graph: CsrGraph,
+    /// Per-space decomposition state.
+    pub spaces: Vec<SpaceSnapshot>,
+}
+
+fn write_u32_slice(out: &mut impl Write, xs: &[u32]) -> io::Result<()> {
+    write_u64(out, xs.len() as u64)?;
+    for &x in xs {
+        write_u32(out, x)?;
+    }
+    Ok(())
+}
+
+fn read_u32_vec(input: &mut impl Read, cap: u64) -> io::Result<Vec<u32>> {
+    let len = read_u64(input)?;
+    if len > cap {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "snapshot length field too large"));
+    }
+    // The length field is untrusted: clamp the up-front reservation so a
+    // corrupt file fails on a short read instead of a huge allocation.
+    let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+    for _ in 0..len {
+        out.push(read_u32(input)?);
+    }
+    Ok(out)
+}
+
+/// Writes a [`Snapshot`] in the versioned binary format.
+pub fn write_snapshot(snap: &Snapshot, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(SNAPSHOT_MAGIC)?;
+    write_u32(out, SNAPSHOT_VERSION)?;
+    hdsd_graph::write_graph_binary(&snap.graph, out)?;
+    write_u32(out, snap.spaces.len() as u32)?;
+    for sp in &snap.spaces {
+        write_u32(out, sp.rs.0)?;
+        write_u32(out, sp.rs.1)?;
+        write_u32_slice(out, &sp.kappa)?;
+        match &sp.hierarchy {
+            None => write_u32(out, 0)?,
+            Some(h) => {
+                write_u32(out, 1)?;
+                write_u64(out, h.nodes.len() as u64)?;
+                for node in &h.nodes {
+                    write_u32(out, node.k)?;
+                    write_u32(out, node.parent.map_or(u32::MAX, |p| p))?;
+                    write_u32_slice(out, &node.children)?;
+                    write_u32_slice(out, &node.own_cliques)?;
+                    write_u64(out, node.size as u64)?;
+                }
+                write_u32_slice(out, &h.roots)?;
+                write_u32(out, h.rs.0 as u32)?;
+                write_u32(out, h.rs.1 as u32)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a [`Snapshot`] written by [`write_snapshot`], validating magic,
+/// version and structural sanity (lengths, node references).
+pub fn read_snapshot(input: &mut impl Read) -> io::Result<Snapshot> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(bad("not an hdsd snapshot"));
+    }
+    let version = read_u32(input)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(bad(&format!("unsupported snapshot version {version}")));
+    }
+    let graph = hdsd_graph::read_graph_binary(input)?;
+    let num_spaces = read_u32(input)?;
+    if num_spaces > 16 {
+        return Err(bad("implausible space count"));
+    }
+    let mut spaces = Vec::with_capacity(num_spaces as usize);
+    for _ in 0..num_spaces {
+        let rs = (read_u32(input)?, read_u32(input)?);
+        let kappa = read_u32_vec(input, u32::MAX as u64)?;
+        let hierarchy = match read_u32(input)? {
+            0 => None,
+            1 => {
+                let num_nodes = read_u64(input)?;
+                if num_nodes > kappa.len() as u64 * 2 + 16 {
+                    return Err(bad("implausible hierarchy node count"));
+                }
+                let mut nodes = Vec::with_capacity(num_nodes.min(1 << 20) as usize);
+                for _ in 0..num_nodes {
+                    let k = read_u32(input)?;
+                    let parent = match read_u32(input)? {
+                        u32::MAX => None,
+                        p if (p as u64) < num_nodes => Some(p),
+                        _ => return Err(bad("hierarchy parent out of range")),
+                    };
+                    let children = read_u32_vec(input, num_nodes)?;
+                    let own_cliques = read_u32_vec(input, kappa.len() as u64)?;
+                    if own_cliques.iter().any(|&c| c as usize >= kappa.len()) {
+                        return Err(bad("hierarchy own_clique out of range"));
+                    }
+                    let size = read_u64(input)? as usize;
+                    nodes.push(HierarchyNode { k, parent, children, own_cliques, size });
+                }
+                let roots = read_u32_vec(input, num_nodes)?;
+                if roots
+                    .iter()
+                    .chain(nodes.iter().flat_map(|n| &n.children))
+                    .any(|&x| x as u64 >= num_nodes)
+                {
+                    return Err(bad("hierarchy reference out of range"));
+                }
+                let rs_h = (read_u32(input)? as usize, read_u32(input)? as usize);
+                Some(Hierarchy { nodes, roots, rs: rs_h })
+            }
+            _ => return Err(bad("bad hierarchy presence flag")),
+        };
+        spaces.push(SpaceSnapshot { rs, kappa, hierarchy });
+    }
+    Ok(Snapshot { graph, spaces })
+}
 
 /// Writes one `id <TAB> vertices <TAB> kappa` line per r-clique.
 ///
@@ -108,6 +252,73 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         // edge 0 = (0,1), inside the K4: κ3 = 2
         assert!(text.lines().any(|l| l == "0\t0,1\t2"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_graph_kappa_and_hierarchy() {
+        let g = hdsd_datasets::holme_kim(120, 4, 0.5, 5);
+        let core = CoreSpace::new(&g);
+        let truss = TrussSpace::precomputed(&g);
+        let kc = peel(&core).kappa;
+        let kt = peel(&truss).kappa;
+        let hc = build_hierarchy(&core, &kc);
+        let ht = build_hierarchy(&truss, &kt);
+        let snap = Snapshot {
+            graph: g.clone(),
+            spaces: vec![
+                SpaceSnapshot { rs: (1, 2), kappa: kc.clone(), hierarchy: Some(hc.clone()) },
+                SpaceSnapshot { rs: (2, 3), kappa: kt.clone(), hierarchy: Some(ht.clone()) },
+            ],
+        };
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let back = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.graph.edges(), g.edges());
+        assert_eq!(back.graph.num_vertices(), g.num_vertices());
+        assert_eq!(back.spaces.len(), 2);
+        assert_eq!(back.spaces[0].rs, (1, 2));
+        assert_eq!(back.spaces[0].kappa, kc);
+        assert_eq!(back.spaces[0].hierarchy.as_ref().unwrap(), &hc);
+        assert_eq!(back.spaces[1].rs, (2, 3));
+        assert_eq!(back.spaces[1].kappa, kt);
+        assert_eq!(back.spaces[1].hierarchy.as_ref().unwrap(), &ht);
+    }
+
+    #[test]
+    fn snapshot_without_hierarchy_round_trips() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let snap = Snapshot {
+            graph: g,
+            spaces: vec![SpaceSnapshot { rs: (1, 2), kappa: kappa.clone(), hierarchy: None }],
+        };
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let back = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.spaces[0].kappa, kappa);
+        assert!(back.spaces[0].hierarchy.is_none());
+    }
+
+    #[test]
+    fn snapshot_reader_rejects_corruption() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let snap = Snapshot {
+            graph: g,
+            spaces: vec![SpaceSnapshot { rs: (1, 2), kappa, hierarchy: Some(h) }],
+        };
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        assert!(read_snapshot(&mut &b"HDSDJUNKxxxxxxxxxxxx"[..]).is_err());
+        let mut wrong_version = buf.clone();
+        wrong_version[8] = 0xFE;
+        assert!(read_snapshot(&mut wrong_version.as_slice()).is_err());
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() / 2);
+        assert!(read_snapshot(&mut truncated.as_slice()).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hdsd_graph::{density, induced_subgraph, CsrGraph, VertexId};
 use crate::space::CliqueSpace;
 
 /// One nucleus in the hierarchy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HierarchyNode {
     /// The k of this k-(r,s) nucleus.
     pub k: u32,
@@ -38,7 +38,7 @@ pub struct HierarchyNode {
 }
 
 /// The forest of all k-(r,s) nuclei of a graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hierarchy {
     /// All nuclei. `parent`/`children` links always connect a larger-k
     /// child to a smaller-k parent.

@@ -58,19 +58,31 @@ pub use api::{
     approx_core_numbers, approx_truss_numbers, core_numbers, densest_nucleus, maximum_core_of,
     maximum_truss_of, nucleus34_numbers, truss_numbers,
 };
-pub use asynchronous::{and, and_resume, and_with_options, and_without_notification, Order};
+pub use asynchronous::{
+    and, and_resume, and_resume_awake, and_with_options, and_without_notification, Order,
+};
 pub use convergence::{
     ConvergenceResult, IterationEvent, LocalConfig, SweepMode, DEFAULT_CONTAINER_CACHE_BUDGET,
 };
-pub use export::{write_hierarchy_dot, write_kappa_tsv};
+pub use export::{
+    read_snapshot, write_hierarchy_dot, write_kappa_tsv, write_snapshot, Snapshot, SpaceSnapshot,
+};
 pub use hierarchy::{build_hierarchy, Hierarchy, HierarchyNode};
-pub use incremental::IncrementalCore;
+pub use incremental::{
+    clique_key, rebuild_graph, refresh_resume, stale_kappa_map, warm_tau_init, warm_tau_init_local,
+    CliqueKey, CoreKind, Incremental, IncrementalCore, KeyHasher, Nucleus34Kind, RefreshOutcome,
+    SpaceKind, StaleMap, TrussKind, WarmStart,
+};
 pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{peel, peel_parallel, PeelResult};
-pub use query::{estimate_core_numbers, estimate_truss_numbers, local_estimate, QueryEstimate};
+pub use query::{
+    estimate_core_numbers, estimate_truss_numbers, local_estimate, local_estimate_opts,
+    QueryEstimate, QueryOptions,
+};
 pub use snd::{snd, snd_with_observer};
 pub use space::{
-    CliqueSpace, CoreSpace, FlatContainers, GenericSpace, Nucleus34Space, TrussSpace, Vertex13Space,
+    CachedSpace, CliqueSpace, CoreSpace, FlatContainers, GenericSpace, Nucleus34Space, TrussSpace,
+    Vertex13Space,
 };
 
 /// One-stop imports for typical use.

@@ -16,34 +16,96 @@ use std::collections::HashMap;
 
 use crate::space::CliqueSpace;
 
+/// Options for a budgeted local estimation.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Iterations of the local update (`t`). More iterations tighten the
+    /// upper bound toward κ (Theorem 1).
+    pub iterations: usize,
+    /// Maximum r-cliques to pull into the explored ball; `None` explores
+    /// the full `t`-hop neighborhood. A truncated ball keeps the estimate
+    /// a valid upper bound (outside reads fall back to `d_s ≥ κ`) but
+    /// breaks bit-equality with the global Snd trajectory.
+    pub budget: Option<usize>,
+    /// Also compute a κ *lower* bound: the fixpoint of the local update on
+    /// the sub-hypergraph induced by the explored ball (containers whose
+    /// members all lie inside). That restricted universe satisfies its own
+    /// support thresholds, so its peel value at `q` certifies
+    /// `κ(q) ≥ lower` — together with the estimate this brackets
+    /// `lower ≤ κ(q) ≤ estimate`.
+    pub lower_bound: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { iterations: 3, budget: None, lower_bound: false }
+    }
+}
+
 /// Result of one local estimation.
 #[derive(Clone, Debug)]
 pub struct QueryEstimate {
-    /// Estimated κ (equals the global `τ_t` at the query).
+    /// Estimated κ: a certified upper bound (equals the global `τ_t` at
+    /// the query when the ball was not truncated).
     pub estimate: u32,
+    /// Certified lower bound on κ (0 unless [`QueryOptions::lower_bound`]).
+    pub lower: u32,
+    /// `d_s(q)`: the iteration-0 upper bound, for reference.
+    pub degree: u32,
     /// r-cliques touched (size of the explored neighborhood).
     pub explored: usize,
     /// Iterations performed (`t`).
     pub iterations: usize,
+    /// Whether the exploration budget cut the ball short.
+    pub truncated: bool,
 }
 
 /// Estimates κ of r-clique `q` with `t` iterations of the local update,
-/// touching only the `t`-hop neighborhood of `q`.
+/// touching only the `t`-hop neighborhood of `q`. The estimate equals the
+/// global Snd `τ_t(q)` bit-for-bit.
 pub fn local_estimate<S: CliqueSpace>(space: &S, q: usize, t: usize) -> QueryEstimate {
+    local_estimate_opts(space, q, &QueryOptions { iterations: t, budget: None, lower_bound: false })
+}
+
+/// [`local_estimate`] with an exploration budget and optional lower-bound
+/// certificate — the serving engine's query primitive.
+pub fn local_estimate_opts<S: CliqueSpace>(
+    space: &S,
+    q: usize,
+    opts: &QueryOptions,
+) -> QueryEstimate {
     assert!(q < space.num_cliques(), "query clique out of range");
-    // BFS distances up to t in the r-clique adjacency.
+    let t = opts.iterations;
+    let cap = opts.budget.unwrap_or(usize::MAX).max(1);
+    // BFS distances up to t in the r-clique adjacency, stopping at the
+    // exploration budget.
     let mut dist: HashMap<usize, u32> = HashMap::new();
     dist.insert(q, 0);
     let mut frontier = vec![q];
-    for d in 1..=t as u32 {
+    let mut truncated = false;
+    'bfs: for d in 1..=t as u32 {
         let mut next = Vec::new();
         for &i in &frontier {
-            space.for_each_neighbor(i, |o| {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(o) {
-                    e.insert(d);
-                    next.push(o);
+            if dist.len() >= cap {
+                truncated = true;
+                break 'bfs;
+            }
+            let r = space.try_for_each_container(i, |others| {
+                for &o in others {
+                    if !dist.contains_key(&o) {
+                        if dist.len() >= cap {
+                            return std::ops::ControlFlow::Break(());
+                        }
+                        dist.insert(o, d);
+                        next.push(o);
+                    }
                 }
+                std::ops::ControlFlow::Continue(())
             });
+            if r.is_break() {
+                truncated = true;
+                break 'bfs;
+            }
         }
         frontier = next;
         if frontier.is_empty() {
@@ -84,7 +146,82 @@ pub fn local_estimate<S: CliqueSpace>(space: &S, q: usize, t: usize) -> QueryEst
         }
     }
 
-    QueryEstimate { estimate: tau[&q], explored: dist.len(), iterations: t }
+    let lower = if opts.lower_bound { ball_lower_bound(space, q, &dist) } else { 0 };
+    QueryEstimate {
+        estimate: tau[&q],
+        lower,
+        degree: space.degree(q),
+        explored: dist.len(),
+        iterations: t,
+        truncated,
+    }
+}
+
+/// The peel value of `q` in the sub-hypergraph induced by the explored
+/// ball: only containers whose members all lie inside the ball count.
+/// Because that restricted clique set satisfies its own support
+/// thresholds, `κ(q)` in the full graph is at least this value — a local,
+/// certificate-style lower bound in the spirit of Andersen's local dense
+/// subgraph algorithms.
+fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u32>) -> u32 {
+    // Materialize the induced sub-hypergraph once — dense ids, flat CSR
+    // of the inside-ball containers — so the fixpoint descent below is a
+    // contiguous array scan instead of re-running container walks and
+    // hash lookups every iteration (this is the serving engine's
+    // per-request path).
+    let members: Vec<usize> = dist.keys().copied().collect();
+    let index: HashMap<usize, u32> =
+        members.iter().enumerate().map(|(d, &i)| (i, d as u32)).collect();
+    let mut offsets = vec![0usize; members.len() + 1];
+    let mut flat: Vec<u32> = Vec::new();
+    let mut group = 0usize;
+    for (d, &i) in members.iter().enumerate() {
+        space.for_each_container(i, |others| {
+            if others.iter().all(|o| index.contains_key(o)) {
+                group = others.len();
+                for &o in others {
+                    flat.push(index[&o]);
+                }
+            }
+        });
+        offsets[d + 1] = flat.len();
+    }
+    if group == 0 {
+        return 0; // no container lies fully inside the ball
+    }
+
+    // In-place descent to the fixpoint (values only decrease; the h-index
+    // over the restricted container set converges to that sub-hypergraph's
+    // peel value).
+    let mut tau: Vec<u32> =
+        (0..members.len()).map(|d| ((offsets[d + 1] - offsets[d]) / group) as u32).collect();
+    let mut buf = HBuffer::new();
+    loop {
+        let mut changed = false;
+        for d in 0..members.len() {
+            let old = tau[d];
+            if old == 0 {
+                continue;
+            }
+            let mut session = buf.session((offsets[d + 1] - offsets[d]) / group);
+            for chunk in flat[offsets[d]..offsets[d + 1]].chunks_exact(group) {
+                let mut m = u32::MAX;
+                for &o in chunk {
+                    m = m.min(tau[o as usize]);
+                }
+                session.push(m);
+            }
+            let new = session.finish().min(old);
+            if new != old {
+                tau[d] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tau[index[&q] as usize]
 }
 
 /// `update_one` against a map-backed τ lookup.
@@ -192,6 +329,72 @@ mod tests {
         let e3 = local_estimate(&sp, 5, 3);
         assert!(e3.explored >= e1.explored);
         assert!(e1.explored <= g.num_vertices());
+    }
+
+    #[test]
+    fn budget_truncates_but_keeps_upper_bound() {
+        let g = hdsd_datasets::holme_kim(300, 5, 0.5, 8);
+        let sp = CoreSpace::new(&g);
+        let exact = peel(&sp).kappa;
+        let full = local_estimate(&sp, 7, 4);
+        assert!(!full.truncated);
+        for budget in [1usize, 4, 16, 64] {
+            let est = local_estimate_opts(
+                &sp,
+                7,
+                &QueryOptions { iterations: 4, budget: Some(budget), lower_bound: true },
+            );
+            assert!(est.explored <= budget.max(1) + 1, "budget {budget} overshot");
+            assert!(est.estimate >= exact[7], "budget {budget} broke the upper bound");
+            assert!(est.estimate <= est.degree);
+            assert!(est.lower <= exact[7], "budget {budget} broke the lower bound");
+            if budget < full.explored {
+                assert!(est.truncated, "budget {budget} of {} not flagged", full.explored);
+            }
+        }
+        // An unconstrained run reproduces local_estimate exactly.
+        let opts = QueryOptions { iterations: 4, budget: None, lower_bound: false };
+        assert_eq!(local_estimate_opts(&sp, 7, &opts).estimate, full.estimate);
+    }
+
+    #[test]
+    fn lower_bound_brackets_kappa_on_all_spaces() {
+        let g = hdsd_datasets::holme_kim(150, 5, 0.6, 21);
+        let core = CoreSpace::new(&g);
+        let truss = TrussSpace::precomputed(&g);
+        let opts = QueryOptions { iterations: 3, budget: None, lower_bound: true };
+        for q in [0usize, 11, 60, 120] {
+            let exact = peel(&core).kappa;
+            let est = local_estimate_opts(&core, q, &opts);
+            assert!(est.lower <= exact[q] && exact[q] <= est.estimate, "core {q}");
+        }
+        let exact_t = peel(&truss).kappa;
+        for q in [0usize, 25, 80] {
+            let est = local_estimate_opts(&truss, q, &opts);
+            assert!(est.lower <= exact_t[q] && exact_t[q] <= est.estimate, "truss {q}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_exact_on_a_clique() {
+        // Inside K5 every vertex has κ = 4; a 1-hop ball already contains
+        // the whole clique, so the certificate is tight.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((4, 5)); // pendant
+        let g = hdsd_graph::graph_from_edges(edges);
+        let sp = CoreSpace::new(&g);
+        let est = local_estimate_opts(
+            &sp,
+            0,
+            &QueryOptions { iterations: 2, budget: None, lower_bound: true },
+        );
+        assert_eq!(est.lower, 4);
+        assert_eq!(est.estimate, 4);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! An owned, graph-independent snapshot of a clique space.
+//!
+//! Every other [`CliqueSpace`] implementation borrows the [`CsrGraph`] it
+//! was built from, which makes it impossible for a long-lived owner (e.g.
+//! the `hdsd-service` engine) to keep a graph *and* its spaces in one
+//! struct. [`CachedSpace`] breaks the borrow: it materializes the
+//! containers into a [`FlatContainers`] CSR plus the per-clique vertex
+//! lists, and serves the full [`CliqueSpace`] interface from those owned
+//! arrays. Clique ids are identical to the source space's, so κ vectors,
+//! hierarchies and query results computed against either are
+//! interchangeable.
+
+use hdsd_graph::VertexId;
+
+use super::{CliqueSpace, FlatContainers, MAX_OTHERS_INLINE};
+
+/// Owned snapshot of a clique space: flat containers + clique vertex lists.
+#[derive(Clone, Debug)]
+pub struct CachedSpace {
+    rs: (usize, usize),
+    name: String,
+    flat: FlatContainers,
+    /// `r` vertex ids per clique, concatenated.
+    clique_verts: Vec<VertexId>,
+}
+
+impl CachedSpace {
+    /// Materializes `space` into an owned snapshot (one full container
+    /// walk, like [`FlatContainers::build`], plus one `vertices_of` pass).
+    ///
+    /// # Panics
+    /// Panics when the space's container arity exceeds
+    /// [`MAX_OTHERS_INLINE`] (the generic space can; core/truss/nucleus
+    /// cannot).
+    pub fn build<S: CliqueSpace>(space: &S) -> Self {
+        let flat = FlatContainers::build(space);
+        assert!(
+            flat.group() <= MAX_OTHERS_INLINE,
+            "container arity {} exceeds the inline buffer",
+            flat.group()
+        );
+        let r = space.r();
+        let n = space.num_cliques();
+        let mut clique_verts = Vec::with_capacity(n * r);
+        let mut buf = Vec::with_capacity(r);
+        for i in 0..n {
+            buf.clear();
+            space.vertices_of(i, &mut buf);
+            debug_assert_eq!(buf.len(), r, "vertices_of arity mismatch at clique {i}");
+            clique_verts.extend_from_slice(&buf);
+        }
+        CachedSpace { rs: (r, space.s()), name: space.name(), flat, clique_verts }
+    }
+
+    /// The underlying flat container arrays.
+    pub fn flat(&self) -> &FlatContainers {
+        &self.flat
+    }
+
+    /// The `r` vertices of clique `i` as a slice (no allocation).
+    pub fn clique_vertices(&self, i: usize) -> &[VertexId] {
+        let r = self.rs.0;
+        &self.clique_verts[i * r..(i + 1) * r]
+    }
+
+    /// Heap bytes held by the snapshot.
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.heap_bytes() + self.clique_verts.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl CliqueSpace for CachedSpace {
+    fn num_cliques(&self) -> usize {
+        self.flat.num_cliques()
+    }
+
+    fn initial_degrees(&self) -> Vec<u32> {
+        (0..self.flat.num_cliques()).map(|i| self.flat.degree(i)).collect()
+    }
+
+    fn degree(&self, i: usize) -> u32 {
+        self.flat.degree(i)
+    }
+
+    fn try_for_each_container<F: FnMut(&[usize]) -> std::ops::ControlFlow<()>>(
+        &self,
+        i: usize,
+        mut f: F,
+    ) -> std::ops::ControlFlow<()> {
+        let group = self.flat.group();
+        let mut others = [0usize; MAX_OTHERS_INLINE];
+        for chunk in self.flat.containers(i).chunks_exact(group.max(1)) {
+            for (slot, &o) in others.iter_mut().zip(chunk) {
+                *slot = o as usize;
+            }
+            f(&others[..group])?;
+        }
+        std::ops::ControlFlow::Continue(())
+    }
+
+    fn r(&self) -> usize {
+        self.rs.0
+    }
+
+    fn s(&self) -> usize {
+        self.rs.1
+    }
+
+    fn vertices_of(&self, i: usize, out: &mut Vec<VertexId>) {
+        out.extend_from_slice(self.clique_vertices(i));
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    /// Already a flat CSR; a second copy would buy nothing.
+    fn prefers_flat_cache(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CoreSpace, Nucleus34Space, TrussSpace};
+    use super::*;
+    use crate::peel::peel;
+    use hdsd_graph::graph_from_edges;
+
+    fn sample() -> hdsd_graph::CsrGraph {
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (5, 6),
+        ])
+    }
+
+    fn sorted_containers<S: CliqueSpace>(space: &S, i: usize) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = Vec::new();
+        space.for_each_container(i, |o| {
+            let mut c = o.to_vec();
+            c.sort_unstable();
+            v.push(c);
+        });
+        v.sort();
+        v
+    }
+
+    fn assert_equivalent<S: CliqueSpace>(space: &S) {
+        let cached = CachedSpace::build(space);
+        assert_eq!(cached.num_cliques(), space.num_cliques());
+        assert_eq!(cached.r(), space.r());
+        assert_eq!(cached.s(), space.s());
+        assert_eq!(cached.initial_degrees(), space.initial_degrees());
+        for i in 0..space.num_cliques() {
+            assert_eq!(
+                sorted_containers(space, i),
+                sorted_containers(&cached, i),
+                "containers of clique {i}"
+            );
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            space.vertices_of(i, &mut a);
+            cached.vertices_of(i, &mut b);
+            assert_eq!(a, b, "vertices of clique {i}");
+        }
+        // κ computed on the snapshot is bit-identical to the source space.
+        assert_eq!(peel(&cached).kappa, peel(space).kappa);
+    }
+
+    #[test]
+    fn cached_space_is_equivalent_to_source() {
+        let g = sample();
+        assert_equivalent(&CoreSpace::new(&g));
+        assert_equivalent(&TrussSpace::precomputed(&g));
+        assert_equivalent(&TrussSpace::on_the_fly(&g));
+        assert_equivalent(&Nucleus34Space::precomputed(&g));
+        assert_equivalent(&Nucleus34Space::on_the_fly(&g));
+    }
+
+    #[test]
+    fn cached_space_opts_out_of_double_caching() {
+        let g = sample();
+        let cached = CachedSpace::build(&TrussSpace::precomputed(&g));
+        assert!(!cached.prefers_flat_cache());
+        assert!(FlatContainers::build_within(&cached, usize::MAX).is_none());
+        assert!(cached.heap_bytes() > 0);
+    }
+}

@@ -13,6 +13,7 @@
 //! `others` slice passed to the container callback, and
 //! `Uτ(R) = H({ρ(S, R)})` aggregates one ρ per container.
 
+pub mod cached;
 pub mod core12;
 pub mod flat;
 pub mod generic;
@@ -20,6 +21,7 @@ pub mod nucleus34;
 pub mod truss23;
 pub mod vertex13;
 
+pub use cached::CachedSpace;
 pub use core12::CoreSpace;
 pub use flat::{others_per_container, FlatContainers};
 pub use generic::GenericSpace;

@@ -1,0 +1,103 @@
+//! Property tests for query-driven local estimation (the Theorem-1
+//! guarantees the serving engine leans on): on random Holme–Kim graphs,
+//! for every clique space, `local_estimate` must satisfy
+//! `κ(q) ≤ estimate ≤ d_s(q)` and reproduce the global Snd trajectory
+//! `τ_t(q)` bit-for-bit.
+
+use hdsd_nucleus::{
+    local_estimate, local_estimate_opts, peel, snd_with_observer, CliqueSpace, CoreSpace,
+    LocalConfig, Nucleus34Space, QueryOptions, TrussSpace,
+};
+use proptest::prelude::*;
+
+fn arb_holme_kim() -> impl Strategy<Value = hdsd_graph::CsrGraph> {
+    (20u32..70, 2u32..5, 0u32..=100, 0u64..1_000_000)
+        .prop_map(|(n, m, p, seed)| hdsd_datasets::holme_kim(n, m, p as f64 / 100.0, seed))
+}
+
+/// Exhaustive check of one space: every estimate is bracketed by
+/// `[κ(q), d_s(q)]`, matches the global Snd `τ_t(q)` exactly, and the
+/// optional lower bound never exceeds κ.
+fn check_space<S: CliqueSpace>(space: &S, queries: &[usize], iterations: &[usize]) {
+    if space.num_cliques() == 0 {
+        return;
+    }
+    let exact = peel(space).kappa;
+    // Record the exact global τ_t snapshots.
+    let mut snapshots: Vec<Vec<u32>> = Vec::new();
+    snd_with_observer(space, &LocalConfig::sequential(), &mut |ev| {
+        snapshots.push(ev.tau.to_vec());
+    });
+    for &q in queries {
+        let q = q % space.num_cliques();
+        for &t in iterations {
+            let est = local_estimate(space, q, t);
+            assert!(
+                est.estimate >= exact[q],
+                "{}: estimate {} below κ {} at q={q}, t={t}",
+                space.name(),
+                est.estimate,
+                exact[q]
+            );
+            assert!(
+                est.estimate <= space.degree(q),
+                "{}: estimate above d_s at q={q}, t={t}",
+                space.name()
+            );
+            assert_eq!(est.degree, space.degree(q));
+            // Bit-for-bit: τ_t(q) from the global synchronous run. After
+            // global convergence the trajectory is constant.
+            let global = match snapshots.get(t.saturating_sub(1)) {
+                Some(snap) if t >= 1 => snap[q],
+                _ if t == 0 => space.degree(q),
+                _ => *snapshots.last().map(|s| &s[q]).unwrap_or(&space.degree(q)),
+            };
+            assert_eq!(
+                est.estimate,
+                global,
+                "{}: local estimate diverges from global Snd at q={q}, t={t}",
+                space.name()
+            );
+            // The certificate interval brackets κ.
+            let opts = QueryOptions { iterations: t, budget: None, lower_bound: true };
+            let bounded = local_estimate_opts(space, q, &opts);
+            assert_eq!(bounded.estimate, est.estimate, "options path must agree");
+            assert!(
+                bounded.lower <= exact[q],
+                "{}: lower bound {} above κ {} at q={q}",
+                space.name(),
+                bounded.lower,
+                exact[q]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn estimate_brackets_kappa_and_matches_snd_on_all_spaces(g in arb_holme_kim()) {
+        let queries = [0usize, 7, 13, 29, 57];
+        let iterations = [0usize, 1, 2, 4];
+        check_space(&CoreSpace::new(&g), &queries, &iterations);
+        check_space(&TrussSpace::precomputed(&g), &queries, &iterations);
+        check_space(&Nucleus34Space::precomputed(&g), &queries, &iterations);
+    }
+
+    #[test]
+    fn budgeted_estimates_stay_sound(g in arb_holme_kim(), budget in 1usize..64) {
+        let sp = TrussSpace::precomputed(&g);
+        if sp.num_cliques() > 0 {
+            let exact = peel(&sp).kappa;
+            for q in [0usize, 11, 47] {
+                let q = q % sp.num_cliques();
+                let opts = QueryOptions { iterations: 3, budget: Some(budget), lower_bound: true };
+                let est = local_estimate_opts(&sp, q, &opts);
+                prop_assert!(est.lower <= exact[q]);
+                prop_assert!(est.estimate >= exact[q]);
+                prop_assert!(est.estimate <= sp.degree(q));
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! `hdsd-serve` — the query-serving daemon.
+//!
+//! ```text
+//! hdsd-serve [--graph FILE | --snapshot FILE | --synthetic N,M,P,SEED | --demo]
+//!            [--spaces core,truss,34] [--threads N] [--listen ADDR:PORT]
+//!
+//!   --graph FILE       SNAP-style edge list to serve
+//!   --snapshot FILE    binary snapshot (fast restart: graph + κ + hierarchy)
+//!   --synthetic SPEC   Holme–Kim generator, e.g. 20000,8,0.5,7
+//!   --demo             tiny fixed graph (two K4s sharing an edge + tail)
+//!   --spaces LIST      resident decompositions    (default core,truss)
+//!   --threads N        refresh sweep threads      (default 1)
+//!   --listen ADDR      serve TCP instead of stdin (e.g. 127.0.0.1:7171)
+//! ```
+//!
+//! Protocol: one JSON request per line, one JSON response per line — see
+//! `hdsd_service::protocol`. `{"op":"shutdown"}` stops the server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+
+use hdsd_nucleus::{read_snapshot, LocalConfig};
+use hdsd_service::{Engine, EngineConfig, Server, SpaceSel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("hdsd-serve: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut graph_path = None;
+    let mut snapshot_path = None;
+    let mut synthetic = None;
+    let mut demo = false;
+    let mut spaces = vec![SpaceSel::Core, SpaceSel::Truss];
+    let mut threads = 1usize;
+    let mut listen = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--graph" => graph_path = Some(value(&mut i)?),
+            "--snapshot" => snapshot_path = Some(value(&mut i)?),
+            "--synthetic" => synthetic = Some(value(&mut i)?),
+            "--demo" => demo = true,
+            "--spaces" => {
+                spaces = value(&mut i)?
+                    .split(',')
+                    .map(|s| {
+                        SpaceSel::parse(s.trim())
+                            .ok_or_else(|| format!("unknown space {s:?} (core|truss|34)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                threads = value(&mut i)?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--listen" => listen = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of src/bin/serve.rs");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+
+    let local =
+        if threads <= 1 { LocalConfig::sequential() } else { LocalConfig::with_threads(threads) };
+    let cfg = EngineConfig { spaces, local };
+
+    let engine = if let Some(path) = snapshot_path {
+        let file = std::fs::File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let snap = read_snapshot(&mut std::io::BufReader::new(file))
+            .map_err(|e| format!("read snapshot {path:?}: {e}"))?;
+        Engine::from_snapshot(snap, local)?
+    } else {
+        let graph = if let Some(path) = graph_path {
+            hdsd_graph::read_edge_list(&path).map_err(|e| format!("read {path:?}: {e}"))?
+        } else if let Some(spec) = synthetic {
+            let parts: Vec<&str> = spec.split(',').collect();
+            if parts.len() != 4 {
+                return Err("--synthetic wants N,M_ATTACH,P_TRIAD,SEED".to_string());
+            }
+            let n: u32 = parts[0].trim().parse().map_err(|e| format!("bad N: {e}"))?;
+            let m: u32 = parts[1].trim().parse().map_err(|e| format!("bad M: {e}"))?;
+            let p: f64 = parts[2].trim().parse().map_err(|e| format!("bad P: {e}"))?;
+            let seed: u64 = parts[3].trim().parse().map_err(|e| format!("bad SEED: {e}"))?;
+            hdsd_datasets::holme_kim(n, m, p, seed)
+        } else if demo {
+            hdsd_graph::graph_from_edges([
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+            ])
+        } else {
+            return Err("no input: pass --graph, --snapshot, --synthetic or --demo (see --help)"
+                .to_string());
+        };
+        Engine::new(graph, &cfg)
+    };
+
+    {
+        let s = engine.stats();
+        eprintln!(
+            "hdsd-serve: {} vertices, {} edges; resident: {}",
+            s.vertices,
+            s.edges,
+            s.spaces
+                .iter()
+                .map(|(name, cliques, max_k, _)| format!(
+                    "{name}({cliques} cliques, max κ {max_k})"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let server = Server::new(engine);
+    match listen {
+        None => serve_stdio(server),
+        Some(addr) => serve_tcp(server, &addr),
+    }
+}
+
+fn serve_stdio(mut server: Server) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let h = server.handle_line(&line);
+        writeln!(out, "{}", h.response)
+            .and_then(|_| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+        if h.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("hdsd-serve: listening on {}", listener.local_addr().map_err(|e| e.to_string())?);
+    let server = Arc::new(Mutex::new(server));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    for conn in listener.incoming() {
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hdsd-serve: accept: {e}");
+                continue;
+            }
+        };
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        // Workers are detached, not joined: a client idling in a
+        // line-read must not keep the daemon alive after shutdown —
+        // returning from this function exits the process and drops every
+        // open connection.
+        std::thread::spawn(move || {
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("hdsd-serve: clone stream: {e}");
+                    return;
+                }
+            };
+            for line in BufReader::new(stream).lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(_) => break,
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    break; // another connection already shut the server down
+                }
+                // One request at a time across connections: the engine is
+                // a single mutable resource (updates rewrite the graph).
+                let h = server.lock().expect("engine lock").handle_line(&line);
+                if writeln!(writer, "{}", h.response).and_then(|_| writer.flush()).is_err() {
+                    break;
+                }
+                if h.shutdown {
+                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                    // Nudge the accept loop so it observes the stop flag.
+                    if let Ok(addr) = writer.local_addr() {
+                        let _ = std::net::TcpStream::connect(addr);
+                    }
+                    return;
+                }
+            }
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,677 @@
+//! The long-lived serving engine: one graph, per-space resident
+//! decomposition state, and the request operations of the protocol.
+//!
+//! The engine answers the paper's §1/§6 query-driven scenario without
+//! global recomputation:
+//!
+//! * **exact lookups** read the resident κ vectors (O(1));
+//! * **budgeted estimates** run [`local_estimate_opts`] on an owned
+//!   [`CachedSpace`], returning the Theorem-1 interval
+//!   `lower ≤ κ(q) ≤ estimate` plus exploration telemetry;
+//! * **region queries** resolve against a lazily-built resident
+//!   [`Hierarchy`] (Sarıyüce–Pınar's "keep the nucleus forest as the
+//!   index" idea);
+//! * **edge batches** refresh every space with the warm-started,
+//!   candidate-lifted [`and_resume_awake`] instead of decomposing from
+//!   scratch;
+//! * **snapshots** serialize graph + κ + hierarchies for fast restart.
+
+use std::time::Instant;
+
+use hdsd_graph::{CsrGraph, VertexId};
+use hdsd_nucleus::hierarchy::NucleusDensity;
+use hdsd_nucleus::{
+    build_hierarchy, clique_key, local_estimate_opts, peel, rebuild_graph, refresh_resume,
+    stale_kappa_map, CachedSpace, CliqueSpace, CoreSpace, Hierarchy, LocalConfig, Nucleus34Space,
+    QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, StaleMap, TrussSpace,
+};
+
+/// Which decomposition a request addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpaceSel {
+    /// (1,2): k-core over vertices.
+    Core,
+    /// (2,3): k-truss over edges.
+    Truss,
+    /// (3,4): nucleus over triangles.
+    Nucleus34,
+}
+
+impl SpaceSel {
+    /// Parses the protocol's space names.
+    pub fn parse(name: &str) -> Option<SpaceSel> {
+        match name {
+            "core" | "12" => Some(SpaceSel::Core),
+            "truss" | "23" => Some(SpaceSel::Truss),
+            "nucleus34" | "34" => Some(SpaceSel::Nucleus34),
+            _ => None,
+        }
+    }
+
+    /// Protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpaceSel::Core => "core",
+            SpaceSel::Truss => "truss",
+            SpaceSel::Nucleus34 => "nucleus34",
+        }
+    }
+
+    /// The `(r, s)` pair.
+    pub fn rs(self) -> (u32, u32) {
+        match self {
+            SpaceSel::Core => (1, 2),
+            SpaceSel::Truss => (2, 3),
+            SpaceSel::Nucleus34 => (3, 4),
+        }
+    }
+
+    fn build_cached(self, graph: &CsrGraph) -> CachedSpace {
+        match self {
+            SpaceSel::Core => CachedSpace::build(&CoreSpace::new(graph)),
+            SpaceSel::Truss => CachedSpace::build(&TrussSpace::on_the_fly(graph)),
+            SpaceSel::Nucleus34 => CachedSpace::build(&Nucleus34Space::on_the_fly(graph)),
+        }
+    }
+}
+
+/// Engine construction options.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Decompositions to keep resident. The (3,4) space costs the most to
+    /// build; enable it when the workload asks for it.
+    pub spaces: Vec<SpaceSel>,
+    /// Sweep configuration for refreshes.
+    pub local: LocalConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            spaces: vec![SpaceSel::Core, SpaceSel::Truss],
+            local: LocalConfig::sequential(),
+        }
+    }
+}
+
+/// Hierarchy plus the clique → node index used by region queries.
+struct HierarchyIndex {
+    forest: Hierarchy,
+    /// For each r-clique, the node whose `own_cliques` contains it
+    /// (`u32::MAX` for cliques in no nucleus).
+    node_of: Vec<u32>,
+}
+
+impl HierarchyIndex {
+    fn build(space: &CachedSpace, kappa: &[u32]) -> Self {
+        Self::from_forest(build_hierarchy(space, kappa), space.num_cliques())
+    }
+
+    /// Wraps an existing forest (freshly built or snapshot-restored) with
+    /// the clique → node inverted index.
+    fn from_forest(forest: Hierarchy, num_cliques: usize) -> Self {
+        let mut node_of = vec![u32::MAX; num_cliques];
+        for (id, node) in forest.nodes.iter().enumerate() {
+            for &c in &node.own_cliques {
+                node_of[c as usize] = id as u32;
+            }
+        }
+        HierarchyIndex { forest, node_of }
+    }
+}
+
+struct SpaceState {
+    sel: SpaceSel,
+    cached: CachedSpace,
+    kappa: Vec<u32>,
+    hierarchy: Option<HierarchyIndex>,
+    /// Clique identity → id, shared by vertex-addressed lookups and the
+    /// next refresh's stale map. Lazily built, invalidated on update.
+    ids: Option<StaleMap>,
+}
+
+impl SpaceState {
+    fn fresh(sel: SpaceSel, graph: &CsrGraph) -> SpaceState {
+        let cached = sel.build_cached(graph);
+        let kappa = peel(&cached).kappa;
+        SpaceState { sel, cached, kappa, hierarchy: None, ids: None }
+    }
+
+    fn ensure_ids(&mut self) -> &StaleMap {
+        if self.ids.is_none() {
+            let mut map = StaleMap::default();
+            map.reserve(self.cached.num_cliques());
+            let mut scratch = Vec::new();
+            for i in 0..self.cached.num_cliques() {
+                map.insert(clique_key(&self.cached, i, &mut scratch), i as u32);
+            }
+            self.ids = Some(map);
+        }
+        self.ids.as_ref().unwrap()
+    }
+
+    fn ensure_hierarchy(&mut self) -> &HierarchyIndex {
+        if self.hierarchy.is_none() {
+            self.hierarchy = Some(HierarchyIndex::build(&self.cached, &self.kappa));
+        }
+        self.hierarchy.as_ref().unwrap()
+    }
+}
+
+/// Summary of one nucleus (a hierarchy node).
+#[derive(Clone, Debug)]
+pub struct NucleusSummary {
+    /// Node id in the resident hierarchy.
+    pub node: u32,
+    /// Threshold k of the nucleus.
+    pub k: u32,
+    /// Total r-cliques inside (own + descendants).
+    pub size: usize,
+}
+
+/// A materialized dense region around a query clique.
+#[derive(Clone, Debug)]
+pub struct RegionReport {
+    /// Hierarchy node id.
+    pub node: u32,
+    /// Threshold k (equals κ of the query clique).
+    pub k: u32,
+    /// r-cliques in the region.
+    pub size: usize,
+    /// The region's vertex set.
+    pub vertices: Vec<VertexId>,
+    /// Density summary of the induced subgraph.
+    pub density: NucleusDensity,
+}
+
+/// Telemetry of one space's warm refresh.
+#[derive(Clone, Debug)]
+pub struct SpaceRefresh {
+    /// Space name.
+    pub space: &'static str,
+    /// Sweeps the resumed run needed (including certification).
+    pub sweeps: usize,
+    /// r-clique recomputations across the refresh.
+    pub processed: u64,
+    /// Cliques seeded awake (batch-perturbed).
+    pub awake: usize,
+    /// Surviving cliques lifted by the candidate traversal.
+    pub lifted: usize,
+}
+
+/// Result of applying one edge batch.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Edges actually inserted (after dedup).
+    pub inserted: u32,
+    /// Edges actually removed.
+    pub removed: u32,
+    /// Per-space refresh telemetry.
+    pub spaces: Vec<SpaceRefresh>,
+    /// Wall time of the whole update (graph rebuild + all refreshes).
+    pub wall_us: u64,
+}
+
+/// Point-in-time engine statistics.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Vertices in the current graph.
+    pub vertices: usize,
+    /// Edges in the current graph.
+    pub edges: usize,
+    /// Edge batches applied since construction/restore.
+    pub updates_applied: u64,
+    /// Per-space: (name, clique count, max κ, hierarchy resident?).
+    pub spaces: Vec<(String, usize, u32, bool)>,
+}
+
+/// The long-lived query-serving engine.
+pub struct Engine {
+    graph: CsrGraph,
+    states: Vec<SpaceState>,
+    local: LocalConfig,
+    updates_applied: u64,
+}
+
+impl Engine {
+    /// Builds the engine with a full decomposition of every configured
+    /// space.
+    pub fn new(graph: CsrGraph, cfg: &EngineConfig) -> Engine {
+        let states = cfg.spaces.iter().map(|&sel| SpaceState::fresh(sel, &graph)).collect();
+        Engine { graph, states, local: cfg.local, updates_applied: 0 }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Configured spaces.
+    pub fn spaces(&self) -> Vec<SpaceSel> {
+        self.states.iter().map(|s| s.sel).collect()
+    }
+
+    fn state(&self, sel: SpaceSel) -> Result<&SpaceState, String> {
+        self.states
+            .iter()
+            .find(|s| s.sel == sel)
+            .ok_or_else(|| format!("space {:?} not resident (enable it at startup)", sel.name()))
+    }
+
+    fn state_mut(&mut self, sel: SpaceSel) -> Result<&mut SpaceState, String> {
+        self.states
+            .iter_mut()
+            .find(|s| s.sel == sel)
+            .ok_or_else(|| format!("space {:?} not resident (enable it at startup)", sel.name()))
+    }
+
+    /// Exact κ of r-clique `id` (a resident-vector read).
+    pub fn kappa_of(&self, sel: SpaceSel, id: usize) -> Result<u32, String> {
+        let st = self.state(sel)?;
+        st.kappa.get(id).copied().ok_or_else(|| format!("clique id {id} out of range"))
+    }
+
+    /// Number of r-cliques in a space.
+    pub fn num_cliques(&self, sel: SpaceSel) -> Result<usize, String> {
+        Ok(self.state(sel)?.cached.num_cliques())
+    }
+
+    /// The full resident κ vector of a space.
+    pub fn kappa_vector(&self, sel: SpaceSel) -> Result<&[u32], String> {
+        Ok(&self.state(sel)?.kappa)
+    }
+
+    /// The vertices of r-clique `id`.
+    pub fn clique_vertices(&self, sel: SpaceSel, id: usize) -> Result<Vec<VertexId>, String> {
+        let st = self.state(sel)?;
+        if id >= st.cached.num_cliques() {
+            return Err(format!("clique id {id} out of range"));
+        }
+        Ok(st.cached.clique_vertices(id).to_vec())
+    }
+
+    /// Resolves an r-clique by its vertex set (vertex for core, endpoint
+    /// pair for truss, triangle for (3,4)).
+    pub fn resolve(&mut self, sel: SpaceSel, vertices: &[VertexId]) -> Result<usize, String> {
+        let expect_r = sel.rs().0 as usize;
+        if vertices.len() != expect_r {
+            return Err(format!(
+                "space {:?} addresses {expect_r}-cliques, got {} vertices",
+                sel.name(),
+                vertices.len()
+            ));
+        }
+        // Cheap direct paths that need no index.
+        match sel {
+            SpaceSel::Core => {
+                let v = vertices[0] as usize;
+                return if v < self.state(sel)?.cached.num_cliques() {
+                    Ok(v)
+                } else {
+                    Err(format!("vertex {v} out of range"))
+                };
+            }
+            SpaceSel::Truss => {
+                if let Some(e) = self.graph.edge_id(vertices[0], vertices[1]) {
+                    return Ok(e as usize);
+                }
+                return Err(format!("edge ({}, {}) not in graph", vertices[0], vertices[1]));
+            }
+            SpaceSel::Nucleus34 => {}
+        }
+        let mut key = [VertexId::MAX; 3];
+        let mut sorted = vertices.to_vec();
+        sorted.sort_unstable();
+        for (slot, &v) in key.iter_mut().zip(&sorted) {
+            *slot = v;
+        }
+        let st = self.state_mut(sel)?;
+        st.ensure_ids()
+            .get(&key)
+            .map(|&i| i as usize)
+            .ok_or_else(|| format!("triangle {sorted:?} not in graph"))
+    }
+
+    /// Budgeted local estimate with the Theorem-1 bound interval.
+    pub fn estimate(
+        &self,
+        sel: SpaceSel,
+        id: usize,
+        opts: &QueryOptions,
+    ) -> Result<QueryEstimate, String> {
+        let st = self.state(sel)?;
+        if id >= st.cached.num_cliques() {
+            return Err(format!("clique id {id} out of range"));
+        }
+        Ok(local_estimate_opts(&st.cached, id, opts))
+    }
+
+    /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
+    pub fn nuclei_at(&mut self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
+        let st = self.state_mut(sel)?;
+        let hi = st.ensure_hierarchy();
+        let mut out: Vec<NucleusSummary> = hi
+            .forest
+            .nuclei_at(k)
+            .into_iter()
+            .map(|node| NucleusSummary { node, k, size: hi.forest.nodes[node as usize].size })
+            .collect();
+        out.sort_by_key(|n| std::cmp::Reverse(n.size));
+        Ok(out)
+    }
+
+    /// The densest region containing r-clique `id`: the maximal nucleus in
+    /// which it first participates (its own node in the hierarchy).
+    pub fn region_of(&mut self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
+        self.state_mut(sel)?.ensure_hierarchy();
+        let st = self.state(sel)?;
+        if id >= st.cached.num_cliques() {
+            return Err(format!("clique id {id} out of range"));
+        }
+        let hi = st.hierarchy.as_ref().unwrap();
+        let node = hi.node_of[id];
+        if node == u32::MAX {
+            return Err(format!("clique {id} participates in no s-clique (no nucleus)"));
+        }
+        Ok(self.materialize_node(st, node))
+    }
+
+    /// A materialized hierarchy node by id (used by the `nuclei` op's
+    /// drill-down).
+    pub fn node_region(&mut self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
+        self.state_mut(sel)?.ensure_hierarchy();
+        let st = self.state(sel)?;
+        if node as usize >= st.hierarchy.as_ref().unwrap().forest.len() {
+            return Err(format!("hierarchy node {node} out of range"));
+        }
+        Ok(self.materialize_node(st, node))
+    }
+
+    fn materialize_node(&self, st: &SpaceState, node: u32) -> RegionReport {
+        let hi = st.hierarchy.as_ref().unwrap();
+        let vertices = hi.forest.member_vertices(node, &st.cached);
+        let density = hi.forest.node_density(node, &st.cached, &self.graph);
+        RegionReport {
+            node,
+            k: hi.forest.nodes[node as usize].k,
+            size: hi.forest.nodes[node as usize].size,
+            vertices,
+            density,
+        }
+    }
+
+    /// Applies an edge batch and refreshes every resident space via the
+    /// candidate-lifted warm start.
+    pub fn update(
+        &mut self,
+        insert: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+    ) -> UpdateReport {
+        let start = Instant::now();
+        let before = self.graph.num_edges();
+        let (new_graph, inserted) = rebuild_graph(&self.graph, insert, remove);
+        let removed = (before + inserted as usize - new_graph.num_edges()) as u32;
+        let ins_ends: Vec<VertexId> = insert.iter().flat_map(|&(u, v)| [u, v]).collect();
+        let rm_ends: Vec<VertexId> = remove.iter().flat_map(|&(u, v)| [u, v]).collect();
+
+        let mut reports = Vec::with_capacity(self.states.len());
+        for st in &mut self.states {
+            // Stale κ by identity: reuse the id index when resident,
+            // otherwise walk the cached space once.
+            let stale: StaleMap = match st.ids.take() {
+                Some(ids) => {
+                    let mut m = ids;
+                    for v in m.values_mut() {
+                        *v = st.kappa[*v as usize];
+                    }
+                    m
+                }
+                None => stale_kappa_map(&st.cached, &st.kappa),
+            };
+            let fresh = st.sel.build_cached(&new_graph);
+            let out = refresh_resume(&stale, &fresh, &ins_ends, &rm_ends, inserted, &self.local);
+            reports.push(SpaceRefresh {
+                space: st.sel.name(),
+                sweeps: out.result.sweeps,
+                processed: out.result.total_processed(),
+                awake: out.awake,
+                lifted: out.lifted,
+            });
+            st.cached = fresh;
+            st.kappa = out.result.tau;
+            st.hierarchy = None;
+            st.ids = None;
+        }
+        self.graph = new_graph;
+        self.updates_applied += 1;
+        UpdateReport {
+            inserted,
+            removed,
+            spaces: reports,
+            wall_us: start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Serializes the engine (building any missing hierarchy so the
+    /// snapshot restores with the full serving index resident).
+    pub fn to_snapshot(&mut self) -> Snapshot {
+        let spaces = self
+            .states
+            .iter_mut()
+            .map(|st| {
+                st.ensure_hierarchy();
+                SpaceSnapshot {
+                    rs: st.sel.rs(),
+                    kappa: st.kappa.clone(),
+                    hierarchy: st.hierarchy.as_ref().map(|h| h.forest.clone()),
+                }
+            })
+            .collect();
+        Snapshot { graph: self.graph.clone(), spaces }
+    }
+
+    /// Restores an engine from a snapshot: spaces are re-materialized from
+    /// the graph (cheap relative to decomposing), κ and hierarchies are
+    /// adopted as-is after a length check.
+    pub fn from_snapshot(snap: Snapshot, local: LocalConfig) -> Result<Engine, String> {
+        let mut states = Vec::with_capacity(snap.spaces.len());
+        for sp in snap.spaces {
+            let sel = match sp.rs {
+                (1, 2) => SpaceSel::Core,
+                (2, 3) => SpaceSel::Truss,
+                (3, 4) => SpaceSel::Nucleus34,
+                other => return Err(format!("snapshot contains unknown space {other:?}")),
+            };
+            let cached = sel.build_cached(&snap.graph);
+            if cached.num_cliques() != sp.kappa.len() {
+                return Err(format!(
+                    "snapshot κ length {} does not match rebuilt {} space ({} cliques)",
+                    sp.kappa.len(),
+                    sel.name(),
+                    cached.num_cliques()
+                ));
+            }
+            let hierarchy =
+                sp.hierarchy.map(|forest| HierarchyIndex::from_forest(forest, sp.kappa.len()));
+            states.push(SpaceState { sel, cached, kappa: sp.kappa, hierarchy, ids: None });
+        }
+        Ok(Engine { graph: snap.graph, states, local, updates_applied: 0 })
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            vertices: self.graph.num_vertices(),
+            edges: self.graph.num_edges(),
+            updates_applied: self.updates_applied,
+            spaces: self
+                .states
+                .iter()
+                .map(|st| {
+                    (
+                        st.sel.name().to_string(),
+                        st.cached.num_cliques(),
+                        st.kappa.iter().copied().max().unwrap_or(0),
+                        st.hierarchy.is_some(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsd_graph::graph_from_edges;
+
+    fn demo_graph() -> CsrGraph {
+        // Two K4s sharing the edge (2,3), plus a tail 5-6.
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (5, 6),
+        ])
+    }
+
+    fn full_config() -> EngineConfig {
+        EngineConfig {
+            spaces: vec![SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34],
+            local: LocalConfig::sequential(),
+        }
+    }
+
+    #[test]
+    fn lookups_match_peeling_across_spaces() {
+        let g = hdsd_datasets::holme_kim(120, 4, 0.5, 3);
+        let mut engine = Engine::new(g.clone(), &full_config());
+        assert_eq!(engine.kappa_of(SpaceSel::Core, 5).unwrap(), peel(&CoreSpace::new(&g)).kappa[5]);
+        let kt = peel(&TrussSpace::precomputed(&g)).kappa;
+        for e in [0usize, 17, 80] {
+            assert_eq!(engine.kappa_of(SpaceSel::Truss, e).unwrap(), kt[e]);
+        }
+        // Vertex-addressed resolution agrees with id-addressed lookups.
+        let (u, v) = g.edges()[17];
+        let id = engine.resolve(SpaceSel::Truss, &[u, v]).unwrap();
+        assert_eq!(id, 17);
+        assert!(engine.kappa_of(SpaceSel::Truss, 1 << 20).is_err());
+        assert!(engine.resolve(SpaceSel::Truss, &[0]).is_err());
+    }
+
+    #[test]
+    fn estimates_bracket_exact_kappa() {
+        let g = hdsd_datasets::holme_kim(150, 5, 0.5, 11);
+        let engine = Engine::new(g.clone(), &EngineConfig::default());
+        let exact = peel(&CoreSpace::new(&g)).kappa;
+        for q in [0usize, 40, 90] {
+            let est = engine
+                .estimate(
+                    SpaceSel::Core,
+                    q,
+                    &QueryOptions { iterations: 3, budget: Some(500), lower_bound: true },
+                )
+                .unwrap();
+            assert!(est.lower <= exact[q] && exact[q] <= est.estimate, "vertex {q}");
+        }
+    }
+
+    #[test]
+    fn region_and_nuclei_come_from_the_resident_hierarchy() {
+        let mut engine = Engine::new(demo_graph(), &full_config());
+        // Vertex 6 has κ=1; its densest region is the whole 1-core.
+        let r = engine.region_of(SpaceSel::Core, 6).unwrap();
+        assert_eq!(r.k, 1);
+        assert_eq!(r.vertices.len(), 7);
+        // Vertex 0's region: the 3-core spanning both K4s.
+        let r0 = engine.region_of(SpaceSel::Core, 0).unwrap();
+        assert_eq!(r0.k, 3);
+        assert_eq!(r0.vertices, vec![0, 1, 2, 3, 4, 5]);
+        // Truss: the K4s share edge (2,3), so triangle connectivity fuses
+        // them into a single 2-truss spanning all six clique vertices.
+        let e01 = engine.graph().edge_id(0, 1).unwrap() as usize;
+        let rt = engine.region_of(SpaceSel::Truss, e01).unwrap();
+        assert_eq!(rt.k, 2);
+        assert_eq!(rt.vertices, vec![0, 1, 2, 3, 4, 5]);
+        let nuclei = engine.nuclei_at(SpaceSel::Truss, 2).unwrap();
+        assert_eq!(nuclei.len(), 1);
+        let drill = engine.node_region(SpaceSel::Truss, nuclei[0].node).unwrap();
+        assert_eq!(drill.vertices.len(), 6);
+        // The (3,4) nuclei do NOT merge across the shared edge (the
+        // paper's Figure-3 point): two 1-(3,4) nuclei.
+        let n34 = engine.nuclei_at(SpaceSel::Nucleus34, 1).unwrap();
+        assert_eq!(n34.len(), 2);
+    }
+
+    #[test]
+    fn updates_keep_every_space_exact() {
+        let g = hdsd_datasets::holme_kim(80, 4, 0.6, 17);
+        let mut engine = Engine::new(g, &full_config());
+        for round in 0..3u32 {
+            let rm: Vec<(u32, u32)> = engine
+                .graph()
+                .edges()
+                .iter()
+                .copied()
+                .skip(round as usize * 2)
+                .step_by(37)
+                .take(3)
+                .collect();
+            let ins: Vec<(u32, u32)> =
+                (0..3).map(|i| (round * 5 + i, (round * 9 + 2 * i + 33) % 80)).collect();
+            let report = engine.update(&ins, &rm);
+            assert_eq!(report.spaces.len(), 3);
+            let g2 = engine.graph().clone();
+            assert_eq!(
+                engine.state(SpaceSel::Core).unwrap().kappa,
+                peel(&CoreSpace::new(&g2)).kappa
+            );
+            assert_eq!(
+                engine.state(SpaceSel::Truss).unwrap().kappa,
+                peel(&TrussSpace::precomputed(&g2)).kappa
+            );
+            assert_eq!(
+                engine.state(SpaceSel::Nucleus34).unwrap().kappa,
+                peel(&Nucleus34Space::precomputed(&g2)).kappa
+            );
+            // Region queries still work against the refreshed state.
+            let _ = engine.region_of(SpaceSel::Core, 0).unwrap();
+        }
+        assert_eq!(engine.stats().updates_applied, 3);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_answers() {
+        let g = hdsd_datasets::holme_kim(100, 4, 0.5, 23);
+        let mut engine = Engine::new(g, &full_config());
+        engine.update(&[(0, 50), (1, 51)], &[]);
+        let _ = engine.region_of(SpaceSel::Core, 0).unwrap();
+        let snap = engine.to_snapshot();
+        let mut back = Engine::from_snapshot(snap, LocalConfig::sequential()).unwrap();
+        assert_eq!(back.graph().edges(), engine.graph().edges());
+        for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
+            assert_eq!(
+                back.state(sel).unwrap().kappa,
+                engine.state(sel).unwrap().kappa,
+                "{}",
+                sel.name()
+            );
+            // Hierarchies were serialized resident.
+            assert!(back.state(sel).unwrap().hierarchy.is_some());
+        }
+        // And the restored engine keeps serving + updating.
+        let r = back.region_of(SpaceSel::Core, 0).unwrap();
+        assert_eq!(r.vertices, engine.region_of(SpaceSel::Core, 0).unwrap().vertices);
+        back.update(&[(2, 60)], &[]);
+        let g2 = back.graph().clone();
+        assert_eq!(back.state(SpaceSel::Core).unwrap().kappa, peel(&CoreSpace::new(&g2)).kappa);
+    }
+}

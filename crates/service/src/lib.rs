@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # hdsd-service
+//!
+//! A long-lived query-serving engine over the nucleus decompositions —
+//! the paper's §1/§6 query-driven, dynamic scenario as a process:
+//!
+//! * an [`Engine`] owns a graph plus resident per-space state (κ vectors,
+//!   owned [`hdsd_nucleus::CachedSpace`]s, lazily-built hierarchies);
+//! * point lookups are vector reads; budgeted estimates run the local
+//!   algorithm with a Theorem-1 `lower ≤ κ ≤ estimate` interval; region
+//!   queries materialize nuclei from the resident hierarchy;
+//! * edge batches refresh κ with the candidate-lifted warm start
+//!   ([`hdsd_nucleus::warm_tau_init_local`] + `and_resume_awake`) instead
+//!   of recomputing, exactly;
+//! * [`hdsd_nucleus::Snapshot`]s restart the engine without decomposing.
+//!
+//! The `hdsd-serve` binary speaks a line-delimited JSON protocol
+//! ([`protocol`]) over stdin/stdout or TCP, with per-request telemetry.
+
+pub mod engine;
+pub mod json;
+pub mod protocol;
+
+pub use engine::{
+    Engine, EngineConfig, EngineStats, NucleusSummary, RegionReport, SpaceRefresh, SpaceSel,
+    UpdateReport,
+};
+pub use json::Json;
+pub use protocol::{Handled, Server};

@@ -1,0 +1,423 @@
+//! The line-delimited JSON request protocol.
+//!
+//! One request per line in, one response per line out, over stdin/stdout
+//! or a TCP connection. Every response carries `"ok"` plus per-request
+//! telemetry (`micros`, and op-specific counters: sweeps for updates,
+//! explored cliques for estimates).
+//!
+//! ```text
+//! → {"op":"kappa","space":"core","id":4}
+//! ← {"ok":true,"space":"core","id":4,"kappa":3,"vertices":[4],"micros":12}
+//! → {"op":"estimate","space":"truss","vertices":[0,1],"iterations":3,"budget":4096}
+//! ← {"ok":true,"estimate":2,"lower":2,"interval":[2,2],...}
+//! → {"op":"update","insert":[[7,9]],"remove":[[0,3]]}
+//! ← {"ok":true,"inserted":1,"removed":1,"spaces":[{"space":"core","sweeps":3,...}],...}
+//! ```
+//!
+//! Ops: `stats`, `kappa`, `estimate`, `nuclei`, `region`, `node`,
+//! `insert`, `remove`, `update`, `save`, `shutdown`.
+
+use std::time::Instant;
+
+use hdsd_graph::VertexId;
+use hdsd_nucleus::{write_snapshot, QueryOptions};
+
+use crate::engine::{Engine, RegionReport, SpaceSel};
+use crate::json::{obj, Json};
+
+/// Stateful request handler wrapping an [`Engine`].
+pub struct Server {
+    engine: Engine,
+    started: Instant,
+    requests: u64,
+}
+
+/// A handled request: the response line plus whether to shut down.
+pub struct Handled {
+    /// Response JSON (no trailing newline).
+    pub response: String,
+    /// True when the request asked the server to stop.
+    pub shutdown: bool,
+}
+
+impl Server {
+    /// Wraps an engine.
+    pub fn new(engine: Engine) -> Server {
+        Server { engine, started: Instant::now(), requests: 0 }
+    }
+
+    /// The wrapped engine (for tests and benches).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Handles one request line, returning the response line.
+    pub fn handle_line(&mut self, line: &str) -> Handled {
+        let start = Instant::now();
+        self.requests += 1;
+        let (mut response, shutdown) = match self.dispatch(line) {
+            Ok((fields, shutdown)) => {
+                let mut members = vec![("ok".to_string(), Json::Bool(true))];
+                if let Json::Obj(rest) = fields {
+                    members.extend(rest);
+                }
+                (Json::Obj(members), shutdown)
+            }
+            Err(e) => (obj([("ok", Json::Bool(false)), ("error", e.into())]), false),
+        };
+        if let Json::Obj(members) = &mut response {
+            members.push(("micros".to_string(), (start.elapsed().as_micros() as u64).into()));
+        }
+        Handled { response: response.to_string(), shutdown }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(Json, bool), String> {
+        let req = Json::parse(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field \"op\"".to_string())?;
+        let fields = match op {
+            "stats" => self.stats(),
+            "kappa" => self.kappa(&req)?,
+            "estimate" => self.estimate(&req)?,
+            "nuclei" => self.nuclei(&req)?,
+            "region" => self.region(&req)?,
+            "node" => self.node(&req)?,
+            "insert" => self.update(Some(&req), None)?,
+            "remove" => self.update(None, Some(&req))?,
+            "update" => self.update(Some(&req), Some(&req))?,
+            "save" => self.save(&req)?,
+            "shutdown" => return Ok((obj([("bye", true.into())]), true)),
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok((fields, false))
+    }
+
+    fn space_of(&self, req: &Json) -> Result<SpaceSel, String> {
+        let name = req
+            .get("space")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field \"space\"".to_string())?;
+        SpaceSel::parse(name).ok_or_else(|| format!("unknown space {name:?} (core|truss|34)"))
+    }
+
+    /// Resolves the addressed clique: `"id"` directly, or `"vertices"`
+    /// (vertex / edge endpoints / triangle) through the engine's index.
+    fn clique_of(&mut self, req: &Json, sel: SpaceSel) -> Result<usize, String> {
+        if let Some(id) = req.get("id") {
+            return id.as_usize().ok_or_else(|| "\"id\" must be a non-negative integer".into());
+        }
+        if let Some(vs) = req.get("vertices") {
+            let vs = vs.as_array().ok_or("\"vertices\" must be an array")?;
+            let verts: Option<Vec<VertexId>> =
+                vs.iter().map(|v| v.as_u64().map(|x| x as VertexId)).collect();
+            let verts = verts.ok_or("\"vertices\" must contain non-negative integers")?;
+            return self.engine.resolve(sel, &verts);
+        }
+        Err("request needs \"id\" or \"vertices\"".to_string())
+    }
+
+    fn stats(&self) -> Json {
+        let s = self.engine.stats();
+        obj([
+            ("vertices", s.vertices.into()),
+            ("edges", s.edges.into()),
+            ("updates_applied", s.updates_applied.into()),
+            ("requests", self.requests.into()),
+            ("uptime_ms", (self.started.elapsed().as_millis() as u64).into()),
+            (
+                "spaces",
+                s.spaces
+                    .iter()
+                    .map(|(name, cliques, max_k, resident)| {
+                        obj([
+                            ("space", name.as_str().into()),
+                            ("cliques", (*cliques).into()),
+                            ("max_kappa", (*max_k).into()),
+                            ("hierarchy_resident", (*resident).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn kappa(&mut self, req: &Json) -> Result<Json, String> {
+        let sel = self.space_of(req)?;
+        let id = self.clique_of(req, sel)?;
+        let kappa = self.engine.kappa_of(sel, id)?;
+        let vertices = self.engine.clique_vertices(sel, id)?;
+        Ok(obj([
+            ("space", sel.name().into()),
+            ("id", id.into()),
+            ("kappa", kappa.into()),
+            ("vertices", vertices.into_iter().collect()),
+        ]))
+    }
+
+    fn estimate(&mut self, req: &Json) -> Result<Json, String> {
+        let sel = self.space_of(req)?;
+        let id = self.clique_of(req, sel)?;
+        let opts = QueryOptions {
+            iterations: req.get("iterations").and_then(Json::as_usize).unwrap_or(3),
+            budget: req.get("budget").and_then(Json::as_usize),
+            lower_bound: req.get("lower_bound").and_then(Json::as_bool).unwrap_or(true),
+        };
+        let est = self.engine.estimate(sel, id, &opts)?;
+        Ok(obj([
+            ("space", sel.name().into()),
+            ("id", id.into()),
+            ("estimate", est.estimate.into()),
+            ("lower", est.lower.into()),
+            ("interval", [est.lower, est.estimate].into_iter().collect()),
+            ("degree", est.degree.into()),
+            ("explored", est.explored.into()),
+            ("iterations", est.iterations.into()),
+            ("truncated", est.truncated.into()),
+        ]))
+    }
+
+    fn nuclei(&mut self, req: &Json) -> Result<Json, String> {
+        let sel = self.space_of(req)?;
+        let k = req
+            .get("k")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing integer field \"k\"".to_string())? as u32;
+        let limit = req.get("limit").and_then(Json::as_usize).unwrap_or(32);
+        let nuclei = self.engine.nuclei_at(sel, k)?;
+        let total = nuclei.len();
+        Ok(obj([
+            ("space", sel.name().into()),
+            ("k", k.into()),
+            ("total", total.into()),
+            (
+                "nuclei",
+                nuclei
+                    .into_iter()
+                    .take(limit)
+                    .map(|n| {
+                        obj([("node", n.node.into()), ("k", n.k.into()), ("size", n.size.into())])
+                    })
+                    .collect(),
+            ),
+        ]))
+    }
+
+    fn region_json(r: RegionReport, sel: SpaceSel, max_vertices: usize) -> Json {
+        let total = r.vertices.len();
+        obj([
+            ("space", sel.name().into()),
+            ("node", r.node.into()),
+            ("k", r.k.into()),
+            ("size", r.size.into()),
+            ("num_vertices", total.into()),
+            ("vertices", r.vertices.into_iter().take(max_vertices).collect()),
+            ("edges", r.density.edges.into()),
+            ("density", r.density.density.into()),
+        ])
+    }
+
+    fn region(&mut self, req: &Json) -> Result<Json, String> {
+        let sel = self.space_of(req)?;
+        let id = self.clique_of(req, sel)?;
+        let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
+        let r = self.engine.region_of(sel, id)?;
+        Ok(Self::region_json(r, sel, max_vertices))
+    }
+
+    fn node(&mut self, req: &Json) -> Result<Json, String> {
+        let sel = self.space_of(req)?;
+        let node = req
+            .get("node")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing integer field \"node\"".to_string())? as u32;
+        let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
+        let r = self.engine.node_region(sel, node)?;
+        Ok(Self::region_json(r, sel, max_vertices))
+    }
+
+    fn edges_field(req: &Json, field: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
+        let xs = match req.get(field) {
+            None => return Ok(Vec::new()),
+            Some(v) => v.as_array().ok_or(format!("\"{field}\" must be an array of [u, v]"))?,
+        };
+        xs.iter()
+            .map(|pair| {
+                let p = pair.as_array().filter(|p| p.len() == 2);
+                match p {
+                    Some([u, v]) => match (u.as_u64(), v.as_u64()) {
+                        (Some(u), Some(v)) => Ok((u as VertexId, v as VertexId)),
+                        _ => Err(format!("\"{field}\" entries must be integer pairs")),
+                    },
+                    _ => Err(format!("\"{field}\" entries must be [u, v] pairs")),
+                }
+            })
+            .collect()
+    }
+
+    fn update(&mut self, ins_req: Option<&Json>, rm_req: Option<&Json>) -> Result<Json, String> {
+        let insert = match ins_req {
+            Some(req) => {
+                let named = Self::edges_field(req, "insert")?;
+                if named.is_empty() {
+                    Self::edges_field(req, "edges")?
+                } else {
+                    named
+                }
+            }
+            None => Vec::new(),
+        };
+        let remove = match rm_req {
+            Some(req) => {
+                let named = Self::edges_field(req, "remove")?;
+                if named.is_empty() && ins_req.is_none() {
+                    Self::edges_field(req, "edges")?
+                } else {
+                    named
+                }
+            }
+            None => Vec::new(),
+        };
+        if insert.is_empty() && remove.is_empty() {
+            return Err("empty update: provide \"insert\"/\"remove\" (or \"edges\")".to_string());
+        }
+        let report = self.engine.update(&insert, &remove);
+        Ok(obj([
+            ("inserted", report.inserted.into()),
+            ("removed", report.removed.into()),
+            ("wall_micros", report.wall_us.into()),
+            (
+                "spaces",
+                report
+                    .spaces
+                    .iter()
+                    .map(|s| {
+                        obj([
+                            ("space", s.space.into()),
+                            ("sweeps", s.sweeps.into()),
+                            ("processed", s.processed.into()),
+                            ("awake", s.awake.into()),
+                            ("lifted", s.lifted.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ]))
+    }
+
+    fn save(&mut self, req: &Json) -> Result<Json, String> {
+        let path = req
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field \"path\"".to_string())?;
+        let snap = self.engine.to_snapshot();
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        write_snapshot(&snap, &mut out).map_err(|e| format!("write {path:?}: {e}"))?;
+        use std::io::Write as _;
+        out.flush().map_err(|e| format!("flush {path:?}: {e}"))?;
+        Ok(obj([("path", path.into()), ("spaces", snap.spaces.len().into())]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use hdsd_graph::graph_from_edges;
+    use hdsd_nucleus::LocalConfig;
+
+    fn demo_server() -> Server {
+        let g = graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (5, 6),
+        ]);
+        let cfg = EngineConfig {
+            spaces: vec![SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34],
+            local: LocalConfig::sequential(),
+        };
+        Server::new(Engine::new(g, &cfg))
+    }
+
+    fn ok(server: &mut Server, line: &str) -> Json {
+        let h = server.handle_line(line);
+        let v = Json::parse(&h.response).expect("response is valid JSON");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line} → {}", h.response);
+        assert!(v.get("micros").is_some());
+        v
+    }
+
+    #[test]
+    fn scripted_session() {
+        let mut s = demo_server();
+        let v = ok(&mut s, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("edges").unwrap().as_u64(), Some(12));
+
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+
+        let v = ok(&mut s, r#"{"op":"kappa","space":"truss","vertices":[5,6]}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(0));
+
+        let v = ok(&mut s, r#"{"op":"estimate","space":"core","id":6,"iterations":4}"#);
+        assert_eq!(v.get("estimate").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("lower").unwrap().as_u64(), Some(1));
+
+        let v = ok(&mut s, r#"{"op":"region","space":"core","id":0}"#);
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("num_vertices").unwrap().as_u64(), Some(6));
+
+        let v = ok(&mut s, r#"{"op":"nuclei","space":"truss","k":2}"#);
+        assert_eq!(v.get("total").unwrap().as_u64(), Some(1));
+        let v = ok(&mut s, r#"{"op":"nuclei","space":"34","k":1}"#);
+        assert_eq!(v.get("total").unwrap().as_u64(), Some(2));
+
+        // Drop the tail edge: vertex 6 leaves every core.
+        let v = ok(&mut s, r#"{"op":"remove","edges":[[5,6]]}"#);
+        assert_eq!(v.get("removed").unwrap().as_u64(), Some(1));
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":6}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(0));
+
+        // Close the K5 over {0,1,2,3,4}: core numbers rise to 4.
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,4],[1,4]],"remove":[]}"#);
+        assert_eq!(v.get("inserted").unwrap().as_u64(), Some(2));
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":4}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(4));
+
+        let h = s.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(h.shutdown);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = demo_server();
+        for line in [
+            "not json",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"kappa","space":"core"}"#,
+            r#"{"op":"kappa","space":"hyper","id":0}"#,
+            r#"{"op":"kappa","space":"core","id":999}"#,
+            r#"{"op":"update"}"#,
+            r#"{"op":"kappa","space":"truss","vertices":[0,9]}"#,
+        ] {
+            let h = s.handle_line(line);
+            let v = Json::parse(&h.response).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            assert!(v.get("error").is_some(), "{line}");
+            assert!(!h.shutdown);
+        }
+        // The server still answers after errors.
+        ok(&mut s, r#"{"op":"stats"}"#);
+    }
+}

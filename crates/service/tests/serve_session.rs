@@ -1,0 +1,210 @@
+//! End-to-end tests of the `hdsd-serve` binary: a scripted session of
+//! lookups, budgeted estimates, region extractions and updates over
+//! stdin/stdout, a snapshot save → restart cycle, and the TCP listener.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+use hdsd_service::Json;
+
+const BIN: &str = env!("CARGO_BIN_EXE_hdsd-serve");
+
+struct Serve {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Serve {
+    fn spawn(args: &[&str]) -> Serve {
+        let mut child = Command::new(BIN)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn hdsd-serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Serve { child, stdin, stdout }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().unwrap();
+        let mut reply = String::new();
+        self.stdout.read_line(&mut reply).expect("read response");
+        Json::parse(reply.trim()).unwrap_or_else(|e| panic!("bad response {reply:?}: {e}"))
+    }
+
+    fn ok(&mut self, line: &str) -> Json {
+        let v = self.request(line);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line} → {v}");
+        v
+    }
+
+    fn shutdown(mut self) {
+        let _ = writeln!(self.stdin, r#"{{"op":"shutdown"}}"#);
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn scripted_session_over_stdin() {
+    let mut s = Serve::spawn(&["--demo", "--spaces", "core,truss,34"]);
+
+    let v = s.ok(r#"{"op":"stats"}"#);
+    assert_eq!(v.get("vertices").unwrap().as_u64(), Some(7));
+    assert_eq!(v.get("edges").unwrap().as_u64(), Some(12));
+
+    // Exact lookups, id- and vertex-addressed.
+    let v = s.ok(r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+    let v = s.ok(r#"{"op":"kappa","space":"core","vertices":[6]}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(1));
+    let v = s.ok(r#"{"op":"kappa","space":"truss","vertices":[0,1]}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(2));
+    let v = s.ok(r#"{"op":"kappa","space":"34","vertices":[0,1,2]}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(1));
+
+    // Budgeted estimate: the Theorem-1 interval brackets κ and reports
+    // exploration telemetry.
+    let v = s.ok(r#"{"op":"estimate","space":"core","id":2,"iterations":3,"budget":50}"#);
+    let lower = v.get("lower").unwrap().as_u64().unwrap();
+    let upper = v.get("estimate").unwrap().as_u64().unwrap();
+    assert!(lower <= 3 && 3 <= upper, "interval [{lower}, {upper}] misses κ=3");
+    assert!(v.get("explored").unwrap().as_u64().unwrap() >= 1);
+    assert!(v.get("micros").is_some());
+
+    // Densest region around vertex 0: the 3-core over both K4s.
+    let v = s.ok(r#"{"op":"region","space":"core","id":0}"#);
+    assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+    assert_eq!(v.get("num_vertices").unwrap().as_u64(), Some(6));
+
+    // The (3,4) hierarchy keeps the two K4s separate (paper Figure 3).
+    let v = s.ok(r#"{"op":"nuclei","space":"34","k":1}"#);
+    assert_eq!(v.get("total").unwrap().as_u64(), Some(2));
+
+    // Updates refresh exactly: drop the tail, then close a K5.
+    let v = s.ok(r#"{"op":"remove","edges":[[5,6]]}"#);
+    assert_eq!(v.get("removed").unwrap().as_u64(), Some(1));
+    let v = s.ok(r#"{"op":"kappa","space":"core","id":6}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(0));
+    let v = s.ok(r#"{"op":"update","insert":[[0,4],[1,4]],"remove":[]}"#);
+    assert_eq!(v.get("inserted").unwrap().as_u64(), Some(2));
+    let refreshes = v.get("spaces").unwrap().as_array().unwrap();
+    assert_eq!(refreshes.len(), 3);
+    for r in refreshes {
+        assert!(r.get("sweeps").unwrap().as_u64().unwrap() >= 1);
+    }
+    let v = s.ok(r#"{"op":"kappa","space":"core","id":4}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(4));
+
+    // Errors are per-request, not fatal.
+    let v = s.request(r#"{"op":"kappa","space":"truss","vertices":[0,6]}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    s.ok(r#"{"op":"stats"}"#);
+
+    s.shutdown();
+}
+
+#[test]
+fn snapshot_save_and_restart() {
+    let dir = std::env::temp_dir().join(format!("hdsd_serve_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("engine.snap");
+    let snap_str = snap.to_str().unwrap().replace('\\', "/");
+
+    let mut s = Serve::spawn(&["--synthetic", "400,5,0.5,11", "--spaces", "core,truss"]);
+    s.ok(r#"{"op":"update","insert":[[0,200],[1,201]],"remove":[]}"#);
+    let before = s.ok(r#"{"op":"kappa","space":"truss","id":33}"#);
+    let v = s.ok(&format!(r#"{{"op":"save","path":"{snap_str}"}}"#));
+    assert_eq!(v.get("spaces").unwrap().as_u64(), Some(2));
+    s.shutdown();
+
+    // Restart from the snapshot: same answers, hierarchy already resident.
+    let mut s2 = Serve::spawn(&["--snapshot", &snap_str]);
+    let stats = s2.ok(r#"{"op":"stats"}"#);
+    let resident: Vec<bool> = stats
+        .get("spaces")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|sp| sp.get("hierarchy_resident").unwrap().as_bool().unwrap())
+        .collect();
+    assert_eq!(resident, vec![true, true], "snapshot should restore resident hierarchies");
+    let after = s2.ok(r#"{"op":"kappa","space":"truss","id":33}"#);
+    assert_eq!(
+        before.get("kappa").unwrap().as_u64(),
+        after.get("kappa").unwrap().as_u64(),
+        "κ must survive the restart"
+    );
+    // The restored engine still serves updates.
+    s2.ok(r#"{"op":"insert","edges":[[2,202]]}"#);
+    s2.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tcp_mode_serves_requests() {
+    // Pick a free port by binding and releasing it.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut child = Command::new(BIN)
+        .args(["--demo", "--listen", &addr])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hdsd-serve --listen");
+
+    // Wait for the listener to come up.
+    let mut stream = None;
+    for _ in 0..100 {
+        match std::net::TcpStream::connect(&addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let stream = stream.expect("connect to hdsd-serve");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let mut ask = |line: &str| -> Json {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Json::parse(reply.trim()).unwrap()
+    };
+    let v = ask(r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+    let v = ask(r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let v = ask(r#"{"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The process should exit after shutdown (give it a moment).
+    for _ in 0..100 {
+        match child.try_wait().unwrap() {
+            Some(_) => break,
+            None => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}

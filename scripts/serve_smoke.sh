@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke test for the hdsd-serve daemon: pipe a scripted session of
+# lookups, estimates, region extractions and updates through the binary
+# and assert the replies. Mirrors the richer assertions in
+# crates/service/tests/serve_session.rs but exercises the release binary
+# exactly as a user would.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hdsd-service --bin hdsd-serve
+
+SESSION='{"op":"stats"}
+{"op":"kappa","space":"core","id":0}
+{"op":"kappa","space":"truss","vertices":[0,1]}
+{"op":"estimate","space":"core","id":2,"iterations":3,"budget":50}
+{"op":"region","space":"core","id":0}
+{"op":"nuclei","space":"34","k":1}
+{"op":"remove","edges":[[5,6]]}
+{"op":"kappa","space":"core","id":6}
+{"op":"update","insert":[[0,4],[1,4]],"remove":[]}
+{"op":"kappa","space":"core","id":4}
+{"op":"shutdown"}'
+
+OUT=$(printf '%s\n' "$SESSION" | ./target/release/hdsd-serve --demo --spaces core,truss,34)
+echo "$OUT"
+
+lines=$(printf '%s\n' "$OUT" | wc -l)
+[ "$lines" -eq 11 ] || { echo "FAIL: expected 11 replies, got $lines"; exit 1; }
+
+assert_line() { # line_number pattern description
+  reply=$(printf '%s\n' "$OUT" | sed -n "${1}p")
+  case "$reply" in
+    *"$2"*) ;;
+    *) echo "FAIL: reply $1 ($3) missing '$2': $reply"; exit 1 ;;
+  esac
+}
+
+assert_line 1 '"edges":12' "stats sees the demo graph"
+assert_line 2 '"kappa":3' "κ-core lookup"
+assert_line 3 '"kappa":2' "κ-truss lookup by endpoints"
+assert_line 4 '"interval":' "budgeted estimate returns the bound interval"
+assert_line 5 '"num_vertices":6' "densest region around vertex 0"
+assert_line 6 '"total":2' "two separate (3,4) nuclei (paper Fig. 3)"
+assert_line 7 '"removed":1' "edge removal applied"
+assert_line 8 '"kappa":0' "tail vertex left every core"
+assert_line 9 '"inserted":2' "K5-closing insertions applied"
+assert_line 10 '"kappa":4' "warm refresh found the new 4-core"
+assert_line 11 '"bye"' "clean shutdown"
+
+for n in 1 2 3 4 5 6 7 8 9 10 11; do
+  assert_line "$n" '"ok":true' "reply $n ok"
+  assert_line "$n" '"micros":' "reply $n telemetry"
+done
+
+echo "PASS: hdsd-serve answered the scripted session correctly"
