@@ -1,0 +1,8 @@
+use hdsd_service::Json;
+
+#[test]
+fn high_surrogate_then_non_low_surrogate_escape() {
+    // \ud800 followed by A: lo = 0x41, so `lo - 0xDC00` underflows
+    let r = Json::parse(r#""\ud800A""#);
+    println!("{r:?}");
+}
