@@ -40,6 +40,7 @@ struct RefreshRecord {
     cold_processed: u64,
     awake: usize,
     lifted: usize,
+    splice_us: u64,
 }
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -122,6 +123,7 @@ fn main() {
     let mut refreshes: Vec<RefreshRecord> = Vec::new();
     let mut rng = 0xDECAFu64;
     let mut update_walls_us: Vec<u64> = Vec::new();
+    let mut graph_delta_us: Vec<u64> = Vec::new();
     for _ in 0..batches {
         let nv = engine.graph().num_vertices() as u64;
         let ins: Vec<(u32, u32)> = (0..2)
@@ -133,6 +135,7 @@ fn main() {
         };
         let report = engine.update(&ins, &rm);
         update_walls_us.push(report.wall_us);
+        graph_delta_us.push(report.graph_delta_us);
 
         // Cold baseline + exactness audit on the *updated* graph.
         let g2 = engine.graph().clone();
@@ -176,6 +179,7 @@ fn main() {
                 cold_processed: cold.total_processed(),
                 awake: r.awake,
                 lifted: r.lifted,
+                splice_us: r.splice_us,
             });
         }
     }
@@ -223,7 +227,7 @@ fn main() {
             out,
             "    {{\"space\": \"{}\", \"warm_sweeps\": {}, \"warm_processed\": {}, \
              \"cold_sweeps\": {}, \"cold_processed\": {}, \"awake\": {}, \"lifted\": {}, \
-             \"processed_ratio\": {:.3}}}{}",
+             \"splice_us\": {}, \"processed_ratio\": {:.3}}}{}",
             r.space,
             r.warm_sweeps,
             r.warm_processed,
@@ -231,6 +235,7 @@ fn main() {
             r.cold_processed,
             r.awake,
             r.lifted,
+            r.splice_us,
             r.cold_processed as f64 / r.warm_processed.max(1) as f64,
             if i + 1 < refreshes.len() { "," } else { "" }
         );
@@ -238,7 +243,10 @@ fn main() {
     out.push_str("  ],\n");
     let mean_update_ms =
         update_walls_us.iter().sum::<u64>() as f64 / 1e3 / update_walls_us.len().max(1) as f64;
-    let _ = writeln!(out, "  \"mean_update_wall_ms\": {mean_update_ms:.1}");
+    let mean_delta_ms =
+        graph_delta_us.iter().sum::<u64>() as f64 / 1e3 / graph_delta_us.len().max(1) as f64;
+    let _ = writeln!(out, "  \"mean_update_wall_ms\": {mean_update_ms:.1},");
+    let _ = writeln!(out, "  \"mean_graph_delta_ms\": {mean_delta_ms:.1}");
     out.push_str("}\n");
 
     // Quick mode is a smoke test; only full-size runs may overwrite the

@@ -73,56 +73,61 @@ impl GraphBuilder {
         raw.dedup();
 
         let n = raw.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0).max(min_vertices);
-        assert!(
-            raw.len() <= EdgeId::MAX as usize,
-            "edge count {} exceeds u32 edge-id space",
-            raw.len()
-        );
-
-        // Degree histogram -> offsets.
-        let mut offsets = vec![0usize; n + 1];
-        for &(u, v) in &raw {
-            offsets[u as usize + 1] += 1;
-            offsets[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-
-        let mut neighbors = vec![0 as VertexId; raw.len() * 2];
-        let mut adj_edge_ids = vec![0 as EdgeId; raw.len() * 2];
-        let mut cursor = offsets.clone();
-        for (eid, &(u, v)) in raw.iter().enumerate() {
-            let cu = cursor[u as usize];
-            neighbors[cu] = v;
-            adj_edge_ids[cu] = eid as EdgeId;
-            cursor[u as usize] += 1;
-            let cv = cursor[v as usize];
-            neighbors[cv] = u;
-            adj_edge_ids[cv] = eid as EdgeId;
-            cursor[v as usize] += 1;
-        }
-        // Raw edges were sorted lexicographically, so each vertex's slots were
-        // filled with ascending neighbors already for the `u` side, but the
-        // `v` side interleaves; sort each list (stable by construction sizes).
-        for v in 0..n {
-            let lo = offsets[v];
-            let hi = offsets[v + 1];
-            // Sort (neighbor, eid) pairs by neighbor.
-            let mut pairs: Vec<(VertexId, EdgeId)> = neighbors[lo..hi]
-                .iter()
-                .copied()
-                .zip(adj_edge_ids[lo..hi].iter().copied())
-                .collect();
-            pairs.sort_unstable();
-            for (i, (nb, eid)) in pairs.into_iter().enumerate() {
-                neighbors[lo + i] = nb;
-                adj_edge_ids[lo + i] = eid;
-            }
-        }
-
-        CsrGraph::from_parts(offsets, neighbors, adj_edge_ids, raw)
+        csr_from_canonical_edges(raw, n)
     }
+}
+
+/// Builds the CSR arrays straight from an already-canonical edge list:
+/// sorted lexicographically, deduplicated, self-loop-free, `u < v`, and
+/// every endpoint `< n`. Skips the builder's canonicalization pass, which
+/// is what makes loading a stored canonical edge list (snapshots, the
+/// binary graph section) linear.
+///
+/// # Panics
+/// Panics (debug) when the list is not canonical; release builds would
+/// produce a graph with broken invariants, so callers must validate
+/// untrusted input first.
+pub fn csr_from_canonical_edges(edges: Vec<(VertexId, VertexId)>, n: usize) -> CsrGraph {
+    debug_assert!(edges.is_sorted());
+    debug_assert!(edges.windows(2).all(|w| w[0] != w[1]));
+    debug_assert!(edges.iter().all(|&(u, v)| u < v && (v as usize) < n));
+    assert!(
+        edges.len() <= EdgeId::MAX as usize,
+        "edge count {} exceeds u32 edge-id space",
+        edges.len()
+    );
+
+    // Degree histogram -> offsets.
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, v) in &edges {
+        offsets[u as usize + 1] += 1;
+        offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+
+    let mut neighbors = vec![0 as VertexId; edges.len() * 2];
+    let mut adj_edge_ids = vec![0 as EdgeId; edges.len() * 2];
+    let mut cursor = offsets.clone();
+    for (eid, &(u, v)) in edges.iter().enumerate() {
+        let cu = cursor[u as usize];
+        neighbors[cu] = v;
+        adj_edge_ids[cu] = eid as EdgeId;
+        cursor[u as usize] += 1;
+        let cv = cursor[v as usize];
+        neighbors[cv] = u;
+        adj_edge_ids[cv] = eid as EdgeId;
+        cursor[v as usize] += 1;
+    }
+    // Edges are sorted lexicographically and slots are filled in that
+    // order, so every row comes out sorted already: vertex `w` first
+    // receives the lower endpoints `a` of edges `(a, w)` in ascending
+    // `a`, then the upper endpoints `b` of edges `(w, b)` in ascending
+    // `b`, and every `a < w < b`. No per-vertex sort is needed.
+    debug_assert!((0..n).all(|v| neighbors[offsets[v]..offsets[v + 1]].is_sorted()));
+
+    CsrGraph::from_parts(offsets, neighbors, adj_edge_ids, edges)
 }
 
 /// Convenience: builds a graph directly from an edge iterator.

@@ -84,6 +84,56 @@ pub fn k4_triangle_ids(g: &CsrGraph, tl: &TriangleList, mut vs: [VertexId; 4]) -
     ]
 }
 
+/// Calls `f([t_abd, t_acd, t_bcd])` for every 4-clique containing triangle
+/// `t` of `tl` — the ids of the *other three* triangles of that K4, in the
+/// sorted-vertex slot convention. Extension vertices are visited in
+/// ascending id order. Stops early when `f` breaks.
+///
+/// This is the on-the-fly (3,4) container walk, shared by the
+/// `Nucleus34Space` sweep path and the incremental container-cache splice
+/// (which re-derives only batch-touched rows through it).
+pub fn try_for_each_k4_of_triangle<F>(
+    g: &CsrGraph,
+    tl: &TriangleList,
+    t: usize,
+    mut f: F,
+) -> std::ops::ControlFlow<()>
+where
+    F: FnMut([u32; 3]) -> std::ops::ControlFlow<()>,
+{
+    let [a, b, c] = tl.tri_verts[t];
+    let (na, nb, nc) = (g.neighbors(a), g.neighbors(b), g.neighbors(c));
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < na.len() && j < nb.len() && k < nc.len() {
+        let (x, y, z) = (na[i], nb[j], nc[k]);
+        let max = x.max(y).max(z);
+        if x == y && y == z {
+            // The other three triangles of K4 {a, b, c, x}.
+            let t_abd = tl.triangle_id(g, a, b, x);
+            let t_acd = tl.triangle_id(g, a, c, x);
+            let t_bcd = tl.triangle_id(g, b, c, x);
+            match (t_abd, t_acd, t_bcd) {
+                (Some(p), Some(q), Some(r)) => f([p, q, r])?,
+                _ => unreachable!("extension vertex must close all three triangles"),
+            }
+            i += 1;
+            j += 1;
+            k += 1;
+        } else {
+            if x < max {
+                i += 1;
+            }
+            if y < max {
+                j += 1;
+            }
+            if z < max {
+                k += 1;
+            }
+        }
+    }
+    std::ops::ControlFlow::Continue(())
+}
+
 /// Materialized K4 list with triangle↔K4 incidence, for the precomputed
 /// (3,4) substrate.
 #[derive(Clone, Debug)]

@@ -10,7 +10,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::builder::GraphBuilder;
+use crate::builder::{csr_from_canonical_edges, GraphBuilder};
 use crate::csr::CsrGraph;
 
 /// Magic prefix of the binary graph section.
@@ -80,22 +80,27 @@ pub fn read_graph_binary(input: &mut impl Read) -> io::Result<CsrGraph> {
     if n > u32::MAX as usize || m > (u32::MAX as usize) * 16 || n > 16 * m + (1 << 24) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible graph dimensions"));
     }
-    // Clamp the up-front reservation so a corrupt edge count fails on a
-    // short read rather than attempting a huge allocation.
-    let mut b = GraphBuilder::with_capacity(m.min(1 << 22)).with_num_vertices(n);
+    // The format stores the canonical edge list (lexicographic, deduped,
+    // `u < v`), so the CSR can be filled directly without the builder's
+    // sort/dedup pass — snapshot restores are one linear read. Canonical
+    // order is validated while reading; the up-front reservation is
+    // clamped so a corrupt edge count fails on a short read rather than
+    // attempting a huge allocation.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m.min(1 << 22));
+    let mut prev: Option<(u32, u32)> = None;
     for _ in 0..m {
         let u = read_u32(input)?;
         let v = read_u32(input)?;
-        b.add_edge(u, v);
+        if u >= v || v as usize >= n || prev.is_some_and(|p| p >= (u, v)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "binary graph section is not canonical (order, duplicate, or self-loop)",
+            ));
+        }
+        prev = Some((u, v));
+        edges.push((u, v));
     }
-    let g = b.build();
-    if g.num_edges() != m || g.num_vertices() != n {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "binary graph section is not canonical (duplicate or self-loop edges)",
-        ));
-    }
-    Ok(g)
+    Ok(csr_from_canonical_edges(edges, n))
 }
 
 /// Reads an edge list. Lines starting with `#` or `%` are comments; blank

@@ -16,6 +16,9 @@
 //!   list with edge-aligned incidence (the (2,3) substrate).
 //! * [`cliques4`] — per-triangle 4-clique counts and enumeration (the (3,4)
 //!   substrate).
+//! * [`delta`] — incremental maintenance: apply a mixed edge batch to an
+//!   existing CSR by adjacency splicing (with stable edge-id remaps) and
+//!   keep the triangle substrate in sync without re-enumeration.
 //! * [`io`] — SNAP-style edge-list reader/writer so the paper's original
 //!   datasets can be dropped in unchanged.
 //!
@@ -26,16 +29,22 @@ pub mod builder;
 pub mod cliques4;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod io;
 pub mod orientation;
 pub mod parallel_count;
 pub mod subgraph;
 pub mod triangles;
 
-pub use builder::{graph_from_edges, GraphBuilder};
-pub use cliques4::{count_k4_per_triangle, for_each_k4, total_k4, K4List};
+pub use builder::{csr_from_canonical_edges, graph_from_edges, GraphBuilder};
+pub use cliques4::{
+    count_k4_per_triangle, for_each_k4, total_k4, try_for_each_k4_of_triangle, K4List,
+};
 pub use components::{connected_components, ComponentLabels};
 pub use csr::{CsrGraph, EdgeId, VertexId};
+pub use delta::{
+    apply_edge_batch, mark_k4_touched, triangle_delta, CsrDelta, TriangleDelta, NO_ID,
+};
 pub use io::{read_edge_list, read_graph_binary, write_edge_list, write_graph_binary};
 pub use orientation::{degeneracy_order, degree_order, Orientation, VertexOrder};
 pub use parallel_count::{

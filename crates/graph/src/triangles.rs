@@ -79,6 +79,13 @@ pub fn total_triangles(g: &CsrGraph) -> u64 {
 /// universe of the (3,4) decomposition. Incidence lists per edge are sorted
 /// by the id of the opposite vertex, enabling the `O(log △_e)` triangle-id
 /// lookup that 4-clique enumeration relies on.
+///
+/// Triangle ids are **canonical**: triangles are numbered in lexicographic
+/// order of their sorted vertex triples, independent of the enumeration
+/// orientation. This is what makes ids maintainable under edge updates —
+/// [`crate::delta::triangle_delta`] can splice destroyed/created triangles
+/// into the sorted list and land on exactly the ids a from-scratch build
+/// of the new graph would assign.
 #[derive(Clone, Debug)]
 pub struct TriangleList {
     /// Vertices of each triangle, sorted ascending by id.
@@ -126,14 +133,36 @@ impl TriangleList {
             tri_edges.push(es);
         });
 
+        // Canonicalize: ids follow the lexicographic order of the vertex
+        // triples, not the orientation's discovery order.
+        let mut perm: Vec<u32> = (0..tri_verts.len() as u32).collect();
+        perm.sort_unstable_by_key(|&t| tri_verts[t as usize]);
+        let tri_verts: Vec<[VertexId; 3]> = perm.iter().map(|&t| tri_verts[t as usize]).collect();
+        let tri_edges: Vec<[EdgeId; 3]> = perm.iter().map(|&t| tri_edges[t as usize]).collect();
+
+        Self::from_sorted_parts(g.num_edges(), tri_verts, tri_edges)
+    }
+
+    /// Assembles a list from canonical parts: `tri_verts` sorted
+    /// lexicographically (each triple itself ascending) with `tri_edges`
+    /// aligned (`[ab, ac, bc]` for sorted vertices `a < b < c`). Builds the
+    /// edge↔triangle incidence; `m` is the graph's edge count.
+    ///
+    /// Shared by [`TriangleList::build_with`] and the incremental
+    /// maintenance in [`crate::delta`].
+    pub(crate) fn from_sorted_parts(
+        m: usize,
+        tri_verts: Vec<[VertexId; 3]>,
+        tri_edges: Vec<[EdgeId; 3]>,
+    ) -> Self {
         assert!(
             tri_verts.len() <= u32::MAX as usize,
             "triangle count {} exceeds u32 id space",
             tri_verts.len()
         );
+        debug_assert!(tri_verts.is_sorted());
 
         // Edge -> triangle incidence.
-        let m = g.num_edges();
         let mut edge_tri_offsets = vec![0usize; m + 1];
         for es in &tri_edges {
             for &e in es {

@@ -14,7 +14,12 @@ use crate::space::CliqueSpace;
 /// Magic prefix of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HDSDSNAP";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2: triangle ids became canonical (lexicographic by vertex
+/// triple) instead of orientation discovery order. A v1 snapshot's
+/// (3,4)-space κ vector and hierarchy are indexed by the old ids and
+/// would load silently permuted, so v1 is rejected rather than migrated.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One decomposition's resident state inside a [`Snapshot`].
 #[derive(Clone, Debug, PartialEq)]

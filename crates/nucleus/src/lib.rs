@@ -44,6 +44,7 @@
 pub mod api;
 pub mod asynchronous;
 pub mod convergence;
+pub mod delta;
 pub mod export;
 pub mod hierarchy;
 pub mod incremental;
@@ -64,14 +65,15 @@ pub use asynchronous::{
 pub use convergence::{
     ConvergenceResult, IterationEvent, LocalConfig, SweepMode, DEFAULT_CONTAINER_CACHE_BUDGET,
 };
+pub use delta::{core_space_delta, nucleus34_space_delta, truss_space_delta, SpaceDelta};
 pub use export::{
     read_snapshot, write_hierarchy_dot, write_kappa_tsv, write_snapshot, Snapshot, SpaceSnapshot,
 };
 pub use hierarchy::{build_hierarchy, Hierarchy, HierarchyNode};
 pub use incremental::{
-    clique_key, rebuild_graph, refresh_resume, stale_kappa_map, warm_tau_init, warm_tau_init_local,
-    CliqueKey, CoreKind, Incremental, IncrementalCore, KeyHasher, Nucleus34Kind, RefreshOutcome,
-    SpaceKind, StaleMap, TrussKind, WarmStart,
+    clique_key, rebuild_graph, refresh_resume, refresh_resume_of, stale_kappa_map, warm_tau_init,
+    warm_tau_init_local, warm_tau_init_of, CliqueKey, CoreKind, Incremental, IncrementalCore,
+    KeyHasher, Nucleus34Kind, RefreshOutcome, SpaceKind, StaleMap, TrussKind, WarmStart,
 };
 pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{peel, peel_parallel, PeelResult};

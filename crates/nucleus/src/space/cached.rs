@@ -1,6 +1,7 @@
 //! An owned, graph-independent snapshot of a clique space.
 //!
-//! Every other [`CliqueSpace`] implementation borrows the [`CsrGraph`] it
+//! Every other [`CliqueSpace`] implementation borrows the
+//! [`CsrGraph`](hdsd_graph::CsrGraph) it
 //! was built from, which makes it impossible for a long-lived owner (e.g.
 //! the `hdsd-service` engine) to keep a graph *and* its spaces in one
 //! struct. [`CachedSpace`] breaks the borrow: it materializes the
@@ -50,6 +51,20 @@ impl CachedSpace {
             clique_verts.extend_from_slice(&buf);
         }
         CachedSpace { rs: (r, space.s()), name: space.name(), flat, clique_verts }
+    }
+
+    /// Assembles a snapshot from already-materialized parts: the flat
+    /// container arrays plus the concatenated `r`-vertex lists. Used by the
+    /// incremental splice path (`crate::delta`), which patches the flat
+    /// arrays of an existing snapshot instead of walking a space.
+    pub(crate) fn from_parts(
+        rs: (usize, usize),
+        name: String,
+        flat: FlatContainers,
+        clique_verts: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(clique_verts.len(), flat.num_cliques() * rs.0);
+        CachedSpace { rs, name, flat, clique_verts }
     }
 
     /// The underlying flat container arrays.

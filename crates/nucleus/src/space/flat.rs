@@ -119,6 +119,78 @@ impl FlatContainers {
     pub fn containers(&self, i: usize) -> &[u32] {
         &self.others[self.offsets[i] * self.group..self.offsets[i + 1] * self.group]
     }
+
+    /// Splices this cache into the container cache of an updated space,
+    /// reusing every untouched row instead of re-enumerating containers.
+    ///
+    /// * `new_n` — r-clique count of the updated space;
+    /// * `new_to_old[i]` — the old id of new clique `i`, `u32::MAX` when
+    ///   the clique was created by the update;
+    /// * `member_remap[o]` — the new id of old member id `o` (`u32::MAX`
+    ///   when that clique is gone; kept rows must never reference one —
+    ///   a container that lost a member is a changed container and its
+    ///   surviving members' rows must be marked `touched`);
+    /// * `touched[i]` — new ids whose container set changed; their rows
+    ///   (and those of created cliques) are re-derived through
+    ///   `rebuild_row`, which appends whole containers (`group` members
+    ///   per container) for the given new clique id.
+    ///
+    /// Kept rows cost one copy-and-remap pass; only the perturbed rows go
+    /// back through enumeration.
+    pub fn splice<F: FnMut(usize, &mut Vec<u32>)>(
+        &self,
+        new_n: usize,
+        new_to_old: &[u32],
+        member_remap: &[u32],
+        touched: &[bool],
+        mut rebuild_row: F,
+    ) -> FlatContainers {
+        assert_eq!(new_to_old.len(), new_n);
+        assert_eq!(touched.len(), new_n);
+        let group = self.group.max(1);
+
+        // Re-derive the perturbed rows once, up front, so offsets can be
+        // laid out in a single pass.
+        let mut patch_data: Vec<u32> = Vec::new();
+        let mut patch_row: Vec<(u32, u32)> = Vec::new(); // (start unit, units) per patched row
+        let mut offsets = Vec::with_capacity(new_n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for i in 0..new_n {
+            let old = new_to_old[i];
+            let units = if old != u32::MAX && !touched[i] {
+                self.degree(old as usize) as usize
+            } else {
+                let start = patch_data.len();
+                rebuild_row(i, &mut patch_data);
+                debug_assert_eq!((patch_data.len() - start) % group, 0);
+                let units = (patch_data.len() - start) / group;
+                patch_row.push(((start / group) as u32, units as u32));
+                units
+            };
+            total += units;
+            offsets.push(total);
+        }
+
+        let mut others = vec![0u32; total * self.group];
+        let mut patched = patch_row.iter();
+        for i in 0..new_n {
+            let dst = &mut others[offsets[i] * self.group..offsets[i + 1] * self.group];
+            let old = new_to_old[i];
+            if old != u32::MAX && !touched[i] {
+                for (slot, &o) in dst.iter_mut().zip(self.containers(old as usize)) {
+                    let mapped = member_remap[o as usize];
+                    debug_assert_ne!(mapped, u32::MAX, "kept row {i} references a removed member");
+                    *slot = mapped;
+                }
+            } else {
+                let &(start, units) = patched.next().expect("patched row accounted for");
+                let src = start as usize * group;
+                dst.copy_from_slice(&patch_data[src..src + units as usize * group]);
+            }
+        }
+        FlatContainers { group: self.group, offsets, others }
+    }
 }
 
 /// `binom(s, r) − 1`: the number of *other* r-cliques in each s-clique of

@@ -6,6 +6,8 @@
 //! can be an order of magnitude bigger than the triangle list, which is why
 //! the paper's implementation derives participations on the fly.
 
+use std::borrow::Cow;
+
 use hdsd_graph::{CsrGraph, K4List, TriangleList, VertexId};
 
 use super::CliqueSpace;
@@ -18,7 +20,10 @@ enum Strategy {
 /// (3,4)-nucleus view of a graph.
 pub struct Nucleus34Space<'g> {
     graph: &'g CsrGraph,
-    triangles: TriangleList,
+    /// Owned or borrowed triangle universe (the long-lived engines keep
+    /// one resident list across updates and lend it to every rebuilt
+    /// space).
+    triangles: Cow<'g, TriangleList>,
     strategy: Strategy,
 }
 
@@ -27,15 +32,38 @@ impl<'g> Nucleus34Space<'g> {
     pub fn precomputed(graph: &'g CsrGraph) -> Self {
         let triangles = TriangleList::build(graph);
         let k4 = K4List::build(graph, &triangles);
-        Nucleus34Space { graph, triangles, strategy: Strategy::Precomputed(k4) }
+        Nucleus34Space {
+            graph,
+            triangles: Cow::Owned(triangles),
+            strategy: Strategy::Precomputed(k4),
+        }
     }
 
     /// Materializes only the triangle list; K4 containers are re-derived per
     /// call by intersecting adjacency lists (the paper's approach).
     pub fn on_the_fly(graph: &'g CsrGraph) -> Self {
         let triangles = TriangleList::build(graph);
+        Self::from_triangles(graph, triangles)
+    }
+
+    /// On-the-fly strategy over an already-built owned triangle list.
+    pub fn from_triangles(graph: &'g CsrGraph, triangles: TriangleList) -> Self {
         let k4_counts = hdsd_graph::count_k4_per_triangle(graph, &triangles);
-        Nucleus34Space { graph, triangles, strategy: Strategy::OnTheFly { k4_counts } }
+        Nucleus34Space {
+            graph,
+            triangles: Cow::Owned(triangles),
+            strategy: Strategy::OnTheFly { k4_counts },
+        }
+    }
+
+    /// On-the-fly strategy borrowing a resident triangle list.
+    pub fn with_triangles(graph: &'g CsrGraph, triangles: &'g TriangleList) -> Self {
+        let k4_counts = hdsd_graph::count_k4_per_triangle(graph, triangles);
+        Nucleus34Space {
+            graph,
+            triangles: Cow::Borrowed(triangles),
+            strategy: Strategy::OnTheFly { k4_counts },
+        }
     }
 
     /// The triangle universe of this space.
@@ -44,59 +72,27 @@ impl<'g> Nucleus34Space<'g> {
     }
 
     /// Consumes the space, returning the triangle list (the id universe of
-    /// the κ values computed on this space).
+    /// the κ values computed on this space). Clones when the list was
+    /// borrowed.
     pub fn into_triangles(self) -> TriangleList {
-        self.triangles
+        self.triangles.into_owned()
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.graph
     }
-
-    /// Common neighbors of the triangle's three vertices.
-    fn for_each_extension<F: FnMut(VertexId) -> std::ops::ControlFlow<()>>(
-        &self,
-        t: usize,
-        mut f: F,
-    ) -> std::ops::ControlFlow<()> {
-        let [a, b, c] = self.triangles.tri_verts[t];
-        let (na, nb, nc) =
-            (self.graph.neighbors(a), self.graph.neighbors(b), self.graph.neighbors(c));
-        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        while i < na.len() && j < nb.len() && k < nc.len() {
-            let (x, y, z) = (na[i], nb[j], nc[k]);
-            let max = x.max(y).max(z);
-            if x == y && y == z {
-                f(x)?;
-                i += 1;
-                j += 1;
-                k += 1;
-            } else {
-                if x < max {
-                    i += 1;
-                }
-                if y < max {
-                    j += 1;
-                }
-                if z < max {
-                    k += 1;
-                }
-            }
-        }
-        std::ops::ControlFlow::Continue(())
-    }
 }
 
 impl CliqueSpace for Nucleus34Space<'_> {
     fn num_cliques(&self) -> usize {
-        self.triangles.len()
+        self.triangles().len()
     }
 
     fn initial_degrees(&self) -> Vec<u32> {
         match &self.strategy {
             Strategy::Precomputed(k4) => {
-                (0..self.triangles.len() as u32).map(|t| k4.triangle_k4_count(t)).collect()
+                (0..self.triangles().len() as u32).map(|t| k4.triangle_k4_count(t)).collect()
             }
             Strategy::OnTheFly { k4_counts } => k4_counts.clone(),
         }
@@ -131,19 +127,12 @@ impl CliqueSpace for Nucleus34Space<'_> {
                 }
                 std::ops::ControlFlow::Continue(())
             }
-            Strategy::OnTheFly { .. } => {
-                let [a, b, c] = self.triangles.tri_verts[i];
-                self.for_each_extension(i, |d| {
-                    // The other three triangles of K4 {a,b,c,d}.
-                    let t_abd = self.triangles.triangle_id(self.graph, a, b, d);
-                    let t_acd = self.triangles.triangle_id(self.graph, a, c, d);
-                    let t_bcd = self.triangles.triangle_id(self.graph, b, c, d);
-                    match (t_abd, t_acd, t_bcd) {
-                        (Some(x), Some(y), Some(z)) => f(&[x as usize, y as usize, z as usize]),
-                        _ => unreachable!("extension vertex must close all three triangles"),
-                    }
-                })
-            }
+            Strategy::OnTheFly { .. } => hdsd_graph::try_for_each_k4_of_triangle(
+                self.graph,
+                self.triangles(),
+                i,
+                |[x, y, z]| f(&[x as usize, y as usize, z as usize]),
+            ),
         }
     }
 
@@ -156,7 +145,7 @@ impl CliqueSpace for Nucleus34Space<'_> {
     }
 
     fn vertices_of(&self, i: usize, out: &mut Vec<VertexId>) {
-        out.extend_from_slice(&self.triangles.tri_verts[i]);
+        out.extend_from_slice(&self.triangles().tri_verts[i]);
     }
 
     fn name(&self) -> String {

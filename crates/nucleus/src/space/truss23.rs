@@ -15,30 +15,41 @@
 //! Both expose identical semantics (cross-checked by tests and used by the
 //! memory/time ablation bench).
 
+use std::borrow::Cow;
+
 use hdsd_graph::{CsrGraph, EdgeId, TriangleList, VertexId};
 
 use super::CliqueSpace;
 
-enum Strategy {
-    Precomputed(TriangleList),
-    OnTheFly { tri_counts: Vec<u32> },
+enum Strategy<'g> {
+    /// Owned or borrowed triangle list (the long-lived engines keep one
+    /// resident across updates and lend it to every rebuilt space).
+    Precomputed(Cow<'g, TriangleList>),
+    OnTheFly {
+        tri_counts: Vec<u32>,
+    },
 }
 
 /// k-truss view of a graph.
 pub struct TrussSpace<'g> {
     graph: &'g CsrGraph,
-    strategy: Strategy,
+    strategy: Strategy<'g>,
 }
 
 impl<'g> TrussSpace<'g> {
     /// Materializes the triangle list (fast containers, `O(|△|)` memory).
     pub fn precomputed(graph: &'g CsrGraph) -> Self {
-        TrussSpace { graph, strategy: Strategy::Precomputed(TriangleList::build(graph)) }
+        Self::from_triangles(graph, TriangleList::build(graph))
     }
 
     /// Reuses an already-built triangle list.
     pub fn from_triangles(graph: &'g CsrGraph, triangles: TriangleList) -> Self {
-        TrussSpace { graph, strategy: Strategy::Precomputed(triangles) }
+        TrussSpace { graph, strategy: Strategy::Precomputed(Cow::Owned(triangles)) }
+    }
+
+    /// Borrows a resident triangle list instead of building or owning one.
+    pub fn with_triangles(graph: &'g CsrGraph, triangles: &'g TriangleList) -> Self {
+        TrussSpace { graph, strategy: Strategy::Precomputed(Cow::Borrowed(triangles)) }
     }
 
     /// Stores only per-edge triangle counts; containers are recomputed by
@@ -57,7 +68,7 @@ impl<'g> TrussSpace<'g> {
         self.graph
     }
 
-    /// The materialized triangle list, when this space is precomputed.
+    /// The materialized triangle list, when this space has one.
     pub fn triangles(&self) -> Option<&TriangleList> {
         match &self.strategy {
             Strategy::Precomputed(tl) => Some(tl),

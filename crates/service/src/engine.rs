@@ -11,19 +11,21 @@
 //! * **region queries** resolve against a lazily-built resident
 //!   [`Hierarchy`] (Sarıyüce–Pınar's "keep the nucleus forest as the
 //!   index" idea);
-//! * **edge batches** refresh every space with the warm-started,
-//!   candidate-lifted [`and_resume_awake`] instead of decomposing from
-//!   scratch;
+//! * **edge batches** splice the CSR, the shared triangle substrate and
+//!   every space snapshot ([`hdsd_graph::delta`],
+//!   [`hdsd_nucleus::delta`]), then refresh κ with the warm-started,
+//!   candidate-lifted resume ([`refresh_resume_of`]) — nothing is rebuilt
+//!   or re-enumerated globally;
 //! * **snapshots** serialize graph + κ + hierarchies for fast restart.
 
 use std::time::Instant;
 
-use hdsd_graph::{CsrGraph, VertexId};
+use hdsd_graph::{apply_edge_batch, triangle_delta, CsrGraph, TriangleList, VertexId, NO_ID};
 use hdsd_nucleus::hierarchy::NucleusDensity;
 use hdsd_nucleus::{
-    build_hierarchy, clique_key, local_estimate_opts, peel, rebuild_graph, refresh_resume,
-    stale_kappa_map, CachedSpace, CliqueSpace, CoreSpace, Hierarchy, LocalConfig, Nucleus34Space,
-    QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, StaleMap, TrussSpace,
+    build_hierarchy, core_space_delta, local_estimate_opts, nucleus34_space_delta, peel,
+    refresh_resume_of, truss_space_delta, CachedSpace, CliqueSpace, CoreSpace, Hierarchy,
+    LocalConfig, Nucleus34Space, QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, TrussSpace,
 };
 
 /// Which decomposition a request addresses.
@@ -66,11 +68,22 @@ impl SpaceSel {
         }
     }
 
-    fn build_cached(self, graph: &CsrGraph) -> CachedSpace {
-        match self {
-            SpaceSel::Core => CachedSpace::build(&CoreSpace::new(graph)),
-            SpaceSel::Truss => CachedSpace::build(&TrussSpace::on_the_fly(graph)),
-            SpaceSel::Nucleus34 => CachedSpace::build(&Nucleus34Space::on_the_fly(graph)),
+    /// Whether this space is built over the triangle substrate.
+    fn needs_triangles(self) -> bool {
+        !matches!(self, SpaceSel::Core)
+    }
+
+    fn build_cached(self, graph: &CsrGraph, triangles: Option<&TriangleList>) -> CachedSpace {
+        match (self, triangles) {
+            (SpaceSel::Core, _) => CachedSpace::build(&CoreSpace::new(graph)),
+            (SpaceSel::Truss, Some(tl)) => {
+                CachedSpace::build(&TrussSpace::with_triangles(graph, tl))
+            }
+            (SpaceSel::Truss, None) => CachedSpace::build(&TrussSpace::on_the_fly(graph)),
+            (SpaceSel::Nucleus34, Some(tl)) => {
+                CachedSpace::build(&Nucleus34Space::with_triangles(graph, tl))
+            }
+            (SpaceSel::Nucleus34, None) => CachedSpace::build(&Nucleus34Space::on_the_fly(graph)),
         }
     }
 }
@@ -125,29 +138,13 @@ struct SpaceState {
     cached: CachedSpace,
     kappa: Vec<u32>,
     hierarchy: Option<HierarchyIndex>,
-    /// Clique identity → id, shared by vertex-addressed lookups and the
-    /// next refresh's stale map. Lazily built, invalidated on update.
-    ids: Option<StaleMap>,
 }
 
 impl SpaceState {
-    fn fresh(sel: SpaceSel, graph: &CsrGraph) -> SpaceState {
-        let cached = sel.build_cached(graph);
+    fn fresh(sel: SpaceSel, graph: &CsrGraph, triangles: Option<&TriangleList>) -> SpaceState {
+        let cached = sel.build_cached(graph, triangles);
         let kappa = peel(&cached).kappa;
-        SpaceState { sel, cached, kappa, hierarchy: None, ids: None }
-    }
-
-    fn ensure_ids(&mut self) -> &StaleMap {
-        if self.ids.is_none() {
-            let mut map = StaleMap::default();
-            map.reserve(self.cached.num_cliques());
-            let mut scratch = Vec::new();
-            for i in 0..self.cached.num_cliques() {
-                map.insert(clique_key(&self.cached, i, &mut scratch), i as u32);
-            }
-            self.ids = Some(map);
-        }
-        self.ids.as_ref().unwrap()
+        SpaceState { sel, cached, kappa, hierarchy: None }
     }
 
     fn ensure_hierarchy(&mut self) -> &HierarchyIndex {
@@ -197,6 +194,8 @@ pub struct SpaceRefresh {
     pub awake: usize,
     /// Surviving cliques lifted by the candidate traversal.
     pub lifted: usize,
+    /// Wall time of the space snapshot splice (container-cache patch).
+    pub splice_us: u64,
 }
 
 /// Result of applying one edge batch.
@@ -206,9 +205,12 @@ pub struct UpdateReport {
     pub inserted: u32,
     /// Edges actually removed.
     pub removed: u32,
+    /// Wall time of the shared substrate delta (CSR splice + triangle
+    /// maintenance) before any space refresh.
+    pub graph_delta_us: u64,
     /// Per-space refresh telemetry.
     pub spaces: Vec<SpaceRefresh>,
-    /// Wall time of the whole update (graph rebuild + all refreshes).
+    /// Wall time of the whole update (substrate delta + all refreshes).
     pub wall_us: u64,
 }
 
@@ -228,6 +230,10 @@ pub struct EngineStats {
 /// The long-lived query-serving engine.
 pub struct Engine {
     graph: CsrGraph,
+    /// Maintained triangle substrate, resident whenever a triangle-based
+    /// space is configured. Shared by the truss and (3,4) states and
+    /// spliced (not rebuilt) on every update.
+    triangles: Option<TriangleList>,
     states: Vec<SpaceState>,
     local: LocalConfig,
     updates_applied: u64,
@@ -235,10 +241,16 @@ pub struct Engine {
 
 impl Engine {
     /// Builds the engine with a full decomposition of every configured
-    /// space.
+    /// space. The triangle substrate is enumerated once and shared.
     pub fn new(graph: CsrGraph, cfg: &EngineConfig) -> Engine {
-        let states = cfg.spaces.iter().map(|&sel| SpaceState::fresh(sel, &graph)).collect();
-        Engine { graph, states, local: cfg.local, updates_applied: 0 }
+        let triangles =
+            cfg.spaces.iter().any(|s| s.needs_triangles()).then(|| TriangleList::build(&graph));
+        let states = cfg
+            .spaces
+            .iter()
+            .map(|&sel| SpaceState::fresh(sel, &graph, triangles.as_ref()))
+            .collect();
+        Engine { graph, triangles, states, local: cfg.local, updates_applied: 0 }
     }
 
     /// The current graph.
@@ -291,8 +303,10 @@ impl Engine {
     }
 
     /// Resolves an r-clique by its vertex set (vertex for core, endpoint
-    /// pair for truss, triangle for (3,4)).
-    pub fn resolve(&mut self, sel: SpaceSel, vertices: &[VertexId]) -> Result<usize, String> {
+    /// pair for truss, triangle for (3,4)). Truss and (3,4) lookups go
+    /// straight to the resident substrate — no identity index to build or
+    /// invalidate.
+    pub fn resolve(&self, sel: SpaceSel, vertices: &[VertexId]) -> Result<usize, String> {
         let expect_r = sel.rs().0 as usize;
         if vertices.len() != expect_r {
             return Err(format!(
@@ -301,35 +315,33 @@ impl Engine {
                 vertices.len()
             ));
         }
-        // Cheap direct paths that need no index.
         match sel {
             SpaceSel::Core => {
                 let v = vertices[0] as usize;
-                return if v < self.state(sel)?.cached.num_cliques() {
+                if v < self.state(sel)?.cached.num_cliques() {
                     Ok(v)
                 } else {
                     Err(format!("vertex {v} out of range"))
-                };
+                }
             }
             SpaceSel::Truss => {
-                if let Some(e) = self.graph.edge_id(vertices[0], vertices[1]) {
-                    return Ok(e as usize);
-                }
-                return Err(format!("edge ({}, {}) not in graph", vertices[0], vertices[1]));
+                self.state(sel)?;
+                self.graph
+                    .edge_id(vertices[0], vertices[1])
+                    .map(|e| e as usize)
+                    .ok_or_else(|| format!("edge ({}, {}) not in graph", vertices[0], vertices[1]))
             }
-            SpaceSel::Nucleus34 => {}
+            SpaceSel::Nucleus34 => {
+                self.state(sel)?;
+                let mut sorted = vertices.to_vec();
+                sorted.sort_unstable();
+                let tl =
+                    self.triangles.as_ref().expect("triangle substrate resident with (3,4) space");
+                tl.triangle_id(&self.graph, sorted[0], sorted[1], sorted[2])
+                    .map(|t| t as usize)
+                    .ok_or_else(|| format!("triangle {sorted:?} not in graph"))
+            }
         }
-        let mut key = [VertexId::MAX; 3];
-        let mut sorted = vertices.to_vec();
-        sorted.sort_unstable();
-        for (slot, &v) in key.iter_mut().zip(&sorted) {
-            *slot = v;
-        }
-        let st = self.state_mut(sel)?;
-        st.ensure_ids()
-            .get(&key)
-            .map(|&i| i as usize)
-            .ok_or_else(|| format!("triangle {sorted:?} not in graph"))
     }
 
     /// Budgeted local estimate with the Theorem-1 bound interval.
@@ -400,53 +412,79 @@ impl Engine {
         }
     }
 
-    /// Applies an edge batch and refreshes every resident space via the
-    /// candidate-lifted warm start.
+    /// Applies an edge batch by splicing the CSR, the triangle substrate,
+    /// and every resident space snapshot, then refreshes κ via the
+    /// candidate-lifted warm start with stale values carried positionally
+    /// through the id remaps. Nothing is rebuilt or re-enumerated
+    /// globally; update cost scales with the perturbation.
     pub fn update(
         &mut self,
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> UpdateReport {
         let start = Instant::now();
-        let before = self.graph.num_edges();
-        let (new_graph, inserted) = rebuild_graph(&self.graph, insert, remove);
-        let removed = (before + inserted as usize - new_graph.num_edges()) as u32;
-        let ins_ends: Vec<VertexId> = insert.iter().flat_map(|&(u, v)| [u, v]).collect();
-        let rm_ends: Vec<VertexId> = remove.iter().flat_map(|&(u, v)| [u, v]).collect();
+        let (new_graph, ed) = apply_edge_batch(&self.graph, insert, remove);
+        let td = self.triangles.as_ref().map(|tl| triangle_delta(tl, &new_graph, &ed));
+        let graph_delta_us = start.elapsed().as_micros() as u64;
+        let ins_ends = ed.inserted_endpoints(&new_graph);
+        let rm_ends = ed.removed_endpoints(&self.graph);
 
         let mut reports = Vec::with_capacity(self.states.len());
-        for st in &mut self.states {
-            // Stale κ by identity: reuse the id index when resident,
-            // otherwise walk the cached space once.
-            let stale: StaleMap = match st.ids.take() {
-                Some(ids) => {
-                    let mut m = ids;
-                    for v in m.values_mut() {
-                        *v = st.kappa[*v as usize];
-                    }
-                    m
-                }
-                None => stale_kappa_map(&st.cached, &st.kappa),
+        for st in self.states.iter_mut() {
+            let t_splice = Instant::now();
+            let sd = match st.sel {
+                SpaceSel::Core => core_space_delta(&new_graph, self.graph.num_vertices()),
+                SpaceSel::Truss => truss_space_delta(
+                    &st.cached,
+                    self.triangles.as_ref().unwrap(),
+                    &new_graph,
+                    &ed,
+                    td.as_ref().unwrap(),
+                ),
+                SpaceSel::Nucleus34 => nucleus34_space_delta(
+                    &st.cached,
+                    &self.graph,
+                    self.triangles.as_ref().unwrap(),
+                    &new_graph,
+                    &ed,
+                    td.as_ref().unwrap(),
+                ),
             };
-            let fresh = st.sel.build_cached(&new_graph);
-            let out = refresh_resume(&stale, &fresh, &ins_ends, &rm_ends, inserted, &self.local);
+            let splice_us = t_splice.elapsed().as_micros() as u64;
+            let stale_of: Vec<Option<u32>> = sd
+                .new_to_old
+                .iter()
+                .map(|&o| if o == NO_ID { None } else { Some(st.kappa[o as usize]) })
+                .collect();
+            let out = refresh_resume_of(
+                &stale_of,
+                &sd.cached,
+                &ins_ends,
+                &rm_ends,
+                ed.inserted(),
+                &self.local,
+            );
             reports.push(SpaceRefresh {
                 space: st.sel.name(),
                 sweeps: out.result.sweeps,
                 processed: out.result.total_processed(),
                 awake: out.awake,
                 lifted: out.lifted,
+                splice_us,
             });
-            st.cached = fresh;
+            st.cached = sd.cached;
             st.kappa = out.result.tau;
             st.hierarchy = None;
-            st.ids = None;
+        }
+        if let Some(td) = td {
+            self.triangles = Some(td.list);
         }
         self.graph = new_graph;
         self.updates_applied += 1;
         UpdateReport {
-            inserted,
-            removed,
+            inserted: ed.inserted(),
+            removed: ed.removed(),
+            graph_delta_us,
             spaces: reports,
             wall_us: start.elapsed().as_micros() as u64,
         }
@@ -474,6 +512,8 @@ impl Engine {
     /// the graph (cheap relative to decomposing), κ and hierarchies are
     /// adopted as-is after a length check.
     pub fn from_snapshot(snap: Snapshot, local: LocalConfig) -> Result<Engine, String> {
+        let needs_tri = snap.spaces.iter().any(|sp| sp.rs != (1, 2));
+        let triangles = needs_tri.then(|| TriangleList::build(&snap.graph));
         let mut states = Vec::with_capacity(snap.spaces.len());
         for sp in snap.spaces {
             let sel = match sp.rs {
@@ -482,7 +522,7 @@ impl Engine {
                 (3, 4) => SpaceSel::Nucleus34,
                 other => return Err(format!("snapshot contains unknown space {other:?}")),
             };
-            let cached = sel.build_cached(&snap.graph);
+            let cached = sel.build_cached(&snap.graph, triangles.as_ref());
             if cached.num_cliques() != sp.kappa.len() {
                 return Err(format!(
                     "snapshot κ length {} does not match rebuilt {} space ({} cliques)",
@@ -493,9 +533,9 @@ impl Engine {
             }
             let hierarchy =
                 sp.hierarchy.map(|forest| HierarchyIndex::from_forest(forest, sp.kappa.len()));
-            states.push(SpaceState { sel, cached, kappa: sp.kappa, hierarchy, ids: None });
+            states.push(SpaceState { sel, cached, kappa: sp.kappa, hierarchy });
         }
-        Ok(Engine { graph: snap.graph, states, local, updates_applied: 0 })
+        Ok(Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 })
     }
 
     /// Point-in-time statistics.
@@ -553,7 +593,7 @@ mod tests {
     #[test]
     fn lookups_match_peeling_across_spaces() {
         let g = hdsd_datasets::holme_kim(120, 4, 0.5, 3);
-        let mut engine = Engine::new(g.clone(), &full_config());
+        let engine = Engine::new(g.clone(), &full_config());
         assert_eq!(engine.kappa_of(SpaceSel::Core, 5).unwrap(), peel(&CoreSpace::new(&g)).kappa[5]);
         let kt = peel(&TrussSpace::precomputed(&g)).kappa;
         for e in [0usize, 17, 80] {

@@ -276,20 +276,35 @@ impl Parser<'_> {
                         b't' => out.push('\t'),
                         b'u' => {
                             let cp = self.hex4()?;
-                            // Surrogate pairs: read the low half if present.
+                            // Surrogate halves are only valid as a
+                            // high+low escape pair; anything else is a
+                            // parse error (never arithmetic on an
+                            // unvalidated low half — a non-surrogate
+                            // second escape would underflow `lo - 0xDC00`).
                             let c = if (0xD800..0xDC00).contains(&cp) {
-                                if self.bytes[self.at..].starts_with(b"\\u") {
-                                    self.at += 2;
-                                    let lo = self.hex4()?;
-                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    char::from_u32(combined)
-                                } else {
-                                    None
+                                if !self.bytes[self.at..].starts_with(b"\\u") {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{cp:04x} (expected a \\u low \
+                                         surrogate escape)"
+                                    ));
                                 }
+                                self.at += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!(
+                                        "invalid surrogate pair \\u{cp:04x}\\u{lo:04x}"
+                                    ));
+                                }
+                                char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(format!("lone low surrogate \\u{cp:04x}"));
                             } else {
                                 char::from_u32(cp)
                             };
-                            out.push(c.unwrap_or('\u{FFFD}'));
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(format!("invalid \\u escape {cp:#x}")),
+                            }
                         }
                         other => {
                             return Err(format!("bad escape '\\{}'", other as char));
@@ -436,6 +451,24 @@ mod tests {
         for text in ["{", "[1,", r#"{"a"}"#, "tru", "1 2", "\"\\q\"", ""] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn surrogate_escapes() {
+        // A valid pair decodes to one astral scalar.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+        // A lone high surrogate (end of string or non-escape after it).
+        assert!(Json::parse(r#""\ud800""#).is_err());
+        assert!(Json::parse(r#""\ud800A""#).is_err());
+        // A lone low surrogate.
+        assert!(Json::parse(r#""\udc00""#).is_err());
+        // High surrogate followed by a \u escape that is not a low half
+        // (the historical `lo - 0xDC00` underflow).
+        assert!(Json::parse(r#""\ud800\u0041""#).is_err());
+        // High followed by another high.
+        assert!(Json::parse(r#""\ud800\ud800""#).is_err());
+        // Non-surrogate escapes are unaffected.
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".to_string()));
     }
 
     #[test]

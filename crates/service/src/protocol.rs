@@ -287,6 +287,7 @@ impl Server {
             ("inserted", report.inserted.into()),
             ("removed", report.removed.into()),
             ("wall_micros", report.wall_us.into()),
+            ("graph_delta_micros", report.graph_delta_us.into()),
             (
                 "spaces",
                 report
@@ -299,6 +300,7 @@ impl Server {
                             ("processed", s.processed.into()),
                             ("awake", s.awake.into()),
                             ("lifted", s.lifted.into()),
+                            ("splice_micros", s.splice_us.into()),
                         ])
                     })
                     .collect(),

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the --quick bench JSON artifacts.
+
+Compares the deterministic *counter* metrics of a fresh quick bench run
+(recomputation ratios, warm-vs-cold processed counts) against a committed
+baseline with a relative tolerance, and fails the job on regression.
+Wall-clock fields are deliberately ignored — CI runners are too noisy —
+but correctness flags (kappa_exact, converged) are hard failures.
+
+Usage:
+  bench_gate.py compare --kind frontier \
+      --baseline ci/bench_baseline_frontier.json \
+      --fresh target/BENCH_frontier.quick.json [--tolerance 0.15]
+  bench_gate.py compare --kind service \
+      --baseline ci/bench_baseline_service.json \
+      --fresh target/BENCH_service.quick.json [--tolerance 0.15]
+  bench_gate.py selftest
+
+Exit status: 0 = no regression, 1 = regression (or invalid input).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def extract_frontier(doc):
+    """Higher-is-better counters of the frontier ablation."""
+    hard_failures = []
+    for run in doc.get("runs", []):
+        if not run.get("kappa_exact", False):
+            hard_failures.append(f"run {run.get('space')}/{run.get('mode')} lost kappa exactness")
+        if not run.get("converged", False):
+            hard_failures.append(f"run {run.get('space')}/{run.get('mode')} did not converge")
+    metrics = {}
+    for row in doc.get("frontier_vs_full_scan", []):
+        metrics[f"frontier_ratio[{row['space']}]"] = float(row["ratio"])
+    return metrics, hard_failures
+
+
+def extract_service(doc):
+    """Higher-is-better counters of the serving bench: per-space mean
+    cold/warm recomputation ratio across the update batches."""
+    ratios = defaultdict(list)
+    for row in doc.get("refreshes", []):
+        ratios[row["space"]].append(float(row["processed_ratio"]))
+    metrics = {}
+    for space, values in sorted(ratios.items()):
+        metrics[f"refresh_processed_ratio[{space}]"] = sum(values) / len(values)
+    return metrics, []
+
+
+EXTRACTORS = {"frontier": extract_frontier, "service": extract_service}
+
+
+def compare(kind, baseline_doc, fresh_doc, tolerance):
+    """Returns a list of failure strings (empty = gate passes)."""
+    extract = EXTRACTORS[kind]
+    base_metrics, _ = extract(baseline_doc)
+    fresh_metrics, hard_failures = extract(fresh_doc)
+    failures = list(hard_failures)
+    if not base_metrics:
+        failures.append(f"baseline for kind {kind!r} contains no gated metrics")
+    for name, base in sorted(base_metrics.items()):
+        fresh = fresh_metrics.get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from fresh run (baseline {base:.3f})")
+            continue
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(f"  {name}: fresh {fresh:.3f} vs baseline {base:.3f} (floor {floor:.3f}) {verdict}")
+        if fresh < floor:
+            failures.append(
+                f"{name}: {fresh:.3f} fell below {floor:.3f} (baseline {base:.3f}, tol {tolerance:.0%})"
+            )
+    for name in sorted(set(fresh_metrics) - set(base_metrics)):
+        print(f"  {name}: {fresh_metrics[name]:.3f} (new metric, not gated)")
+    return failures
+
+
+def selftest():
+    """The gate must pass on identical input and fail on a regressed copy."""
+    frontier = {
+        "runs": [{"space": "s", "mode": "frontier", "kappa_exact": True, "converged": True}],
+        "frontier_vs_full_scan": [
+            {"space": "(1,2) k-core", "ratio": 5.0},
+            {"space": "(2,3) k-truss", "ratio": 3.0},
+        ],
+    }
+    service = {
+        "refreshes": [
+            {"space": "truss", "processed_ratio": 1.8},
+            {"space": "truss", "processed_ratio": 2.2},
+            {"space": "nucleus34", "processed_ratio": 2.0},
+        ]
+    }
+    checks = []
+    checks.append(("identical frontier passes", compare("frontier", frontier, frontier, 0.1) == []))
+    checks.append(("identical service passes", compare("service", service, service, 0.1) == []))
+
+    regressed = json.loads(json.dumps(frontier))
+    regressed["frontier_vs_full_scan"][0]["ratio"] = 1.2
+    checks.append(("regressed ratio fails", compare("frontier", frontier, regressed, 0.1) != []))
+
+    inexact = json.loads(json.dumps(frontier))
+    inexact["runs"][0]["kappa_exact"] = False
+    checks.append(("lost exactness fails", compare("frontier", frontier, inexact, 0.1) != []))
+
+    slow_service = json.loads(json.dumps(service))
+    for row in slow_service["refreshes"]:
+        row["processed_ratio"] = 1.0
+    checks.append(("regressed service fails", compare("service", service, slow_service, 0.1) != []))
+
+    missing = {"refreshes": []}
+    checks.append(("missing metrics fail", compare("service", service, missing, 0.1) != []))
+
+    ok = True
+    for name, passed in checks:
+        print(f"selftest: {name}: {'ok' if passed else 'FAILED'}")
+        ok &= passed
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    cmp_p = sub.add_parser("compare", help="compare a fresh bench JSON against a baseline")
+    cmp_p.add_argument("--kind", choices=sorted(EXTRACTORS), required=True)
+    cmp_p.add_argument("--baseline", required=True)
+    cmp_p.add_argument("--fresh", required=True)
+    cmp_p.add_argument("--tolerance", type=float, default=0.15)
+    sub.add_parser("selftest", help="verify the gate detects fabricated regressions")
+    args = ap.parse_args()
+
+    if args.cmd == "selftest":
+        return selftest()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench gate: cannot load inputs: {e}", file=sys.stderr)
+        return 1
+
+    print(f"bench gate [{args.kind}]: {args.fresh} vs {args.baseline}")
+    failures = compare(args.kind, baseline, fresh, args.tolerance)
+    if failures:
+        for f in failures:
+            print(f"bench gate: {f}", file=sys.stderr)
+        return 1
+    print("bench gate: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
