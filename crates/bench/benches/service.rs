@@ -19,7 +19,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hdsd_nucleus::{
-    and, peel, CachedSpace, CoreSpace, LocalConfig, Nucleus34Space, Order, QueryOptions, TrussSpace,
+    and, build_hierarchy, peel, CachedSpace, CoreSpace, LocalConfig, Nucleus34Space, Order,
+    QueryOptions, TrussSpace,
 };
 use hdsd_service::{Engine, EngineConfig, SpaceSel};
 
@@ -43,13 +44,18 @@ struct RefreshRecord {
     splice_us: u64,
 }
 
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
+struct HierarchyRecord {
+    space: String,
+    repair_us: u64,
+    rebuild_us: u64,
+    preserved_nodes: usize,
+    rebuilt_nodes: usize,
+    preserved_fraction: f64,
+    dirty_cliques: usize,
+    scanned_scliques: usize,
 }
+
+use proptest::splitmix64 as splitmix;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -119,11 +125,26 @@ fn main() {
     }
 
     // ── warm-start refresh vs from-scratch decomposition ──────────────
+    // Make every hierarchy resident first: updates then *repair* the
+    // forests in place, and the post-update region query below no longer
+    // pays a rebuild.
+    for &sel in &spaces {
+        let t = Instant::now();
+        let _ = engine.nuclei_at(sel, 1).unwrap();
+        eprintln!(
+            "hierarchy {} first build: {:.1} ms",
+            sel.name(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
     let batches: usize = if quick { 2 } else { 3 };
     let mut refreshes: Vec<RefreshRecord> = Vec::new();
+    let mut hierarchies: Vec<HierarchyRecord> = Vec::new();
     let mut rng = 0xDECAFu64;
     let mut update_walls_us: Vec<u64> = Vec::new();
     let mut graph_delta_us: Vec<u64> = Vec::new();
+    let mut repair_walls_us: Vec<u64> = Vec::new();
+    let mut post_update_region_us: Vec<u64> = Vec::new();
     for _ in 0..batches {
         let nv = engine.graph().num_vertices() as u64;
         let ins: Vec<(u32, u32)> = (0..2)
@@ -136,6 +157,14 @@ fn main() {
         let report = engine.update(&ins, &rm);
         update_walls_us.push(report.wall_us);
         graph_delta_us.push(report.graph_delta_us);
+        repair_walls_us.push(report.hierarchy_repair_us);
+
+        // The acceptance measurement: the first region query after an
+        // update used to rebuild the whole forest; with in-place repair it
+        // is a plain index read + materialization.
+        let t_region = Instant::now();
+        let _ = engine.region_of(SpaceSel::Core, 0);
+        post_update_region_us.push(t_region.elapsed().as_micros() as u64);
 
         // Cold baseline + exactness audit on the *updated* graph.
         let g2 = engine.graph().clone();
@@ -181,12 +210,48 @@ fn main() {
                 lifted: r.lifted,
                 splice_us: r.splice_us,
             });
+
+            // Hierarchy repair vs a from-scratch forest rebuild of the
+            // same updated space.
+            let hr = r.hierarchy_repair.as_ref().expect("hierarchies are resident in this bench");
+            let t_rebuild = Instant::now();
+            let rebuilt = build_hierarchy(&cached, &exact);
+            let rebuild_us = t_rebuild.elapsed().as_micros() as u64;
+            let total_nodes = hr.preserved_nodes + hr.rebuilt_nodes;
+            assert_eq!(
+                total_nodes,
+                rebuilt.len(),
+                "{}: repaired forest size diverged from a cold rebuild",
+                r.space
+            );
+            hierarchies.push(HierarchyRecord {
+                space: r.space.to_string(),
+                repair_us: hr.repair_us,
+                rebuild_us,
+                preserved_nodes: hr.preserved_nodes,
+                rebuilt_nodes: hr.rebuilt_nodes,
+                preserved_fraction: hr.preserved_nodes as f64 / total_nodes.max(1) as f64,
+                dirty_cliques: hr.dirty_cliques,
+                scanned_scliques: hr.scanned_scliques,
+            });
         }
     }
     for r in &refreshes {
         eprintln!(
             "refresh {}: warm {} sweeps / {} recomputed vs cold {} sweeps / {} recomputed",
             r.space, r.warm_sweeps, r.warm_processed, r.cold_sweeps, r.cold_processed
+        );
+    }
+    for h in &hierarchies {
+        eprintln!(
+            "hierarchy {}: repair {} µs vs rebuild {} µs ({} preserved / {} rebuilt nodes, \
+             {} s-cliques scanned)",
+            h.space,
+            h.repair_us,
+            h.rebuild_us,
+            h.preserved_nodes,
+            h.rebuilt_nodes,
+            h.scanned_scliques
         );
     }
 
@@ -241,12 +306,34 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let mean_update_ms =
-        update_walls_us.iter().sum::<u64>() as f64 / 1e3 / update_walls_us.len().max(1) as f64;
-    let mean_delta_ms =
-        graph_delta_us.iter().sum::<u64>() as f64 / 1e3 / graph_delta_us.len().max(1) as f64;
+    out.push_str("  \"hierarchy\": [\n");
+    for (i, h) in hierarchies.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"space\": \"{}\", \"repair_us\": {}, \"rebuild_us\": {}, \
+             \"preserved_nodes\": {}, \"rebuilt_nodes\": {}, \"preserved_fraction\": {:.4}, \
+             \"dirty_cliques\": {}, \"scanned_scliques\": {}}}{}",
+            h.space,
+            h.repair_us,
+            h.rebuild_us,
+            h.preserved_nodes,
+            h.rebuilt_nodes,
+            h.preserved_fraction,
+            h.dirty_cliques,
+            h.scanned_scliques,
+            if i + 1 < hierarchies.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / 1e3 / xs.len().max(1) as f64;
+    let mean_update_ms = mean(&update_walls_us);
+    let mean_delta_ms = mean(&graph_delta_us);
+    let mean_repair_ms = mean(&repair_walls_us);
+    let mean_region_ms = mean(&post_update_region_us);
     let _ = writeln!(out, "  \"mean_update_wall_ms\": {mean_update_ms:.1},");
-    let _ = writeln!(out, "  \"mean_graph_delta_ms\": {mean_delta_ms:.1}");
+    let _ = writeln!(out, "  \"mean_graph_delta_ms\": {mean_delta_ms:.1},");
+    let _ = writeln!(out, "  \"mean_hierarchy_repair_ms\": {mean_repair_ms:.2},");
+    let _ = writeln!(out, "  \"mean_post_update_region_ms\": {mean_region_ms:.2}");
     out.push_str("}\n");
 
     // Quick mode is a smoke test; only full-size runs may overwrite the

@@ -15,11 +15,22 @@ use crate::space::CliqueSpace;
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HDSDSNAP";
 /// Current snapshot format version.
 ///
+/// Version 3: each persisted hierarchy now carries its inverted
+/// clique → node index ([`Hierarchy::clique_to_node`]), making the
+/// snapshot self-contained for consumers that don't know the derivation
+/// and giving the reader an integrity cross-check — the index must
+/// invert the forest it rides with, so corruption that survives the
+/// shape checks still fails loudly instead of serving wrong regions.
+/// (The derivation itself is one flat pass, dwarfed by the space rebuild
+/// a restore performs; the index is persisted for self-containedness and
+/// validation, not speed.) The extra array changes the framing, so v2
+/// blobs are rejected with a versioned error rather than misread.
+///
 /// Version 2: triangle ids became canonical (lexicographic by vertex
 /// triple) instead of orientation discovery order. A v1 snapshot's
 /// (3,4)-space κ vector and hierarchy are indexed by the old ids and
 /// would load silently permuted, so v1 is rejected rather than migrated.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// One decomposition's resident state inside a [`Snapshot`].
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +41,29 @@ pub struct SpaceSnapshot {
     pub kappa: Vec<u32>,
     /// The nucleus forest, when it was resident at save time.
     pub hierarchy: Option<Hierarchy>,
+    /// The forest's clique → node index (`u32::MAX` for cliques in no
+    /// nucleus), persisted with the hierarchy so the snapshot is
+    /// self-contained and the reader can cross-check it against the
+    /// forest. Present iff `hierarchy` is. [`write_snapshot`] derives
+    /// the persisted index from `hierarchy` itself (this field is not
+    /// trusted on the write path — a stale value could otherwise poison
+    /// restores); [`read_snapshot`] populates it after validating that
+    /// it inverts the forest.
+    pub node_of: Option<Vec<u32>>,
+}
+
+impl SpaceSnapshot {
+    /// A space snapshot with no resident hierarchy.
+    pub fn new(rs: (u32, u32), kappa: Vec<u32>) -> SpaceSnapshot {
+        SpaceSnapshot { rs, kappa, hierarchy: None, node_of: None }
+    }
+
+    /// A space snapshot with a resident hierarchy and a freshly derived
+    /// clique → node index.
+    pub fn with_hierarchy(rs: (u32, u32), kappa: Vec<u32>, hierarchy: Hierarchy) -> SpaceSnapshot {
+        let node_of = hierarchy.clique_to_node(kappa.len());
+        SpaceSnapshot { rs, kappa, hierarchy: Some(hierarchy), node_of: Some(node_of) }
+    }
 }
 
 /// A restartable image of a serving engine: the graph plus every
@@ -89,6 +123,15 @@ pub fn write_snapshot(snap: &Snapshot, out: &mut impl Write) -> io::Result<()> {
                 write_u32_slice(out, &h.roots)?;
                 write_u32(out, h.rs.0 as u32)?;
                 write_u32(out, h.rs.1 as u32)?;
+                // v3: the inverted clique → node index rides along for
+                // self-containedness and as a read-side integrity check.
+                // Always derived from the forest being written —
+                // `SpaceSnapshot`'s fields are pub, and persisting a
+                // caller-supplied vector would let a stale or mis-sized
+                // index either poison every later restore ("clique index
+                // length mismatch") or, worse, pass the reader's shape
+                // checks while mapping cliques to the wrong nodes.
+                write_u32_slice(out, &h.clique_to_node(sp.kappa.len()))?;
             }
         }
     }
@@ -106,7 +149,10 @@ pub fn read_snapshot(input: &mut impl Read) -> io::Result<Snapshot> {
     }
     let version = read_u32(input)?;
     if version != SNAPSHOT_VERSION {
-        return Err(bad(&format!("unsupported snapshot version {version}")));
+        return Err(bad(&format!(
+            "unsupported snapshot version {version} (this build reads v{SNAPSHOT_VERSION}); \
+             re-save from a live engine"
+        )));
     }
     let graph = hdsd_graph::read_graph_binary(input)?;
     let num_spaces = read_u32(input)?;
@@ -117,8 +163,8 @@ pub fn read_snapshot(input: &mut impl Read) -> io::Result<Snapshot> {
     for _ in 0..num_spaces {
         let rs = (read_u32(input)?, read_u32(input)?);
         let kappa = read_u32_vec(input, u32::MAX as u64)?;
-        let hierarchy = match read_u32(input)? {
-            0 => None,
+        let (hierarchy, node_of) = match read_u32(input)? {
+            0 => (None, None),
             1 => {
                 let num_nodes = read_u64(input)?;
                 if num_nodes > kappa.len() as u64 * 2 + 16 {
@@ -149,11 +195,25 @@ pub fn read_snapshot(input: &mut impl Read) -> io::Result<Snapshot> {
                     return Err(bad("hierarchy reference out of range"));
                 }
                 let rs_h = (read_u32(input)? as usize, read_u32(input)? as usize);
-                Some(Hierarchy { nodes, roots, rs: rs_h })
+                let node_of = read_u32_vec(input, kappa.len() as u64)?;
+                if node_of.len() != kappa.len() {
+                    return Err(bad("hierarchy clique index length mismatch"));
+                }
+                let h = Hierarchy { nodes, roots, rs: rs_h };
+                // Shape checks alone would let an in-range but *wrong*
+                // mapping through, and adopters (the serving engine) trust
+                // this index verbatim — so verify it against the forest it
+                // claims to invert. One flat pass, dwarfed by the space
+                // rebuild any restore performs anyway; every other
+                // corruption fails loudly, this one must too.
+                if node_of != h.clique_to_node(kappa.len()) {
+                    return Err(bad("hierarchy clique index inconsistent with forest"));
+                }
+                (Some(h), Some(node_of))
             }
             _ => return Err(bad("bad hierarchy presence flag")),
         };
-        spaces.push(SpaceSnapshot { rs, kappa, hierarchy });
+        spaces.push(SpaceSnapshot { rs, kappa, hierarchy, node_of });
     }
     Ok(Snapshot { graph, spaces })
 }
@@ -271,8 +331,8 @@ mod tests {
         let snap = Snapshot {
             graph: g.clone(),
             spaces: vec![
-                SpaceSnapshot { rs: (1, 2), kappa: kc.clone(), hierarchy: Some(hc.clone()) },
-                SpaceSnapshot { rs: (2, 3), kappa: kt.clone(), hierarchy: Some(ht.clone()) },
+                SpaceSnapshot::with_hierarchy((1, 2), kc.clone(), hc.clone()),
+                SpaceSnapshot::with_hierarchy((2, 3), kt.clone(), ht.clone()),
             ],
         };
         let mut buf = Vec::new();
@@ -287,6 +347,13 @@ mod tests {
         assert_eq!(back.spaces[1].rs, (2, 3));
         assert_eq!(back.spaces[1].kappa, kt);
         assert_eq!(back.spaces[1].hierarchy.as_ref().unwrap(), &ht);
+        // v3: the clique → node index rides along bit-identically.
+        assert_eq!(back.spaces[0].node_of.as_ref().unwrap(), &hc.clique_to_node(kc.len()));
+        assert_eq!(back.spaces[1].node_of.as_ref().unwrap(), &ht.clique_to_node(kt.len()));
+        // A second save of the restored snapshot is byte-identical.
+        let mut buf2 = Vec::new();
+        write_snapshot(&back, &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "save/load round trip must be bit-stable");
     }
 
     #[test]
@@ -294,15 +361,13 @@ mod tests {
         let g = sample();
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
-        let snap = Snapshot {
-            graph: g,
-            spaces: vec![SpaceSnapshot { rs: (1, 2), kappa: kappa.clone(), hierarchy: None }],
-        };
+        let snap = Snapshot { graph: g, spaces: vec![SpaceSnapshot::new((1, 2), kappa.clone())] };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         let back = read_snapshot(&mut buf.as_slice()).unwrap();
         assert_eq!(back.spaces[0].kappa, kappa);
         assert!(back.spaces[0].hierarchy.is_none());
+        assert!(back.spaces[0].node_of.is_none());
     }
 
     #[test]
@@ -311,10 +376,8 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
-        let snap = Snapshot {
-            graph: g,
-            spaces: vec![SpaceSnapshot { rs: (1, 2), kappa, hierarchy: Some(h) }],
-        };
+        let snap =
+            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         assert!(read_snapshot(&mut &b"HDSDJUNKxxxxxxxxxxxx"[..]).is_err());
@@ -324,6 +387,48 @@ mod tests {
         let mut truncated = buf.clone();
         truncated.truncate(buf.len() / 2);
         assert!(read_snapshot(&mut truncated.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_clique_index_is_rejected() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let snap =
+            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        // node_of is the final section of the (single) space block; flip a
+        // bit in its last entry: the value stays shape-plausible but no
+        // longer inverts the forest, and the reader must notice.
+        let last = buf.len() - 4;
+        buf[last] ^= 0x01;
+        let err = read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn v2_snapshots_are_rejected_with_a_versioned_error() {
+        let g = sample();
+        let sp = CoreSpace::new(&g);
+        let kappa = peel(&sp).kappa;
+        let h = build_hierarchy(&sp, &kappa);
+        let snap =
+            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        // Rewrite the version field (little-endian u32 after the 8-byte
+        // magic) to the previous format's: the loader must refuse with a
+        // versioned message before touching any payload.
+        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let err = read_snapshot(&mut buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("version 2"), "error should name the found version: {msg}");
+        assert!(
+            msg.contains(&format!("v{SNAPSHOT_VERSION}")),
+            "error should name the supported version: {msg}"
+        );
     }
 
     #[test]

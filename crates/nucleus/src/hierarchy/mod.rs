@@ -17,6 +17,12 @@
 //! (as an `own_clique`) to the node representing its component at
 //! threshold `κ(R)` — the maximal nucleus in which it first participates.
 
+pub mod canonical;
+pub mod repair;
+
+pub use canonical::assert_forest_eq;
+pub use repair::{repair_hierarchy, RepairStats};
+
 use hdsd_graph::{density, induced_subgraph, CsrGraph, VertexId};
 
 use crate::space::CliqueSpace;
@@ -121,6 +127,36 @@ impl Hierarchy {
     pub fn nuclei_at(&self, k: u32) -> Vec<u32> {
         (0..self.nodes.len() as u32).filter(|&i| self.nodes[i as usize].k == k).collect()
     }
+
+    /// The inverted clique → node index: for each of `num_cliques`
+    /// r-cliques, the node whose `own_cliques` contains it (`u32::MAX` for
+    /// cliques in no nucleus). This is the index region queries resolve
+    /// through; it is also persisted (and integrity-checked) in snapshots.
+    pub fn clique_to_node(&self, num_cliques: usize) -> Vec<u32> {
+        let mut node_of = vec![u32::MAX; num_cliques];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &c in &node.own_cliques {
+                node_of[c as usize] = id as u32;
+            }
+        }
+        node_of
+    }
+
+    /// Incrementally repairs this forest after an edge batch — see
+    /// [`repair_hierarchy`] for the algorithm and the `dirty_seed`
+    /// contract. `self` is the forest of the pre-batch graph; the result is
+    /// structurally identical (canonical-form equal) to
+    /// [`build_hierarchy`] over the post-batch space.
+    pub fn repair<S: CliqueSpace>(
+        &self,
+        space: &S,
+        kappa: &[u32],
+        new_to_old: &[u32],
+        old_num_cliques: usize,
+        dirty_seed: &[u32],
+    ) -> (Hierarchy, RepairStats) {
+        repair_hierarchy(self, space, kappa, new_to_old, old_num_cliques, dirty_seed)
+    }
 }
 
 /// Density summary of one nucleus.
@@ -163,156 +199,198 @@ pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
             scliques.push((w, members));
         });
     }
-    scliques.sort_unstable_by_key(|sc| std::cmp::Reverse(sc.0));
 
-    let mut parent: Vec<u32> = (0..n as u32).collect();
-    fn find(parent: &mut [u32], mut x: u32) -> u32 {
-        while parent[x as usize] != x {
-            parent[x as usize] = parent[parent[x as usize] as usize];
-            x = parent[x as usize];
-        }
-        x
+    let mut fb = ForestBuilder::fresh(n);
+    fb.union_find_pass(scliques, kappa);
+    fb.finalize((space.r(), space.s()))
+}
+
+/// The threshold-descending union–find state shared by [`build_hierarchy`]
+/// (which starts from an empty forest) and [`repair_hierarchy`] (which
+/// starts pre-seeded with the preserved subtrees of the old forest).
+pub(crate) struct ForestBuilder {
+    /// Growing node arena; may contain tombstones (`k == u32::MAX`).
+    pub(crate) nodes: Vec<HierarchyNode>,
+    /// Union–find parent over r-cliques.
+    pub(crate) parent: Vec<u32>,
+    /// Component root → current node id (`u32::MAX` when none).
+    pub(crate) node_of: Vec<u32>,
+    /// Cliques already seen by some processed s-clique (or belonging to a
+    /// pre-seeded preserved subtree, whose `own_cliques` already exist).
+    pub(crate) activated: Vec<bool>,
+}
+
+pub(crate) fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
     }
+    x
+}
 
-    let mut nodes: Vec<HierarchyNode> = Vec::new();
-    let mut node_of: Vec<u32> = vec![u32::MAX; n]; // by component root
-    let mut activated = vec![false; n];
-    let mut pending: Vec<u32> = Vec::new(); // κ == k cliques activated at this threshold
-
-    // Ensures the component rooted at `root` has a node at threshold `k`,
-    // wrapping or creating as needed, and returns that node id.
-    fn node_at_k(nodes: &mut Vec<HierarchyNode>, node_of: &mut [u32], root: u32, k: u32) -> u32 {
-        let cur = node_of[root as usize];
-        if cur == u32::MAX {
-            let id = nodes.len() as u32;
-            nodes.push(HierarchyNode {
-                k,
-                parent: None,
-                children: Vec::new(),
-                own_cliques: Vec::new(),
-                size: 0,
-            });
-            node_of[root as usize] = id;
-            id
-        } else if nodes[cur as usize].k > k {
-            // Component persists to a smaller threshold: wrap it.
-            let id = nodes.len() as u32;
-            nodes.push(HierarchyNode {
-                k,
-                parent: None,
-                children: vec![cur],
-                own_cliques: Vec::new(),
-                size: 0,
-            });
-            nodes[cur as usize].parent = Some(id);
-            node_of[root as usize] = id;
-            id
-        } else {
-            debug_assert_eq!(nodes[cur as usize].k, k, "thresholds processed descending");
-            cur
-        }
-    }
-
-    let mut idx = 0usize;
-    while idx < scliques.len() {
-        let k = scliques[idx].0;
-        let mut end = idx;
-        while end < scliques.len() && scliques[end].0 == k {
-            end += 1;
-        }
-        pending.clear();
-        for (_, members) in &scliques[idx..end] {
-            for &m in members {
-                if !activated[m as usize] {
-                    activated[m as usize] = true;
-                    debug_assert!(kappa[m as usize] >= k);
-                    if kappa[m as usize] == k {
-                        pending.push(m);
-                    }
-                }
-            }
-            // Union all members; the surviving component's node is the
-            // merge of the members' nodes at this threshold.
-            let mut it = members.iter();
-            let root = find(&mut parent, *it.next().unwrap());
-            // Bring the first component to threshold k.
-            node_at_k(&mut nodes, &mut node_of, root, k);
-            for &m in it {
-                let rm = find(&mut parent, m);
-                if rm == root {
-                    continue;
-                }
-                let nb = node_at_k(&mut nodes, &mut node_of, rm, k);
-                let na = node_of[root as usize];
-                // Merge rm into root (both nodes now have threshold k):
-                // absorb nb into na.
-                if na != nb {
-                    let mut kids = std::mem::take(&mut nodes[nb as usize].children);
-                    for &c in &kids {
-                        nodes[c as usize].parent = Some(na);
-                    }
-                    nodes[na as usize].children.append(&mut kids);
-                    let own = std::mem::take(&mut nodes[nb as usize].own_cliques);
-                    nodes[na as usize].own_cliques.extend(own);
-                    // nb becomes an absorbed tombstone; it is removed at
-                    // the compaction step below.
-                    nodes[nb as usize].k = u32::MAX;
-                    nodes[nb as usize].parent = Some(na);
-                }
-                parent[rm as usize] = root;
-                node_of[rm as usize] = u32::MAX;
-                node_of[root as usize] = na;
-            }
-        }
-        // Every r-clique activated at its own κ belongs to its component's
-        // node at this threshold.
-        for &m in &pending {
-            let root = find(&mut parent, m);
-            let node = node_of[root as usize];
-            debug_assert_ne!(node, u32::MAX);
-            nodes[node as usize].own_cliques.push(m);
-        }
-        idx = end;
-    }
-
-    // Compact: drop tombstones (k == u32::MAX) and remap ids.
-    let mut remap = vec![u32::MAX; nodes.len()];
-    let mut compacted: Vec<HierarchyNode> = Vec::with_capacity(nodes.len());
-    for (i, node) in nodes.iter().enumerate() {
-        if node.k != u32::MAX {
-            remap[i] = compacted.len() as u32;
-            compacted.push(node.clone());
-        }
-    }
-    for node in &mut compacted {
-        node.parent = node.parent.map(|p| {
-            debug_assert_ne!(remap[p as usize], u32::MAX, "parent is a tombstone");
-            remap[p as usize]
+/// Ensures the component rooted at `root` has a node at threshold `k`,
+/// wrapping or creating as needed, and returns that node id.
+fn node_at_k(nodes: &mut Vec<HierarchyNode>, node_of: &mut [u32], root: u32, k: u32) -> u32 {
+    let cur = node_of[root as usize];
+    if cur == u32::MAX {
+        let id = nodes.len() as u32;
+        nodes.push(HierarchyNode {
+            k,
+            parent: None,
+            children: Vec::new(),
+            own_cliques: Vec::new(),
+            size: 0,
         });
-        for c in &mut node.children {
-            *c = remap[*c as usize];
+        node_of[root as usize] = id;
+        id
+    } else if nodes[cur as usize].k > k {
+        // Component persists to a smaller threshold: wrap it.
+        let id = nodes.len() as u32;
+        nodes.push(HierarchyNode {
+            k,
+            parent: None,
+            children: vec![cur],
+            own_cliques: Vec::new(),
+            size: 0,
+        });
+        nodes[cur as usize].parent = Some(id);
+        node_of[root as usize] = id;
+        id
+    } else {
+        debug_assert_eq!(nodes[cur as usize].k, k, "thresholds processed descending");
+        cur
+    }
+}
+
+impl ForestBuilder {
+    /// Empty-forest state over `n` r-cliques (the cold-build start).
+    pub(crate) fn fresh(n: usize) -> ForestBuilder {
+        ForestBuilder {
+            nodes: Vec::new(),
+            parent: (0..n as u32).collect(),
+            node_of: vec![u32::MAX; n],
+            activated: vec![false; n],
         }
     }
-    let mut nodes = compacted;
 
-    let roots: Vec<u32> =
-        (0..nodes.len() as u32).filter(|&i| nodes[i as usize].parent.is_none()).collect();
+    /// Processes `scliques` (weight, member cliques) in descending weight
+    /// order, creating/merging nodes and assigning each clique activated at
+    /// its own κ to its component's node at that threshold.
+    pub(crate) fn union_find_pass(&mut self, mut scliques: Vec<(u32, Vec<u32>)>, kappa: &[u32]) {
+        scliques.sort_unstable_by_key(|sc| std::cmp::Reverse(sc.0));
+        let (nodes, parent) = (&mut self.nodes, &mut self.parent);
+        let (node_of, activated) = (&mut self.node_of, &mut self.activated);
+        let mut pending: Vec<u32> = Vec::new(); // κ == k cliques activated at this threshold
 
-    // Sizes bottom-up.
-    fn size_rec(nodes: &mut [HierarchyNode], id: u32) -> usize {
-        let children = nodes[id as usize].children.clone();
-        let mut s = nodes[id as usize].own_cliques.len();
-        for c in children {
-            s += size_rec(nodes, c);
+        let mut idx = 0usize;
+        while idx < scliques.len() {
+            let k = scliques[idx].0;
+            let mut end = idx;
+            while end < scliques.len() && scliques[end].0 == k {
+                end += 1;
+            }
+            pending.clear();
+            for (_, members) in &scliques[idx..end] {
+                for &m in members {
+                    if !activated[m as usize] {
+                        activated[m as usize] = true;
+                        debug_assert!(kappa[m as usize] >= k);
+                        if kappa[m as usize] == k {
+                            pending.push(m);
+                        }
+                    }
+                }
+                // Union all members; the surviving component's node is the
+                // merge of the members' nodes at this threshold.
+                let mut it = members.iter();
+                let root = find(parent, *it.next().unwrap());
+                // Bring the first component to threshold k.
+                node_at_k(nodes, node_of, root, k);
+                for &m in it {
+                    let rm = find(parent, m);
+                    if rm == root {
+                        continue;
+                    }
+                    let nb = node_at_k(nodes, node_of, rm, k);
+                    let na = node_of[root as usize];
+                    // Merge rm into root (both nodes now have threshold k):
+                    // absorb nb into na.
+                    if na != nb {
+                        let mut kids = std::mem::take(&mut nodes[nb as usize].children);
+                        for &c in &kids {
+                            nodes[c as usize].parent = Some(na);
+                        }
+                        nodes[na as usize].children.append(&mut kids);
+                        let own = std::mem::take(&mut nodes[nb as usize].own_cliques);
+                        nodes[na as usize].own_cliques.extend(own);
+                        // nb becomes an absorbed tombstone; it is removed at
+                        // the compaction step below.
+                        nodes[nb as usize].k = u32::MAX;
+                        nodes[nb as usize].parent = Some(na);
+                    }
+                    parent[rm as usize] = root;
+                    node_of[rm as usize] = u32::MAX;
+                    node_of[root as usize] = na;
+                }
+            }
+            // Every r-clique activated at its own κ belongs to its
+            // component's node at this threshold.
+            for &m in &pending {
+                let root = find(parent, m);
+                let node = node_of[root as usize];
+                debug_assert_ne!(node, u32::MAX);
+                nodes[node as usize].own_cliques.push(m);
+            }
+            idx = end;
         }
-        nodes[id as usize].size = s;
-        s
-    }
-    for &r in &roots {
-        size_rec(&mut nodes, r);
     }
 
-    Hierarchy { nodes, roots, rs: (space.r(), space.s()) }
+    /// Compacts tombstones, recomputes roots and sizes, and assembles the
+    /// final [`Hierarchy`].
+    pub(crate) fn finalize(self, rs: (usize, usize)) -> Hierarchy {
+        let nodes = self.nodes;
+        // Compact: drop tombstones (k == u32::MAX) and remap ids.
+        let mut remap = vec![u32::MAX; nodes.len()];
+        let mut compacted: Vec<HierarchyNode> = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            if node.k != u32::MAX {
+                remap[i] = compacted.len() as u32;
+                compacted.push(node.clone());
+            }
+        }
+        for node in &mut compacted {
+            node.parent = node.parent.map(|p| {
+                debug_assert_ne!(remap[p as usize], u32::MAX, "parent is a tombstone");
+                remap[p as usize]
+            });
+            for c in &mut node.children {
+                *c = remap[*c as usize];
+            }
+        }
+        let mut nodes = compacted;
+
+        let roots: Vec<u32> =
+            (0..nodes.len() as u32).filter(|&i| nodes[i as usize].parent.is_none()).collect();
+
+        // Sizes bottom-up (iterative post-order: no recursion depth limit).
+        for &r in &roots {
+            let mut stack: Vec<(u32, usize)> = vec![(r, 0)];
+            while let Some((x, child_at)) = stack.pop() {
+                let node = &nodes[x as usize];
+                if child_at < node.children.len() {
+                    let c = node.children[child_at];
+                    stack.push((x, child_at + 1));
+                    stack.push((c, 0));
+                } else {
+                    let s = node.own_cliques.len()
+                        + node.children.iter().map(|&c| nodes[c as usize].size).sum::<usize>();
+                    nodes[x as usize].size = s;
+                }
+            }
+        }
+
+        Hierarchy { nodes, roots, rs }
+    }
 }
 
 #[cfg(test)]

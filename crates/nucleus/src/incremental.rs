@@ -563,6 +563,22 @@ pub struct RefreshOutcome {
     pub awake: usize,
     /// Surviving cliques lifted by the candidate traversal.
     pub lifted: usize,
+    /// The initially-awake clique ids (`awake` is its length): every
+    /// clique the batch may have touched structurally — new cliques,
+    /// cliques in a created/destroyed container, candidates, and their
+    /// container partners. This is exactly the dirty-seed contract of
+    /// [`crate::hierarchy::repair_hierarchy`].
+    pub perturbed: Vec<u32>,
+}
+
+impl RefreshOutcome {
+    /// The dirty seed for an incremental hierarchy repair after this
+    /// refresh: the structurally perturbed set plus every clique whose κ
+    /// actually changed (cascaded drops can reach initially-asleep
+    /// cliques). `stale_of` must be the same vector the refresh ran with.
+    pub fn repair_dirty_seed(&self, stale_of: &[Option<u32>]) -> Vec<u32> {
+        repair_dirty_seed(&self.perturbed, stale_of, &self.result.tau)
+    }
 }
 
 /// The canonical warm refresh, shared by [`Incremental::update_edges`] and
@@ -608,7 +624,7 @@ fn resume_from<S: CliqueSpace>(
     let result =
         and_resume_awake(new_space, cfg, &Order::Custom(order), warm.tau, &warm.awake, &mut |_| {});
     debug_assert!(result.converged);
-    RefreshOutcome { result, awake: warm.awake.len(), lifted: warm.lifted }
+    RefreshOutcome { result, awake: warm.awake.len(), lifted: warm.lifted, perturbed: warm.awake }
 }
 
 /// Dynamically maintained decomposition of one space kind.
@@ -682,7 +698,22 @@ impl<K: SpaceKind> Incremental<K> {
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> usize {
+        self.update_edges_outcome(insert, remove).sweeps
+    }
+
+    /// [`Incremental::update_edges`] returning the full batch outcome: the
+    /// clique-id remap and the changed-κ/perturbed set the refresh already
+    /// computes internally — everything [`Hierarchy::repair`] needs to
+    /// repair a forest of the pre-batch graph instead of rebuilding it.
+    ///
+    /// [`Hierarchy::repair`]: crate::hierarchy::Hierarchy::repair
+    pub fn update_edges_outcome(
+        &mut self,
+        insert: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+    ) -> BatchOutcome {
         let (new_graph, ed) = hdsd_graph::apply_edge_batch(&self.graph, insert, remove);
+        let old_num_cliques = self.cached.num_cliques();
         let sd = K::apply_delta(&mut self.substrate, &self.cached, &self.graph, &new_graph, &ed);
         // Stale κ carried positionally: new clique → old clique → old κ.
         let stale_of: Vec<Option<u32>> = sd
@@ -697,8 +728,60 @@ impl<K: SpaceKind> Incremental<K> {
         self.graph = new_graph;
         self.cached = sd.cached;
         self.kappa = out.result.tau;
-        out.result.sweeps
+        BatchOutcome {
+            sweeps: out.result.sweeps,
+            old_num_cliques,
+            new_to_old: sd.new_to_old,
+            perturbed: out.perturbed,
+            stale_of,
+        }
     }
+}
+
+/// What one [`Incremental::update_edges_outcome`] batch did — the inputs a
+/// hierarchy repair needs, reported instead of recomputed.
+pub struct BatchOutcome {
+    /// Sweeps the warm refresh needed.
+    pub sweeps: usize,
+    /// Clique count of the pre-batch space.
+    pub old_num_cliques: usize,
+    /// New clique id → old clique id ([`hdsd_graph::NO_ID`] for created).
+    pub new_to_old: Vec<u32>,
+    /// New clique ids the refresh seeded awake (structurally perturbed).
+    pub perturbed: Vec<u32>,
+    /// Stale κ per new clique id, as the refresh ran with it (`None` for
+    /// batch-created cliques). Kept so the dirty seed can be derived on
+    /// demand instead of on every batch.
+    stale_of: Vec<Option<u32>>,
+}
+
+impl BatchOutcome {
+    /// The dirty seed for repairing a hierarchy across this batch:
+    /// `perturbed` plus every clique whose κ actually changed. `kappa`
+    /// must be the post-batch exact κ (i.e. [`Incremental::kappa`] right
+    /// after the update). Computed lazily — only hierarchy-repairing
+    /// callers pay the scan.
+    pub fn repair_dirty_seed(&self, kappa: &[u32]) -> Vec<u32> {
+        repair_dirty_seed(&self.perturbed, &self.stale_of, kappa)
+    }
+}
+
+/// `perturbed ∪ {i : stale_of[i] ≠ Some(kappa[i])}` — the dirty-seed
+/// contract of [`crate::hierarchy::repair_hierarchy`], shared by
+/// [`RefreshOutcome::repair_dirty_seed`] and
+/// [`BatchOutcome::repair_dirty_seed`].
+fn repair_dirty_seed(perturbed: &[u32], stale_of: &[Option<u32>], kappa: &[u32]) -> Vec<u32> {
+    assert_eq!(stale_of.len(), kappa.len(), "stale_of length mismatch");
+    let mut dirty = vec![false; kappa.len()];
+    for &i in perturbed {
+        dirty[i as usize] = true;
+    }
+    for (i, (&stale, &k)) in stale_of.iter().zip(kappa).enumerate() {
+        if stale != Some(k) {
+            dirty[i] = true;
+        }
+    }
+    (0..kappa.len() as u32).filter(|&i| dirty[i as usize]).collect()
 }
 
 impl Incremental<CoreKind> {

@@ -69,11 +69,14 @@ pub use delta::{core_space_delta, nucleus34_space_delta, truss_space_delta, Spac
 pub use export::{
     read_snapshot, write_hierarchy_dot, write_kappa_tsv, write_snapshot, Snapshot, SpaceSnapshot,
 };
-pub use hierarchy::{build_hierarchy, Hierarchy, HierarchyNode};
+pub use hierarchy::{
+    assert_forest_eq, build_hierarchy, repair_hierarchy, Hierarchy, HierarchyNode, RepairStats,
+};
 pub use incremental::{
     clique_key, rebuild_graph, refresh_resume, refresh_resume_of, stale_kappa_map, warm_tau_init,
-    warm_tau_init_local, warm_tau_init_of, CliqueKey, CoreKind, Incremental, IncrementalCore,
-    KeyHasher, Nucleus34Kind, RefreshOutcome, SpaceKind, StaleMap, TrussKind, WarmStart,
+    warm_tau_init_local, warm_tau_init_of, BatchOutcome, CliqueKey, CoreKind, Incremental,
+    IncrementalCore, KeyHasher, Nucleus34Kind, RefreshOutcome, SpaceKind, StaleMap, TrussKind,
+    WarmStart,
 };
 pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{peel, peel_parallel, PeelResult};

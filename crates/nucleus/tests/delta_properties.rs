@@ -3,7 +3,8 @@
 //! structures must be **structurally identical** to from-scratch builds at
 //! every layer (CSR, triangle list, container caches), and the
 //! warm-started refresh must stay bit-identical to a cold peel for all
-//! three spaces.
+//! three spaces. Case counts are proptest-driven, so the nightly
+//! `slow-props` job's `PROPTEST_CASES` override deepens this suite too.
 
 use hdsd_graph::{apply_edge_batch, triangle_delta, CsrGraph, TriangleList, VertexId, NO_ID};
 use hdsd_nucleus::{
@@ -12,13 +13,8 @@ use hdsd_nucleus::{
     TrussKind, TrussSpace,
 };
 
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+use proptest::prelude::*;
+use proptest::splitmix64 as splitmix;
 
 type Batch = Vec<(VertexId, VertexId)>;
 
@@ -91,19 +87,25 @@ fn assert_same_cached(spliced: &CachedSpace, fresh: &CachedSpace, ctx: &str) {
     }
 }
 
-#[test]
-fn delta_structures_match_from_scratch_builds() {
-    for seed in 0..8u64 {
-        let base =
-            hdsd_datasets::holme_kim(120 + seed as u32 * 30, 4 + (seed % 3) as u32, 0.5, seed);
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn delta_structures_match_from_scratch_builds(
+        n in 120u32..360,
+        m in 4u32..7,
+        seed in 0u64..1_000_000,
+        batch_seed in 0u64..1_000_000,
+    ) {
+        let base = hdsd_datasets::holme_kim(n, m, 0.5, seed);
         let g = hdsd_datasets::thin_edges(&base, 0.75, seed);
         let tl = TriangleList::build(&g);
         let old_truss = CachedSpace::build(&TrussSpace::with_triangles(&g, &tl));
         let old_n34 = CachedSpace::build(&Nucleus34Space::with_triangles(&g, &tl));
 
-        let mut rng = 0xABCDEF ^ seed;
+        let mut rng = 0xABCDEF ^ batch_seed;
         let (ins, rm) = random_batch(&g, &mut rng);
-        let ctx = format!("seed {seed}");
+        let ctx = format!("n {n} m {m} seed {seed} batch {batch_seed}");
 
         // Layer 1: the spliced CSR is bit-identical to a rebuild.
         let (g2, ed) = apply_edge_batch(&g, &ins, &rm);
@@ -146,11 +148,11 @@ fn delta_structures_match_from_scratch_builds() {
     }
 }
 
-fn incremental_stays_exact<K: SpaceKind>(seed: u64) {
-    let base = hdsd_datasets::holme_kim(100 + seed as u32 * 20, 4, 0.55, seed ^ 0x55);
+fn incremental_stays_exact<K: SpaceKind>(n: u32, seed: u64, batch_seed: u64) {
+    let base = hdsd_datasets::holme_kim(n, 4, 0.55, seed ^ 0x55);
     let g = hdsd_datasets::thin_edges(&base, 0.8, seed);
     let mut inc: Incremental<K> = Incremental::new(g);
-    let mut rng = 0xFEED ^ seed;
+    let mut rng = 0xFEED ^ batch_seed;
     for round in 0..4 {
         let (ins, rm) = random_batch(inc.graph(), &mut rng);
         inc.update_edges(&ins, &rm);
@@ -158,17 +160,23 @@ fn incremental_stays_exact<K: SpaceKind>(seed: u64) {
         assert_eq!(
             inc.kappa(),
             exact.as_slice(),
-            "{} diverged from cold peel at seed {seed} round {round}",
+            "{} diverged from cold peel at n {n} seed {seed} batch {batch_seed} round {round}",
             K::NAME
         );
     }
 }
 
-#[test]
-fn incremental_refresh_is_bit_identical_to_peel() {
-    for seed in 0..4u64 {
-        incremental_stays_exact::<CoreKind>(seed);
-        incremental_stays_exact::<TrussKind>(seed);
-        incremental_stays_exact::<Nucleus34Kind>(seed);
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn incremental_refresh_is_bit_identical_to_peel(
+        n in 100u32..200,
+        seed in 0u64..1_000_000,
+        batch_seed in 0u64..1_000_000,
+    ) {
+        incremental_stays_exact::<CoreKind>(n, seed, batch_seed);
+        incremental_stays_exact::<TrussKind>(n, seed, batch_seed);
+        incremental_stays_exact::<Nucleus34Kind>(n, seed, batch_seed);
     }
 }

@@ -1,0 +1,237 @@
+//! The forest-equivalence property harness for incremental hierarchy
+//! repair: on random Holme–Kim graphs with random mixed insert/remove
+//! batches, for **all three** clique spaces (core, truss, (3,4)), the
+//! forest produced by [`Hierarchy::repair`] must be structurally identical
+//! — canonical-form equal, see `hdsd_nucleus::hierarchy::canonical` — to a
+//! cold [`build_hierarchy`] over the post-batch space. Repairs are
+//! *chained* (each round repairs the previous round's repaired forest), so
+//! drift would compound and be caught.
+//!
+//! Forest equality is subtle because node ids are renumbering-dependent;
+//! `canonical()` quotients ids and sibling order away, which is what makes
+//! "repaired ≡ rebuilt" a checkable property at all. The suite also
+//! cross-checks the repair telemetry: no-op batches must preserve
+//! everything, and the scanned region must never exceed the full s-clique
+//! universe.
+//!
+//! Case counts are tuned for the PR gate; the nightly `slow-props` CI job
+//! reruns this suite with `PROPTEST_CASES` raised (the vendored proptest
+//! honors the same env var as the real crate).
+
+use hdsd_graph::{CsrGraph, VertexId};
+use hdsd_nucleus::{
+    assert_forest_eq, build_hierarchy, CoreKind, Hierarchy, Incremental, Nucleus34Kind, SpaceKind,
+    TrussKind,
+};
+use proptest::prelude::*;
+use proptest::splitmix64 as splitmix;
+
+type Batch = Vec<(VertexId, VertexId)>;
+
+/// A random mixed batch with the same no-op noise the public API must
+/// tolerate: duplicate/reversed inserts, self-loops, already-present
+/// edges, absent removals, and endpoints beyond the current vertex set.
+fn random_batch(g: &CsrGraph, rng: &mut u64) -> (Batch, Batch) {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    let mut ins = Vec::new();
+    for _ in 0..(splitmix(rng) % 5 + 1) {
+        let u = (splitmix(rng) % (n + 3)) as u32;
+        let v = (splitmix(rng) % (n + 3)) as u32;
+        ins.push((u, v));
+        if splitmix(rng).is_multiple_of(4) {
+            ins.push((v, u)); // duplicate, reversed
+        }
+    }
+    if splitmix(rng).is_multiple_of(3) {
+        ins.push((5, 5)); // self-loop
+        if m > 0 {
+            ins.push(g.edges()[(splitmix(rng) % m) as usize]); // already present
+        }
+    }
+    let mut rm = Vec::new();
+    if m > 0 {
+        for _ in 0..(splitmix(rng) % 4 + 1) {
+            rm.push(g.edges()[(splitmix(rng) % m) as usize]);
+        }
+    }
+    rm.push(((splitmix(rng) % (n + 6)) as u32, (splitmix(rng) % (n + 6)) as u32)); // likely absent
+    (ins, rm)
+}
+
+/// Drives one space kind through `rounds` chained batches, asserting after
+/// each that the repaired forest is canonical-form equal to a cold rebuild
+/// of the post-batch space. Returns aggregate preservation counters so
+/// callers can assert the repair actually reuses work overall.
+fn chained_repairs_equal_cold<K: SpaceKind>(
+    g: CsrGraph,
+    rounds: usize,
+    rng: &mut u64,
+) -> (usize, usize) {
+    let mut inc: Incremental<K> = Incremental::new(g);
+    let mut forest: Hierarchy = build_hierarchy(inc.cached(), inc.kappa());
+    let mut preserved_total = 0usize;
+    let mut nodes_total = 0usize;
+    for round in 0..rounds {
+        let (ins, rm) = random_batch(inc.graph(), rng);
+        let out = inc.update_edges_outcome(&ins, &rm);
+        let (repaired, stats) = forest.repair(
+            inc.cached(),
+            inc.kappa(),
+            &out.new_to_old,
+            out.old_num_cliques,
+            &out.repair_dirty_seed(inc.kappa()),
+        );
+        let cold = build_hierarchy(inc.cached(), inc.kappa());
+        // The property: repair ≡ cold rebuild, structurally. On failure,
+        // print the reproducing inputs before the canonical diagnostic.
+        if repaired.canonical() != cold.canonical() {
+            eprintln!(
+                "{} repair diverged from cold rebuild at round {round}: \
+                 ins {ins:?}, rm {rm:?}, stats {stats:?}",
+                K::NAME
+            );
+        }
+        assert_forest_eq(&repaired, &cold);
+        assert!(
+            stats.preserved_nodes + stats.rebuilt_nodes == repaired.len(),
+            "{}: stats don't partition the result: {stats:?} vs {} nodes",
+            K::NAME,
+            repaired.len()
+        );
+        preserved_total += stats.preserved_nodes;
+        nodes_total += repaired.len();
+        forest = repaired; // chain: next round repairs the repaired forest
+    }
+    (preserved_total, nodes_total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn core_repair_equals_cold_rebuild(
+        n in 40u32..140,
+        m in 2u32..5,
+        p in 0u32..=100,
+        seed in 0u64..1_000_000,
+        batch_seed in 0u64..1_000_000,
+    ) {
+        let g = hdsd_datasets::holme_kim(n, m, p as f64 / 100.0, seed);
+        let mut rng = batch_seed ^ 0xC04E;
+        chained_repairs_equal_cold::<CoreKind>(g, 3, &mut rng);
+    }
+
+    #[test]
+    fn truss_repair_equals_cold_rebuild(
+        n in 40u32..120,
+        m in 2u32..5,
+        p in 0u32..=100,
+        seed in 0u64..1_000_000,
+        batch_seed in 0u64..1_000_000,
+    ) {
+        let g = hdsd_datasets::holme_kim(n, m, p as f64 / 100.0, seed);
+        let mut rng = batch_seed ^ 0x7255;
+        chained_repairs_equal_cold::<TrussKind>(g, 3, &mut rng);
+    }
+
+    #[test]
+    fn nucleus34_repair_equals_cold_rebuild(
+        n in 30u32..80,
+        m in 3u32..6,
+        p in 20u32..=100,
+        seed in 0u64..1_000_000,
+        batch_seed in 0u64..1_000_000,
+    ) {
+        let g = hdsd_datasets::holme_kim(n, m, p as f64 / 100.0, seed);
+        let mut rng = batch_seed ^ 0x3434;
+        chained_repairs_equal_cold::<Nucleus34Kind>(g, 2, &mut rng);
+    }
+}
+
+/// On a graph with many far-apart communities and a single-edge batch, the
+/// repair must actually *preserve* most of the forest — the point of the
+/// tentpole, asserted on counters rather than wall clocks.
+#[test]
+fn small_batches_preserve_most_of_the_forest() {
+    let g = hdsd_datasets::planted_partition(&[20, 20, 20, 20, 20], 0.5, 0.01, 77);
+    let mut inc: Incremental<CoreKind> = Incremental::new(g);
+    let forest = build_hierarchy(inc.cached(), inc.kappa());
+    let out = inc.update_edges_outcome(&[(0, 1)], &[]);
+    let (repaired, stats) = forest.repair(
+        inc.cached(),
+        inc.kappa(),
+        &out.new_to_old,
+        out.old_num_cliques,
+        &out.repair_dirty_seed(inc.kappa()),
+    );
+    assert_forest_eq(&repaired, &build_hierarchy(inc.cached(), inc.kappa()));
+    assert!(
+        stats.preserved_nodes * 2 > repaired.len(),
+        "one-edge batch should preserve most nodes: {stats:?} of {} nodes",
+        repaired.len()
+    );
+    assert!(
+        stats.scanned_scliques < inc.graph().num_edges(),
+        "one-edge batch should not re-scan every s-clique: {stats:?}"
+    );
+}
+
+/// Deletion-heavy batches exercise subtree splits and node removals.
+#[test]
+fn deletion_heavy_batches_stay_equivalent() {
+    let base = hdsd_datasets::holme_kim(150, 5, 0.6, 9);
+    for kind_rounds in 0..3u64 {
+        let mut rng = 0xDE1E ^ kind_rounds;
+        let mut inc: Incremental<TrussKind> = Incremental::new(base.clone());
+        let mut forest = build_hierarchy(inc.cached(), inc.kappa());
+        for _ in 0..3 {
+            let victims: Vec<(u32, u32)> = {
+                let edges = inc.graph().edges();
+                (0..12).map(|_| edges[(splitmix(&mut rng) % edges.len() as u64) as usize]).collect()
+            };
+            let out = inc.update_edges_outcome(&[], &victims);
+            let (repaired, _) = forest.repair(
+                inc.cached(),
+                inc.kappa(),
+                &out.new_to_old,
+                out.old_num_cliques,
+                &out.repair_dirty_seed(inc.kappa()),
+            );
+            assert_forest_eq(&repaired, &build_hierarchy(inc.cached(), inc.kappa()));
+            forest = repaired;
+        }
+    }
+}
+
+/// Batches that wipe the graph entirely (and then regrow it) hit the
+/// degenerate ends of the repair: empty forests on both sides.
+#[test]
+fn wipe_and_regrow_round_trips() {
+    let g = hdsd_datasets::holme_kim(40, 3, 0.5, 4);
+    let all_edges: Vec<(u32, u32)> = g.edges().to_vec();
+    let mut inc: Incremental<CoreKind> = Incremental::new(g);
+    let mut forest = build_hierarchy(inc.cached(), inc.kappa());
+
+    let out = inc.update_edges_outcome(&[], &all_edges);
+    let (repaired, _) = forest.repair(
+        inc.cached(),
+        inc.kappa(),
+        &out.new_to_old,
+        out.old_num_cliques,
+        &out.repair_dirty_seed(inc.kappa()),
+    );
+    assert!(repaired.is_empty(), "wiped graph must repair to an empty forest");
+    assert_forest_eq(&repaired, &build_hierarchy(inc.cached(), inc.kappa()));
+    forest = repaired;
+
+    let out = inc.update_edges_outcome(&all_edges, &[]);
+    let (regrown, _) = forest.repair(
+        inc.cached(),
+        inc.kappa(),
+        &out.new_to_old,
+        out.old_num_cliques,
+        &out.repair_dirty_seed(inc.kappa()),
+    );
+    assert_forest_eq(&regrown, &build_hierarchy(inc.cached(), inc.kappa()));
+}

@@ -120,15 +120,10 @@ impl HierarchyIndex {
         Self::from_forest(build_hierarchy(space, kappa), space.num_cliques())
     }
 
-    /// Wraps an existing forest (freshly built or snapshot-restored) with
-    /// the clique → node inverted index.
+    /// Wraps an existing forest (freshly built or repaired) with the
+    /// clique → node inverted index.
     fn from_forest(forest: Hierarchy, num_cliques: usize) -> Self {
-        let mut node_of = vec![u32::MAX; num_cliques];
-        for (id, node) in forest.nodes.iter().enumerate() {
-            for &c in &node.own_cliques {
-                node_of[c as usize] = id as u32;
-            }
-        }
+        let node_of = forest.clique_to_node(num_cliques);
         HierarchyIndex { forest, node_of }
     }
 }
@@ -181,6 +176,26 @@ pub struct RegionReport {
     pub density: NucleusDensity,
 }
 
+/// Telemetry of one space's incremental hierarchy repair.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyRepairReport {
+    /// Wall time of the repair (detach + bounded union–find + graft).
+    pub repair_us: u64,
+    /// Maximal untouched subtrees grafted back without reconstruction.
+    pub preserved_subtrees: usize,
+    /// Old forest nodes reused verbatim.
+    pub preserved_nodes: usize,
+    /// Nodes rebuilt by the bounded union–find pass.
+    pub rebuilt_nodes: usize,
+    /// r-cliques in the dirty set after closure.
+    pub dirty_cliques: usize,
+    /// s-cliques re-enumerated (a cold rebuild scans all of them).
+    pub scanned_scliques: usize,
+    /// True when the repair bailed out to a cold rebuild (no preservable
+    /// subtree — typical for the core space's broad shallow forest).
+    pub full_rebuild: bool,
+}
+
 /// Telemetry of one space's warm refresh.
 #[derive(Clone, Debug)]
 pub struct SpaceRefresh {
@@ -196,6 +211,10 @@ pub struct SpaceRefresh {
     pub lifted: usize,
     /// Wall time of the space snapshot splice (container-cache patch).
     pub splice_us: u64,
+    /// Incremental hierarchy repair telemetry, when a forest was resident
+    /// (`None` when the space had no hierarchy built yet — nothing to
+    /// repair, and nothing is invalidated either).
+    pub hierarchy_repair: Option<HierarchyRepairReport>,
 }
 
 /// Result of applying one edge batch.
@@ -210,6 +229,10 @@ pub struct UpdateReport {
     pub graph_delta_us: u64,
     /// Per-space refresh telemetry.
     pub spaces: Vec<SpaceRefresh>,
+    /// Total wall time spent repairing resident hierarchies (all spaces);
+    /// 0 when no forest was resident. Before PR 4 this cost was paid as a
+    /// full rebuild by the next `region`/`nuclei` query instead.
+    pub hierarchy_repair_us: u64,
     /// Wall time of the whole update (substrate delta + all refreshes).
     pub wall_us: u64,
 }
@@ -361,6 +384,11 @@ impl Engine {
     /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
     pub fn nuclei_at(&mut self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
         let st = self.state_mut(sel)?;
+        if st.cached.num_cliques() == 0 {
+            // An empty space has an empty forest; answer without
+            // materializing (and keeping resident) a trivial index.
+            return Ok(Vec::new());
+        }
         let hi = st.ensure_hierarchy();
         let mut out: Vec<NucleusSummary> = hi
             .forest
@@ -375,6 +403,10 @@ impl Engine {
     /// The densest region containing r-clique `id`: the maximal nucleus in
     /// which it first participates (its own node in the hierarchy).
     pub fn region_of(&mut self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
+        if self.state(sel)?.cached.num_cliques() == 0 {
+            // No cliques to address: stable error, no trivial index built.
+            return Err(format!("clique id {id} out of range"));
+        }
         self.state_mut(sel)?.ensure_hierarchy();
         let st = self.state(sel)?;
         if id >= st.cached.num_cliques() {
@@ -391,6 +423,9 @@ impl Engine {
     /// A materialized hierarchy node by id (used by the `nuclei` op's
     /// drill-down).
     pub fn node_region(&mut self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
+        if self.state(sel)?.cached.num_cliques() == 0 {
+            return Err(format!("hierarchy node {node} out of range"));
+        }
         self.state_mut(sel)?.ensure_hierarchy();
         let st = self.state(sel)?;
         if node as usize >= st.hierarchy.as_ref().unwrap().forest.len() {
@@ -415,8 +450,18 @@ impl Engine {
     /// Applies an edge batch by splicing the CSR, the triangle substrate,
     /// and every resident space snapshot, then refreshes κ via the
     /// candidate-lifted warm start with stale values carried positionally
-    /// through the id remaps. Nothing is rebuilt or re-enumerated
-    /// globally; update cost scales with the perturbation.
+    /// through the id remaps. Resident hierarchies are **repaired** in
+    /// place ([`Hierarchy::repair`]) instead of invalidated — untouched
+    /// subtrees are grafted back and only the perturbed region re-runs the
+    /// union–find, so the next `region`/`nuclei` query no longer pays a
+    /// full forest rebuild. This is a deliberately read-optimized trade:
+    /// forest maintenance (including the cold build the repair degrades to
+    /// when nothing is preservable, `full_rebuild` — routine for the core
+    /// space's shallow forest) is paid here, at update time, keeping every
+    /// subsequent region query rebuild-free. Update-heavy workloads that
+    /// never touch `region`/`nuclei` simply never make a hierarchy
+    /// resident and pay none of it. Everything else scales with the
+    /// perturbation; nothing outside the forests is rebuilt globally.
     pub fn update(
         &mut self,
         insert: &[(VertexId, VertexId)],
@@ -430,6 +475,7 @@ impl Engine {
         let rm_ends = ed.removed_endpoints(&self.graph);
 
         let mut reports = Vec::with_capacity(self.states.len());
+        let mut hierarchy_repair_us = 0u64;
         for st in self.states.iter_mut() {
             let t_splice = Instant::now();
             let sd = match st.sel {
@@ -464,6 +510,30 @@ impl Engine {
                 ed.inserted(),
                 &self.local,
             );
+            let old_num_cliques = st.cached.num_cliques();
+            let hierarchy_repair = st.hierarchy.take().map(|hi| {
+                let t_repair = Instant::now();
+                let dirty = out.repair_dirty_seed(&stale_of);
+                let (forest, stats) = hi.forest.repair(
+                    &sd.cached,
+                    &out.result.tau,
+                    &sd.new_to_old,
+                    old_num_cliques,
+                    &dirty,
+                );
+                st.hierarchy = Some(HierarchyIndex::from_forest(forest, sd.cached.num_cliques()));
+                let repair_us = t_repair.elapsed().as_micros() as u64;
+                hierarchy_repair_us += repair_us;
+                HierarchyRepairReport {
+                    repair_us,
+                    preserved_subtrees: stats.preserved_subtrees,
+                    preserved_nodes: stats.preserved_nodes,
+                    rebuilt_nodes: stats.rebuilt_nodes,
+                    dirty_cliques: stats.dirty_cliques,
+                    scanned_scliques: stats.scanned_scliques,
+                    full_rebuild: stats.full_rebuild,
+                }
+            });
             reports.push(SpaceRefresh {
                 space: st.sel.name(),
                 sweeps: out.result.sweeps,
@@ -471,10 +541,10 @@ impl Engine {
                 awake: out.awake,
                 lifted: out.lifted,
                 splice_us,
+                hierarchy_repair,
             });
             st.cached = sd.cached;
             st.kappa = out.result.tau;
-            st.hierarchy = None;
         }
         if let Some(td) = td {
             self.triangles = Some(td.list);
@@ -486,12 +556,14 @@ impl Engine {
             removed: ed.removed(),
             graph_delta_us,
             spaces: reports,
+            hierarchy_repair_us,
             wall_us: start.elapsed().as_micros() as u64,
         }
     }
 
     /// Serializes the engine (building any missing hierarchy so the
-    /// snapshot restores with the full serving index resident).
+    /// snapshot restores with the full serving index — forest plus its
+    /// clique → node lookup — resident, no reconstruction on restart).
     pub fn to_snapshot(&mut self) -> Snapshot {
         let spaces = self
             .states
@@ -502,6 +574,7 @@ impl Engine {
                     rs: st.sel.rs(),
                     kappa: st.kappa.clone(),
                     hierarchy: st.hierarchy.as_ref().map(|h| h.forest.clone()),
+                    node_of: st.hierarchy.as_ref().map(|h| h.node_of.clone()),
                 }
             })
             .collect();
@@ -531,8 +604,14 @@ impl Engine {
                     cached.num_cliques()
                 ));
             }
-            let hierarchy =
-                sp.hierarchy.map(|forest| HierarchyIndex::from_forest(forest, sp.kappa.len()));
+            // v3 snapshots carry the clique → node index (validated by the
+            // reader); adopt it directly and fall back to the derivation
+            // scan only when absent.
+            let hierarchy = match (sp.hierarchy, sp.node_of) {
+                (Some(forest), Some(node_of)) => Some(HierarchyIndex { forest, node_of }),
+                (Some(forest), None) => Some(HierarchyIndex::from_forest(forest, sp.kappa.len())),
+                (None, _) => None,
+            };
             states.push(SpaceState { sel, cached, kappa: sp.kappa, hierarchy });
         }
         Ok(Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 })
@@ -686,6 +765,93 @@ mod tests {
             let _ = engine.region_of(SpaceSel::Core, 0).unwrap();
         }
         assert_eq!(engine.stats().updates_applied, 3);
+    }
+
+    #[test]
+    fn updates_repair_resident_hierarchies_instead_of_invalidating() {
+        let g = hdsd_datasets::holme_kim(90, 4, 0.5, 41);
+        let mut engine = Engine::new(g, &full_config());
+        // Make every hierarchy resident, then update: the forests must
+        // stay resident (repaired, not dropped) and match cold rebuilds.
+        for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
+            let _ = engine.nuclei_at(sel, 1).unwrap();
+        }
+        for round in 0..3u32 {
+            let rm: Vec<(u32, u32)> = engine
+                .graph()
+                .edges()
+                .iter()
+                .copied()
+                .skip(round as usize)
+                .step_by(31)
+                .take(3)
+                .collect();
+            let ins: Vec<(u32, u32)> =
+                (0..3).map(|i| (round * 7 + i, (round * 13 + 3 * i + 40) % 90)).collect();
+            let report = engine.update(&ins, &rm);
+            for s in &report.spaces {
+                assert!(
+                    s.hierarchy_repair.is_some(),
+                    "{}: resident hierarchy was not repaired",
+                    s.space
+                );
+            }
+            for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
+                let st = engine.state(sel).unwrap();
+                let hi = st.hierarchy.as_ref().expect("hierarchy must stay resident");
+                hdsd_nucleus::assert_forest_eq(&hi.forest, &build_hierarchy(&st.cached, &st.kappa));
+                // The inverted index matches the repaired forest.
+                assert_eq!(hi.node_of, hi.forest.clique_to_node(st.cached.num_cliques()));
+            }
+        }
+        assert!(engine.stats().spaces.iter().all(|(_, _, _, resident)| *resident));
+    }
+
+    #[test]
+    fn updates_skip_repair_when_no_hierarchy_is_resident() {
+        let g = hdsd_datasets::holme_kim(60, 4, 0.5, 8);
+        let mut engine = Engine::new(g, &full_config());
+        let report = engine.update(&[(0, 30)], &[]);
+        assert_eq!(report.hierarchy_repair_us, 0);
+        assert!(report.spaces.iter().all(|s| s.hierarchy_repair.is_none()));
+        // Lazily built afterwards, the hierarchy serves the updated graph.
+        let r = engine.region_of(SpaceSel::Core, 0).unwrap();
+        assert!(r.k >= 1);
+    }
+
+    #[test]
+    fn empty_graph_queries_return_stable_responses() {
+        let g = hdsd_graph::graph_from_edges([]);
+        let mut engine = Engine::new(g, &full_config());
+        for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
+            assert!(engine.nuclei_at(sel, 1).unwrap().is_empty());
+            assert!(engine.region_of(sel, 0).unwrap_err().contains("out of range"));
+            assert!(engine.node_region(sel, 0).unwrap_err().contains("out of range"));
+        }
+        // The early returns never materialized a trivial index.
+        assert!(engine.stats().spaces.iter().all(|(_, _, _, resident)| !resident));
+    }
+
+    #[test]
+    fn snapshot_restore_adopts_the_persisted_clique_index() {
+        let g = hdsd_datasets::holme_kim(70, 4, 0.5, 51);
+        let mut engine = Engine::new(g, &full_config());
+        let _ = engine.region_of(SpaceSel::Truss, 0).unwrap();
+        let snap = engine.to_snapshot();
+        for sp in &snap.spaces {
+            let node_of = sp.node_of.as_ref().expect("v3 snapshots carry the index");
+            assert_eq!(node_of, &sp.hierarchy.as_ref().unwrap().clique_to_node(sp.kappa.len()));
+        }
+        let back = Engine::from_snapshot(snap, LocalConfig::sequential()).unwrap();
+        for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
+            let (a, b) = (engine.state(sel).unwrap(), back.state(sel).unwrap());
+            assert_eq!(
+                a.hierarchy.as_ref().unwrap().node_of,
+                b.hierarchy.as_ref().unwrap().node_of,
+                "{}",
+                sel.name()
+            );
+        }
     }
 
     #[test]

@@ -360,7 +360,13 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.at]).unwrap();
-        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+        let x = text.parse::<f64>().map_err(|e| format!("bad number {text:?}: {e}"))?;
+        // Overflowing exponents parse to ±inf, which `Display` would emit
+        // as non-JSON; reject them so every accepted value re-serializes.
+        if !x.is_finite() {
+            return Err(format!("number {text:?} out of range"));
+        }
+        Ok(Json::Num(x))
     }
 }
 
@@ -469,6 +475,17 @@ mod tests {
         assert!(Json::parse(r#""\ud800\ud800""#).is_err());
         // Non-surrogate escapes are unaffected.
         assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".to_string()));
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        // f64-overflowing exponents would round-trip as the non-JSON
+        // token `inf`; the parser must refuse them up front (found by the
+        // byte-mutation fuzz suite).
+        for text in ["1e999999999", "-1e999999999", "01e999999999"] {
+            assert!(Json::parse(text).is_err(), "{text:?} should be out of range");
+        }
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
     }
 
     #[test]

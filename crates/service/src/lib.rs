@@ -22,8 +22,8 @@ pub mod json;
 pub mod protocol;
 
 pub use engine::{
-    Engine, EngineConfig, EngineStats, NucleusSummary, RegionReport, SpaceRefresh, SpaceSel,
-    UpdateReport,
+    Engine, EngineConfig, EngineStats, HierarchyRepairReport, NucleusSummary, RegionReport,
+    SpaceRefresh, SpaceSel, UpdateReport,
 };
 pub use json::Json;
 pub use protocol::{Handled, Server};

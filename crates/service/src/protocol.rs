@@ -288,20 +288,36 @@ impl Server {
             ("removed", report.removed.into()),
             ("wall_micros", report.wall_us.into()),
             ("graph_delta_micros", report.graph_delta_us.into()),
+            ("hierarchy_repair_micros", report.hierarchy_repair_us.into()),
             (
                 "spaces",
                 report
                     .spaces
                     .iter()
                     .map(|s| {
-                        obj([
-                            ("space", s.space.into()),
-                            ("sweeps", s.sweeps.into()),
-                            ("processed", s.processed.into()),
-                            ("awake", s.awake.into()),
-                            ("lifted", s.lifted.into()),
-                            ("splice_micros", s.splice_us.into()),
-                        ])
+                        let mut fields = vec![
+                            ("space".to_string(), s.space.into()),
+                            ("sweeps".to_string(), s.sweeps.into()),
+                            ("processed".to_string(), s.processed.into()),
+                            ("awake".to_string(), s.awake.into()),
+                            ("lifted".to_string(), s.lifted.into()),
+                            ("splice_micros".to_string(), s.splice_us.into()),
+                        ];
+                        if let Some(hr) = &s.hierarchy_repair {
+                            fields.push((
+                                "hierarchy_repair".to_string(),
+                                obj([
+                                    ("repair_micros", hr.repair_us.into()),
+                                    ("preserved_subtrees", hr.preserved_subtrees.into()),
+                                    ("preserved_nodes", hr.preserved_nodes.into()),
+                                    ("rebuilt_nodes", hr.rebuilt_nodes.into()),
+                                    ("dirty_cliques", hr.dirty_cliques.into()),
+                                    ("scanned_scliques", hr.scanned_scliques.into()),
+                                    ("full_rebuild", hr.full_rebuild.into()),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(fields)
                     })
                     .collect(),
             ),
@@ -399,6 +415,75 @@ mod tests {
 
         let h = s.handle_line(r#"{"op":"shutdown"}"#);
         assert!(h.shutdown);
+    }
+
+    #[test]
+    fn empty_graph_nuclei_and_region_have_stable_shapes() {
+        let mut s = Server::new(Engine::new(
+            hdsd_graph::graph_from_edges([]),
+            &EngineConfig {
+                spaces: vec![SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34],
+                local: LocalConfig::sequential(),
+            },
+        ));
+        for space in ["core", "truss", "34"] {
+            let h = s.handle_line(&format!(r#"{{"op":"nuclei","space":"{space}","k":1}}"#));
+            // Pin the exact shape (micros excluded: it is the only
+            // nondeterministic field and always the trailing member).
+            let prefix = format!(
+                r#"{{"ok":true,"space":"{}","k":1,"total":0,"nuclei":[],"micros":"#,
+                SpaceSel::parse(space).unwrap().name()
+            );
+            assert!(h.response.starts_with(&prefix), "{space}: {}", h.response);
+            let v = Json::parse(&h.response).unwrap();
+            assert_eq!(v.get("total").unwrap().as_u64(), Some(0));
+            assert_eq!(v.get("nuclei").unwrap().as_array(), Some(&[][..]));
+        }
+        // Region lookups against the empty graph fail cleanly...
+        let h = s.handle_line(r#"{"op":"region","space":"core","id":0}"#);
+        let v = Json::parse(&h.response).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("out of range"));
+        // ...and none of the above made a trivial hierarchy resident.
+        let v = ok(&mut s, r#"{"op":"stats"}"#);
+        for sp in v.get("spaces").unwrap().as_array().unwrap() {
+            assert_eq!(sp.get("hierarchy_resident").and_then(Json::as_bool), Some(false));
+        }
+    }
+
+    #[test]
+    fn update_reports_hierarchy_repair_telemetry() {
+        let mut s = demo_server();
+        // No hierarchy resident yet: repair time is zero, no per-space blob.
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,6]],"remove":[]}"#);
+        assert_eq!(v.get("hierarchy_repair_micros").unwrap().as_u64(), Some(0));
+        // Make the hierarchies resident, then update again.
+        ok(&mut s, r#"{"op":"region","space":"core","id":0}"#);
+        ok(&mut s, r#"{"op":"nuclei","space":"truss","k":1}"#);
+        let v = ok(&mut s, r#"{"op":"update","insert":[[1,6]],"remove":[]}"#);
+        assert!(v.get("hierarchy_repair_micros").unwrap().as_u64().is_some());
+        let spaces = v.get("spaces").unwrap().as_array().unwrap();
+        let by_name = |n: &str| {
+            spaces.iter().find(|s| s.get("space").and_then(Json::as_str) == Some(n)).unwrap()
+        };
+        for name in ["core", "truss"] {
+            let hr = by_name(name)
+                .get("hierarchy_repair")
+                .unwrap_or_else(|| panic!("{name} should report a repair: {}", v));
+            assert!(hr.get("preserved_nodes").unwrap().as_u64().is_some());
+            assert!(hr.get("scanned_scliques").unwrap().as_u64().is_some());
+        }
+        // The (3,4) hierarchy was never queried, so nothing was repaired.
+        assert!(by_name("nucleus34").get("hierarchy_repair").is_none());
+        // Region queries after a repaired update serve the new graph: the
+        // region's threshold is the query vertex's (updated) κ.
+        let kappa6 = ok(&mut s, r#"{"op":"kappa","space":"core","id":6}"#)
+            .get("kappa")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let region = ok(&mut s, r#"{"op":"region","space":"core","id":6}"#);
+        assert_eq!(region.get("k").unwrap().as_u64(), Some(kappa6));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Fuzz-style robustness tests for the hand-rolled JSON parser.
+//!
+//! The parser fronts every byte the daemon reads off the wire, so the
+//! contract is strict: for **any** input string, `Json::parse` returns
+//! `Ok` or `Err` — it never panics, never loops, and `Ok` values must
+//! re-serialize to something it can parse again. This is the regression
+//! net over the PR 3 surrogate-escape fix (`\ud800\u0041` once
+//! underflowed `lo - 0xDC00`), generalized from hand-picked cases to
+//! deterministic byte-level mutation and random-bytes sweeps.
+
+use hdsd_service::Json;
+
+use proptest::splitmix64 as splitmix;
+
+/// Valid protocol-shaped documents to mutate: every op the server speaks,
+/// plus escape-heavy and nesting-heavy strings.
+const SEEDS: &[&str] = &[
+    r#"{"op":"kappa","space":"core","id":4}"#,
+    r#"{"op":"estimate","space":"truss","vertices":[0,1],"iterations":3,"budget":4096}"#,
+    r#"{"op":"update","insert":[[7,9],[1,2]],"remove":[[0,3]]}"#,
+    r#"{"op":"nuclei","space":"34","k":2,"limit":8}"#,
+    r#"{"op":"save","path":"/tmp/x.snap"}"#,
+    r#"{"a":1.5e-3,"b":[true,false,null],"c":"hi \"there\"\n","d":-2.5}"#,
+    r#""unicode: \u00e9 and \ud83d\ude00 and é and 😀""#,
+    r#"[[[[[{"deep":[1,[2,[3,[4]]]]}]]]]]"#,
+    r#"{"esc":"\\\"\b\f\n\r\t\/\u0041"}"#,
+    "   {\t\"ws\" :\r\n [ 1 ,  2 ] }  ",
+];
+
+/// The invariant every input must satisfy: parse returns without
+/// panicking, and anything accepted round-trips through `Display`.
+fn check(input: &str) {
+    if let Ok(v) = Json::parse(input) {
+        let text = v.to_string();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("accepted {input:?} but rejected own output {text:?}: {e}"));
+        assert_eq!(back, v, "display round trip changed the value of {input:?}");
+    }
+}
+
+#[test]
+fn byte_level_mutations_never_panic() {
+    let mut rng = 0xF00D_F1E5u64;
+    for seed in SEEDS {
+        // Every single-byte truncation of the document.
+        for cut in 0..=seed.len() {
+            if seed.is_char_boundary(cut) {
+                check(&seed[..cut]);
+                check(&seed[cut..]);
+            }
+        }
+        // Deterministic random mutations: overwrite, insert, delete.
+        for _ in 0..400 {
+            let mut bytes = seed.as_bytes().to_vec();
+            for _ in 0..(splitmix(&mut rng) % 4 + 1) {
+                let at = (splitmix(&mut rng) % bytes.len() as u64) as usize;
+                match splitmix(&mut rng) % 3 {
+                    0 => bytes[at] = (splitmix(&mut rng) & 0xFF) as u8,
+                    1 => bytes.insert(at, (splitmix(&mut rng) & 0xFF) as u8),
+                    _ => {
+                        bytes.remove(at);
+                        if bytes.is_empty() {
+                            bytes.push(b'{');
+                        }
+                    }
+                }
+            }
+            // Mutations can break UTF-8; the parser's contract is over
+            // &str, so exercise it on the lossy repair (the transport
+            // layer hands it strings, not raw bytes).
+            check(&String::from_utf8_lossy(&bytes));
+        }
+    }
+}
+
+#[test]
+fn random_byte_strings_never_panic() {
+    let mut rng = 0xBAD_5EED5u64;
+    for round in 0..2_000u32 {
+        let len = (splitmix(&mut rng) % 48) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (splitmix(&mut rng) & 0xFF) as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        check(&text);
+        let _ = round;
+    }
+}
+
+#[test]
+fn structured_junk_is_rejected_not_fatal() {
+    // Adversarial shapes aimed at each parser state: unterminated
+    // nesting, bad escapes, surrogate fragments, number edge cases,
+    // duplicate/missing punctuation.
+    for text in [
+        "{\"a\":",
+        "[",
+        "[[[[[[[[[[",
+        "{\"a\" 1}",
+        "{\"a\":1,}",
+        "[1,]",
+        "{,}",
+        "\"\\u",
+        "\"\\u12",
+        "\"\\ud800\\u",
+        "\"\\ud800\\udbff\"",
+        "\"\\udfff\"",
+        "\"\\x41\"",
+        "-",
+        "-.",
+        "1e",
+        "1e+",
+        "0x10",
+        "01e999999999",
+        "nulll",
+        "truefalse",
+        "\u{0}",
+        "\"\u{1}\"",
+        "{\"\\u0000\":1} trailing",
+    ] {
+        check(text);
+        assert!(Json::parse(text).is_err(), "{text:?} should be rejected");
+    }
+    // Near-misses that are VALID must stay valid (guard against
+    // over-rejection creeping in with future hardening).
+    for text in ["1e9", "-0.5", "{\"\\u0041\":[]}", "\"\\ud83d\\ude00\"", "[null]"] {
+        assert!(Json::parse(text).is_ok(), "{text:?} should parse");
+    }
+}

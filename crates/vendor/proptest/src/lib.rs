@@ -12,6 +12,19 @@
 //! * generation is driven by a fixed-seed SplitMix64 stream, so every run
 //!   of a test explores the same cases (fully reproducible CI).
 
+/// One SplitMix64 step: advances `state` and returns 64 pseudo-random
+/// bits. Exposed because every hand-rolled test/bench generator in this
+/// workspace wants the same deterministic stream — share this instead of
+/// pasting the constants again.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// Test-runner plumbing: RNG and configuration.
 pub mod test_runner {
     /// Deterministic SplitMix64 stream used to drive generation.
@@ -27,11 +40,7 @@ pub mod test_runner {
         /// Next 64 random bits.
         #[inline]
         pub fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^ (z >> 31)
+            crate::splitmix64(&mut self.0)
         }
 
         /// Uniform draw from `[0, n)`; `n` must be positive.
@@ -53,6 +62,27 @@ pub mod test_runner {
         /// Configuration running `cases` iterations.
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
+        }
+
+        /// The case count the runner actually uses: the `PROPTEST_CASES`
+        /// environment variable overrides the configured value (mirroring
+        /// the real crate), so CI can rerun the same suites with a much
+        /// larger case budget — see the nightly `slow-props` job — while
+        /// the in-source configs stay tuned for the fast PR gate.
+        pub fn effective_cases(&self) -> u32 {
+            Self::resolve_cases(self.cases, std::env::var("PROPTEST_CASES").ok().as_deref())
+        }
+
+        /// [`Config::effective_cases`] with the env lookup injected —
+        /// split out so the override rule is testable without mutating
+        /// process-global state under a parallel test runner.
+        pub(crate) fn resolve_cases(configured: u32, env_override: Option<&str>) -> u32 {
+            match env_override {
+                Some(v) => v.parse().unwrap_or_else(|_| {
+                    panic!("PROPTEST_CASES must be a non-negative integer, got {v:?}")
+                }),
+                None => configured,
+            }
         }
     }
 
@@ -219,7 +249,7 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
                 let mut rng = $crate::test_runner::TestRng::deterministic();
-                for _case in 0..config.cases {
+                for _case in 0..config.effective_cases() {
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )*
@@ -304,6 +334,16 @@ mod tests {
             prop_assert!(a < 4);
             prop_assert_ne!(b, 0);
         }
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        // Exercises the override rule through the injected form — setting
+        // the real env var here would race the proptest!-generated tests
+        // running on sibling threads, which read it live.
+        assert_eq!(crate::test_runner::Config::resolve_cases(3, Some("7")), 7);
+        assert_eq!(crate::test_runner::Config::resolve_cases(3, None), 3);
+        assert_eq!(crate::test_runner::Config::resolve_cases(64, Some("500")), 500);
     }
 
     #[test]

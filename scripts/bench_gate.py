@@ -41,13 +41,20 @@ def extract_frontier(doc):
 
 def extract_service(doc):
     """Higher-is-better counters of the serving bench: per-space mean
-    cold/warm recomputation ratio across the update batches."""
+    cold/warm recomputation ratio across the update batches, plus the
+    hierarchy repair's mean preserved-node fraction (how much of the
+    forest each repair grafted back instead of rebuilding)."""
     ratios = defaultdict(list)
     for row in doc.get("refreshes", []):
         ratios[row["space"]].append(float(row["processed_ratio"]))
     metrics = {}
     for space, values in sorted(ratios.items()):
         metrics[f"refresh_processed_ratio[{space}]"] = sum(values) / len(values)
+    preserved = defaultdict(list)
+    for row in doc.get("hierarchy", []):
+        preserved[row["space"]].append(float(row["preserved_fraction"]))
+    for space, values in sorted(preserved.items()):
+        metrics[f"hierarchy_preserved_fraction[{space}]"] = sum(values) / len(values)
     return metrics, []
 
 
@@ -93,7 +100,12 @@ def selftest():
             {"space": "truss", "processed_ratio": 1.8},
             {"space": "truss", "processed_ratio": 2.2},
             {"space": "nucleus34", "processed_ratio": 2.0},
-        ]
+        ],
+        "hierarchy": [
+            {"space": "truss", "preserved_fraction": 0.95},
+            {"space": "truss", "preserved_fraction": 0.85},
+            {"space": "nucleus34", "preserved_fraction": 1.0},
+        ],
     }
     checks = []
     checks.append(("identical frontier passes", compare("frontier", frontier, frontier, 0.1) == []))
@@ -111,6 +123,13 @@ def selftest():
     for row in slow_service["refreshes"]:
         row["processed_ratio"] = 1.0
     checks.append(("regressed service fails", compare("service", service, slow_service, 0.1) != []))
+
+    unpreserving = json.loads(json.dumps(service))
+    for row in unpreserving["hierarchy"]:
+        row["preserved_fraction"] = 0.1
+    checks.append(
+        ("regressed hierarchy preservation fails", compare("service", service, unpreserving, 0.1) != [])
+    )
 
     missing = {"refreshes": []}
     checks.append(("missing metrics fail", compare("service", service, missing, 0.1) != []))
