@@ -68,6 +68,13 @@ fn main() {
     let t_build = Instant::now();
     let mut engine = Engine::new(g.clone(), &cfg);
     let build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+    // Cold-start split per space (the flat-peel routing made the exact
+    // peel the observable line item; see `stats` in the protocol).
+    let cold_start: Vec<(String, u64, u64)> =
+        engine.stats().spaces.iter().map(|s| (s.space.clone(), s.build_us, s.peel_us)).collect();
+    for (space, b_us, p_us) in &cold_start {
+        eprintln!("cold start {space}: snapshot build {b_us} µs, exact peel {p_us} µs");
+    }
     eprintln!("engine built in {build_ms:.0} ms");
 
     // ── point-query throughput ────────────────────────────────────────
@@ -266,6 +273,15 @@ fn main() {
         g.num_edges()
     );
     let _ = writeln!(out, "  \"engine_build_ms\": {build_ms:.1},");
+    out.push_str("  \"cold_start\": [\n");
+    for (i, (space, b_us, p_us)) in cold_start.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"space\": \"{space}\", \"build_us\": {b_us}, \"peel_us\": {p_us}}}{}",
+            if i + 1 < cold_start.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
     let _ = writeln!(
         out,
         "  \"point_lookups\": {{\"count\": {lookups}, \"per_sec\": {lookups_per_sec:.0}}},"

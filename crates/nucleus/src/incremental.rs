@@ -660,7 +660,9 @@ impl<K: SpaceKind> Incremental<K> {
     pub fn with_config(graph: CsrGraph, cfg: LocalConfig) -> Self {
         let substrate = K::init_substrate(&graph);
         let cached = K::build_cached(&graph, &substrate);
-        let kappa = crate::peel::peel(&cached).kappa;
+        // The snapshot's container rows are already flat: peel them with
+        // the monomorphized engine instead of re-walking the callbacks.
+        let kappa = crate::peel::peel_flat(cached.flat()).kappa;
         Incremental { graph, substrate, cached, kappa, cfg, _kind: PhantomData }
     }
 

@@ -79,7 +79,10 @@ pub use incremental::{
     WarmStart,
 };
 pub use levels::{degree_levels, DegreeLevels};
-pub use peel::{peel, peel_parallel, PeelResult};
+pub use peel::{
+    peel, peel_flat, peel_parallel, peel_parallel_flat, peel_parallel_walk, peel_walk, PeelEngine,
+    PeelResult, PeelStats,
+};
 pub use query::{
     estimate_core_numbers, estimate_truss_numbers, local_estimate, local_estimate_opts,
     QueryEstimate, QueryOptions,

@@ -5,15 +5,68 @@
 //! (r, s) space. It is the ground truth every local algorithm is verified
 //! against, and the baseline every benchmark compares with.
 //!
+//! Two engines serve it:
+//!
+//! * [`peel_flat`] / [`PeelEngine`] — the **flat engine**: the bucket queue
+//!   runs directly over [`FlatContainers`] CSR slices. Degree bins, the
+//!   position permutation (`u32`, half the cache traffic of the old
+//!   `usize` arrays) and every container row are contiguous; the inner
+//!   loop is monomorphized per container arity (`group == 2` — the truss
+//!   space — unrolls to a two-others fast path), and dead containers are
+//!   skipped by a members-already-peeled check on the flat row with no
+//!   closure dispatch anywhere.
+//! * [`peel_walk`] — the original container-walk form, kept as the
+//!   ablation reference and the fallback for spaces with no cache.
+//!
+//! [`peel`] dispatches: a space that already owns flat rows
+//! ([`CliqueSpace::as_flat`], e.g. the engine-resident
+//! [`CachedSpace`](crate::space::CachedSpace)) is peeled flat in place; a
+//! space that prefers a cache gets one when it fits the default byte
+//! budget (the same [`FlatContainers::build_within`] gate the sweep
+//! drivers use); everything else walks.
+//!
 //! [`peel_parallel`] is the "partially parallel peeling" comparator of the
 //! paper's Figure 1b: levels are discovered sequentially (that dependency
 //! is inherent to peeling — the paper's core argument), while the
-//! decrement work inside a level runs in parallel.
+//! decrement work inside a level runs in parallel. It takes the same
+//! flat-vs-walk dispatch, advances thresholds with a single fused
+//! min-find + collect scan (replacing the old two full `O(|R|)` passes;
+//! the `k + 1` min-degree floor carried across thresholds is
+//! debug-asserted and licenses the scan's direct threshold advance), and
+//! accumulates bucket crossings in per-worker buffers merged after the
+//! chunk barrier — no lock on the hot decrement path.
 
-use hdsd_parallel::{parallel_for_chunks, ParallelConfig};
+use hdsd_parallel::{parallel_for_chunks_collect, ParallelConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::space::CliqueSpace;
+use crate::convergence::DEFAULT_CONTAINER_CACHE_BUDGET;
+use crate::space::{CliqueSpace, FlatContainers};
+
+/// Deterministic work counters of one peeling run.
+///
+/// For the sequential engines these are exact and identical between the
+/// walk and flat forms (same algorithm, same visit order) — the CI bench
+/// gate pins them as a drift check. The parallel form counts the same
+/// events (its totals are deterministic too, but differ from the
+/// sequential ones because same-round containers are executed once by
+/// their lowest-id member).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeelStats {
+    /// s-clique containers visited (Σ d_S over peeled r-cliques).
+    pub containers_scanned: u64,
+    /// Containers skipped because a member was already peeled.
+    pub dead_containers: u64,
+    /// Bucket-queue moves (one per successful degree decrement).
+    pub bucket_moves: u64,
+}
+
+impl PeelStats {
+    fn merge(&mut self, other: &PeelStats) {
+        self.containers_scanned += other.containers_scanned;
+        self.dead_containers += other.dead_containers;
+        self.bucket_moves += other.bucket_moves;
+    }
+}
 
 /// Output of a peeling run.
 #[derive(Clone, Debug)]
@@ -24,16 +77,178 @@ pub struct PeelResult {
     pub order: Vec<u32>,
     /// Maximum κ.
     pub max_kappa: u32,
+    /// Work counters of the run.
+    pub stats: PeelStats,
+}
+
+impl PeelResult {
+    fn empty() -> PeelResult {
+        PeelResult {
+            kappa: Vec::new(),
+            order: Vec::new(),
+            max_kappa: 0,
+            stats: PeelStats::default(),
+        }
+    }
 }
 
 /// Exact sequential peeling over any clique space (Algorithm 1).
+///
+/// Dispatches to the fastest engine for the space: a resident flat cache
+/// ([`CliqueSpace::as_flat`]) is peeled in place, a space that prefers a
+/// cache within [`DEFAULT_CONTAINER_CACHE_BUDGET`] gets one built for the
+/// run, and everything else falls back to [`peel_walk`]. All three paths
+/// produce bit-identical results (κ, order, max κ — property-tested).
 pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
+    if let Some(flat) = space.as_flat() {
+        return peel_flat(flat);
+    }
+    if let Some(flat) = FlatContainers::build_within(space, DEFAULT_CONTAINER_CACHE_BUDGET) {
+        return peel_flat(&flat);
+    }
+    peel_walk(space)
+}
+
+/// Exact sequential peeling over a flat container cache (the hot engine;
+/// see [`PeelEngine`] for the reusable-buffer form).
+pub fn peel_flat(flat: &FlatContainers) -> PeelResult {
+    PeelEngine::new().peel(flat)
+}
+
+/// Reusable flat peeling engine: owns the bucket-queue scratch (degree
+/// bins, position permutation) so repeated peels — engine startup over
+/// several spaces, property harnesses, benches — pay one warm allocation
+/// instead of five fresh arrays per run.
+///
+/// The inner loop is monomorphized per container arity: `group == 1`
+/// (core), `2` (truss — the two-others fast path), `3` ((3,4) nucleus),
+/// with a dynamic-width fallback for generic spaces.
+#[derive(Default)]
+pub struct PeelEngine {
+    /// Current S-degrees (mutated by peeling).
+    deg: Vec<u32>,
+    /// First unprocessed position of each degree bucket.
+    bucket_start: Vec<usize>,
+    /// Position of each r-clique in the processing permutation.
+    pos_of: Vec<u32>,
+    /// The permutation itself (positions sorted by current degree).
+    item_at: Vec<u32>,
+    /// Bucket-fill cursor used during initialization.
+    cursor: Vec<usize>,
+}
+
+impl PeelEngine {
+    /// An engine with empty scratch (buffers grow on first use).
+    pub fn new() -> PeelEngine {
+        PeelEngine::default()
+    }
+
+    /// Peels `flat` exactly, reusing this engine's scratch buffers.
+    pub fn peel(&mut self, flat: &FlatContainers) -> PeelResult {
+        match flat.group() {
+            1 => self.run::<1>(flat),
+            2 => self.run::<2>(flat),
+            3 => self.run::<3>(flat),
+            _ => self.run::<0>(flat), // 0 = dynamic width
+        }
+    }
+
+    /// The bucket-queue peel with the container arity monomorphized
+    /// (`G == 0` reads the width at runtime — the generic-space fallback).
+    fn run<const G: usize>(&mut self, flat: &FlatContainers) -> PeelResult {
+        let n = flat.num_cliques();
+        if n == 0 {
+            return PeelResult::empty();
+        }
+        debug_assert!(G == 0 || flat.group() == G, "arity dispatch mismatch");
+        let group = if G > 0 { G } else { flat.group().max(1) };
+        let mut stats = PeelStats::default();
+
+        // τ₀ straight off the CSR offsets; degree bins by counting sort.
+        self.deg.clear();
+        self.deg.extend((0..n).map(|i| flat.degree(i)));
+        let max_deg = self.deg.iter().copied().max().unwrap_or(0) as usize;
+        self.bucket_start.clear();
+        self.bucket_start.resize(max_deg + 2, 0);
+        for &d in &self.deg {
+            self.bucket_start[d as usize + 1] += 1;
+        }
+        for i in 0..=max_deg {
+            self.bucket_start[i + 1] += self.bucket_start[i];
+        }
+        self.pos_of.clear();
+        self.pos_of.resize(n, 0);
+        self.item_at.clear();
+        self.item_at.resize(n, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.bucket_start);
+        for v in 0..n {
+            let p = self.cursor[self.deg[v] as usize];
+            self.pos_of[v] = p as u32;
+            self.item_at[p] = v as u32;
+            self.cursor[self.deg[v] as usize] = p + 1;
+        }
+
+        let mut kappa = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut max_kappa = 0u32;
+
+        for i in 0..n {
+            let v = self.item_at[i] as usize;
+            let kv = self.deg[v];
+            kappa[v] = kv;
+            max_kappa = max_kappa.max(kv);
+            order.push(v as u32);
+
+            let row = flat.containers(v);
+            stats.containers_scanned += (row.len() / group) as u64;
+            for c in row.chunks_exact(group) {
+                // Dead-container skip on the flat row: positions are
+                // processed in order and alive items always sit past the
+                // cursor, so `pos ≤ i` ⇔ the member is peeled and the
+                // s-clique is gone.
+                if c.iter().any(|&o| self.pos_of[o as usize] as usize <= i) {
+                    stats.dead_containers += 1;
+                    continue;
+                }
+                for &o in c {
+                    let o = o as usize;
+                    let d = self.deg[o];
+                    if d > kv {
+                        // Move o to the front of its bucket, then decrement.
+                        let front = self.bucket_start[d as usize].max(i + 1);
+                        let po = self.pos_of[o] as usize;
+                        if po != front {
+                            let other = self.item_at[front];
+                            self.item_at[po] = other;
+                            self.item_at[front] = o as u32;
+                            self.pos_of[other as usize] = po as u32;
+                            self.pos_of[o] = front as u32;
+                        }
+                        self.bucket_start[d as usize] = front + 1;
+                        self.deg[o] = d - 1;
+                        stats.bucket_moves += 1;
+                    }
+                }
+            }
+        }
+
+        PeelResult { kappa, order, max_kappa, stats }
+    }
+}
+
+/// Exact sequential peeling through the space's container walk — the
+/// pre-flat form, kept as the ablation reference (`BENCH_peel.json`'s
+/// "walk" rows) and the fallback for spaces with no cache. Bit-identical
+/// to [`peel_flat`] on the same space.
+pub fn peel_walk<S: CliqueSpace>(space: &S) -> PeelResult {
     let n = space.num_cliques();
     if n == 0 {
-        return PeelResult { kappa: Vec::new(), order: Vec::new(), max_kappa: 0 };
+        return PeelResult::empty();
     }
     let mut deg = space.initial_degrees();
     let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    let mut stats = PeelStats::default();
 
     // Bucket queue over degree values (positions sorted by current degree).
     let mut bucket_start = vec![0usize; max_deg + 2];
@@ -68,9 +283,11 @@ pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
         order.push(v as u32);
 
         space.for_each_container(v, |others| {
+            stats.containers_scanned += 1;
             // Algorithm 1: if any r-clique of this s-clique was already
             // processed, the s-clique is gone; skip.
             if others.iter().any(|&o| processed[o]) {
+                stats.dead_containers += 1;
                 return;
             }
             for &o in others {
@@ -87,29 +304,159 @@ pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
                     }
                     bucket_start[d] = front + 1;
                     deg[o] -= 1;
+                    stats.bucket_moves += 1;
                 }
             }
         });
     }
 
-    PeelResult { kappa, order, max_kappa }
+    PeelResult { kappa, order, max_kappa, stats }
+}
+
+/// Shared atomic state of a partially-parallel peel.
+struct ParState {
+    deg: Vec<AtomicU32>,
+    /// round[i] = batch in which i was peeled (`u32::MAX` = still alive).
+    round: Vec<AtomicU32>,
 }
 
 /// Partially parallel peeling: sequential level discovery, parallel
 /// decrements inside each level (the Figure 1b baseline).
 ///
-/// A full `O(|R|)` scan happens only when the threshold `k` increases
-/// (≤ `max κ + 1` times); within a threshold, the next frontier is
-/// collected from the decrement pass itself (the CAS transition onto `k`
-/// detects each crossing exactly once).
+/// Dispatches flat-vs-walk like [`peel`]. A full `O(|R|)` scan happens
+/// only when the threshold `k` increases (≤ `max κ + 1` times) — and that
+/// scan is a single fused pass (min-find and frontier collect together,
+/// with the `k + 1` min-degree floor carried across thresholds). Within a
+/// threshold, the next frontier is collected from the decrement pass
+/// itself (the CAS transition onto `k` detects each crossing exactly
+/// once) into per-worker buffers merged after the chunk barrier.
 pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResult {
-    let n = space.num_cliques();
-    if n == 0 {
-        return PeelResult { kappa: Vec::new(), order: Vec::new(), max_kappa: 0 };
+    if let Some(flat) = space.as_flat() {
+        return peel_parallel_flat(flat, cfg);
     }
-    let deg: Vec<AtomicU32> = space.initial_degrees().into_iter().map(AtomicU32::new).collect();
-    // round[i] = batch in which i was peeled (u32::MAX = still alive).
-    let round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    if let Some(flat) = FlatContainers::build_within(space, DEFAULT_CONTAINER_CACHE_BUDGET) {
+        return peel_parallel_flat(&flat, cfg);
+    }
+    peel_parallel_walk(space, cfg)
+}
+
+/// [`peel_parallel`] through the space's container walk (ablation
+/// reference / no-cache fallback).
+pub fn peel_parallel_walk<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResult {
+    peel_parallel_driver(
+        space.num_cliques(),
+        space.initial_degrees(),
+        cfg,
+        |state, v, k, current_round, crossed, stats| {
+            space.for_each_container(v, |others| {
+                stats.containers_scanned += 1;
+                par_container(state, v, k, current_round, others.iter().copied(), crossed, stats);
+            });
+        },
+    )
+}
+
+/// [`peel_parallel`] directly over a flat container cache.
+pub fn peel_parallel_flat(flat: &FlatContainers, cfg: ParallelConfig) -> PeelResult {
+    match flat.group() {
+        1 => par_flat::<1>(flat, cfg),
+        2 => par_flat::<2>(flat, cfg),
+        3 => par_flat::<3>(flat, cfg),
+        _ => par_flat::<0>(flat, cfg),
+    }
+}
+
+fn par_flat<const G: usize>(flat: &FlatContainers, cfg: ParallelConfig) -> PeelResult {
+    debug_assert!(G == 0 || flat.group() == G, "arity dispatch mismatch");
+    let group = if G > 0 { G } else { flat.group().max(1) };
+    let n = flat.num_cliques();
+    let deg0 = (0..n).map(|i| flat.degree(i)).collect();
+    peel_parallel_driver(n, deg0, cfg, |state, v, k, current_round, crossed, stats| {
+        let row = flat.containers(v);
+        stats.containers_scanned += (row.len() / group) as u64;
+        for c in row.chunks_exact(group) {
+            par_container(
+                state,
+                v,
+                k,
+                current_round,
+                c.iter().map(|&o| o as usize),
+                crossed,
+                stats,
+            );
+        }
+    })
+}
+
+/// Processes one container of frontier item `v` inside a decrement pass:
+/// the dead/same-round ownership checks, then the floored CAS decrements.
+#[inline]
+fn par_container<I: Iterator<Item = usize> + Clone>(
+    state: &ParState,
+    v: usize,
+    k: u32,
+    current_round: u32,
+    others: I,
+    crossed: &mut Vec<u32>,
+    stats: &mut PeelStats,
+) {
+    // Container dead if any member peeled in an earlier round; same-round
+    // members would double-count it, so only the lowest-id same-round
+    // member executes it.
+    let mut min_same_round = v;
+    for o in others.clone() {
+        let r = state.round[o].load(Ordering::Relaxed);
+        if r < current_round {
+            stats.dead_containers += 1;
+            return;
+        }
+        if r == current_round && o < min_same_round {
+            min_same_round = o;
+        }
+    }
+    if min_same_round != v {
+        return;
+    }
+    for o in others {
+        if state.round[o].load(Ordering::Relaxed) != u32::MAX {
+            continue; // peeled this round: κ already fixed
+        }
+        // CAS loop: decrement but never below k. Whoever lands the
+        // k+1 -> k transition owns the crossing.
+        let mut cur = state.deg[o].load(Ordering::Relaxed);
+        while cur > k {
+            match state.deg[o].compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    stats.bucket_moves += 1;
+                    if cur == k + 1 {
+                        crossed.push(o as u32);
+                    }
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// The threshold/frontier skeleton shared by the walk and flat parallel
+/// engines; `process` handles the containers of one frontier item.
+fn peel_parallel_driver<P>(n: usize, deg0: Vec<u32>, cfg: ParallelConfig, process: P) -> PeelResult
+where
+    P: Fn(&ParState, usize, u32, u32, &mut Vec<u32>, &mut PeelStats) + Sync,
+{
+    if n == 0 {
+        return PeelResult::empty();
+    }
+    let state = ParState {
+        deg: deg0.into_iter().map(AtomicU32::new).collect(),
+        round: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+    };
     let mut kappa = vec![0u32; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut remaining = n;
@@ -117,118 +464,102 @@ pub fn peel_parallel<S: CliqueSpace>(space: &S, cfg: ParallelConfig) -> PeelResu
     let mut current_round = 0u32;
     let mut frontier: Vec<usize> = Vec::new();
     let mut max_kappa = 0u32;
-    // Items whose degree crossed down onto `k` during the decrement pass.
-    let crossed = std::sync::Mutex::new(Vec::<usize>::new());
+    let mut stats = PeelStats::default();
+    // Carried floor on the minimum alive degree: once threshold k drains,
+    // every alive item has degree ≥ k + 1 (the CAS never decrements below
+    // k, and everything that reached k was peeled). This is what licenses
+    // the direct `k = cur_min` threshold advance below — thresholds are
+    // strictly increasing, no clamp against the previous k needed — and
+    // it is debug-asserted against every scanned degree.
+    let mut min_hint = 0u32;
 
     while remaining > 0 {
         if frontier.is_empty() {
-            // Threshold exhausted: find the next minimum degree (>= k).
-            let mut min_deg = u32::MAX;
+            // Threshold exhausted: one fused O(|R|) pass finds the next
+            // minimum degree AND collects its frontier (a new minimum
+            // restarts the collection) — this used to be two full scans.
+            let mut cur_min = u32::MAX;
             for i in 0..n {
-                if round[i].load(Ordering::Relaxed) == u32::MAX {
-                    min_deg = min_deg.min(deg[i].load(Ordering::Relaxed));
+                if state.round[i].load(Ordering::Relaxed) != u32::MAX {
+                    continue;
                 }
-            }
-            debug_assert!(min_deg >= k || k == 0);
-            k = k.max(min_deg);
-            for i in 0..n {
-                if round[i].load(Ordering::Relaxed) == u32::MAX
-                    && deg[i].load(Ordering::Relaxed) <= k
-                {
-                    frontier.push(i);
+                let d = state.deg[i].load(Ordering::Relaxed);
+                if d > cur_min {
+                    continue;
                 }
+                if d < cur_min {
+                    debug_assert!(d >= min_hint, "alive degree {d} below carried floor {min_hint}");
+                    cur_min = d;
+                    frontier.clear();
+                }
+                frontier.push(i);
             }
+            debug_assert!(cur_min != u32::MAX, "remaining > 0 but no alive item found");
+            // cur_min ≥ min_hint > previous k: advance directly.
+            k = cur_min;
         }
         debug_assert!(!frontier.is_empty());
         for &i in &frontier {
-            round[i].store(current_round, Ordering::Relaxed);
+            state.round[i].store(current_round, Ordering::Relaxed);
             kappa[i] = k;
             order.push(i as u32);
         }
         max_kappa = max_kappa.max(k);
         remaining -= frontier.len();
 
-        // Parallel decrement pass over the frontier.
+        // Parallel decrement pass over the frontier. Crossings accumulate
+        // in per-worker buffers handed back by the scheduler — no shared
+        // lock on the decrement path.
         let frontier_ref = &frontier;
-        let deg_ref = &deg;
-        let round_ref = &round;
-        let crossed_ref = &crossed;
-        parallel_for_chunks(frontier.len(), cfg, |range| {
-            let mut local_crossed: Vec<usize> = Vec::new();
-            for fi in range.clone() {
-                let v = frontier_ref[fi];
-                space.for_each_container(v, |others| {
-                    // Container dead if any member peeled in an earlier round.
-                    let mut alive_others = true;
-                    let mut min_same_round = v;
-                    for &o in others {
-                        let r = round_ref[o].load(Ordering::Relaxed);
-                        if r < current_round {
-                            alive_others = false;
-                            break;
-                        }
-                        if r == current_round && o < min_same_round {
-                            min_same_round = o;
-                        }
-                    }
-                    if !alive_others {
-                        return;
-                    }
-                    // Same-round members would double-count the container;
-                    // only the lowest-id same-round member executes it.
-                    if min_same_round != v {
-                        return;
-                    }
-                    for &o in others {
-                        if round_ref[o].load(Ordering::Relaxed) != u32::MAX {
-                            continue; // peeled this round: κ already fixed
-                        }
-                        // CAS loop: decrement but never below k. Whoever
-                        // lands the k+1 -> k transition owns the crossing.
-                        let mut cur = deg_ref[o].load(Ordering::Relaxed);
-                        while cur > k {
-                            match deg_ref[o].compare_exchange_weak(
-                                cur,
-                                cur - 1,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            ) {
-                                Ok(_) => {
-                                    if cur == k + 1 {
-                                        local_crossed.push(o);
-                                    }
-                                    break;
-                                }
-                                Err(now) => cur = now,
-                            }
-                        }
-                    }
-                });
-            }
-            if !local_crossed.is_empty() {
-                crossed_ref.lock().unwrap().append(&mut local_crossed);
-            }
-        });
+        let state_ref = &state;
+        let process_ref = &process;
+        let (_, locals) = parallel_for_chunks_collect(
+            frontier.len(),
+            cfg,
+            || (Vec::<u32>::new(), PeelStats::default()),
+            |(crossed, local_stats), range| {
+                for fi in range {
+                    process_ref(
+                        state_ref,
+                        frontier_ref[fi],
+                        k,
+                        current_round,
+                        crossed,
+                        local_stats,
+                    );
+                }
+            },
+        );
         current_round += 1;
 
         // Next frontier at the same threshold: the crossings (still alive,
         // deduped — an item crosses at most once, but guard anyway).
         frontier.clear();
-        let mut crossed_items = std::mem::take(&mut *crossed.lock().unwrap());
+        let mut crossed_items: Vec<u32> = Vec::new();
+        for (mut crossed, local_stats) in locals {
+            crossed_items.append(&mut crossed);
+            stats.merge(&local_stats);
+        }
         crossed_items.sort_unstable();
         crossed_items.dedup();
         frontier.extend(
-            crossed_items.into_iter().filter(|&i| round[i].load(Ordering::Relaxed) == u32::MAX),
+            crossed_items
+                .into_iter()
+                .map(|i| i as usize)
+                .filter(|&i| state.round[i].load(Ordering::Relaxed) == u32::MAX),
         );
+        if frontier.is_empty() {
+            min_hint = k + 1;
+        }
     }
 
-    PeelResult { kappa, order, max_kappa }
+    PeelResult { kappa, order, max_kappa, stats }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{CoreSpace, GenericSpace, Nucleus34Space, TrussSpace};
+    use crate::space::{CachedSpace, CoreSpace, GenericSpace, Nucleus34Space, TrussSpace};
     use hdsd_graph::graph_from_edges;
 
     fn complete(n: u32) -> hdsd_graph::CsrGraph {
@@ -369,6 +700,68 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// The flat engine is bit-identical to the walk on every space —
+    /// κ, order, max κ, and the deterministic work counters.
+    #[test]
+    fn flat_engine_is_bit_identical_to_walk() {
+        let g = hdsd_datasets::holme_kim(120, 4, 0.5, 3);
+        let truss = TrussSpace::precomputed(&g);
+        let nuc = Nucleus34Space::precomputed(&g);
+        let gen13 = GenericSpace::new(&g, 1, 3);
+        // group = binom(4,2) − 1 = 5: beyond every monomorphized arity, so
+        // this hits the width-at-runtime fallback (`run::<0>`).
+        let gen24 = GenericSpace::new(&g, 2, 4);
+        let core = CoreSpace::new(&g);
+
+        let mut engine = PeelEngine::new();
+        for (walk, flat) in [
+            (peel_walk(&truss), FlatContainers::build(&truss)),
+            (peel_walk(&nuc), FlatContainers::build(&nuc)),
+            (peel_walk(&gen13), FlatContainers::build(&gen13)),
+            (peel_walk(&gen24), FlatContainers::build(&gen24)),
+            (peel_walk(&core), FlatContainers::build(&core)),
+        ] {
+            // Both the one-shot form and the engine (scratch reused across
+            // differently-sized spaces) must agree with the walk.
+            for r in [peel_flat(&flat), engine.peel(&flat)] {
+                assert_eq!(r.kappa, walk.kappa);
+                assert_eq!(r.order, walk.order);
+                assert_eq!(r.max_kappa, walk.max_kappa);
+                assert_eq!(r.stats, walk.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn peel_dispatch_uses_the_resident_flat_rows() {
+        let g = paper_core_graph();
+        let truss = TrussSpace::precomputed(&g);
+        let cached = CachedSpace::build(&truss);
+        // CachedSpace advertises its rows; peel must take the flat path and
+        // agree with every other engine.
+        assert!(cached.as_flat().is_some());
+        let via_cached = peel(&cached);
+        let via_space = peel(&truss);
+        let via_walk = peel_walk(&truss);
+        assert_eq!(via_cached.kappa, via_walk.kappa);
+        assert_eq!(via_space.kappa, via_walk.kappa);
+        assert_eq!(via_cached.order, via_walk.order);
+        assert_eq!(via_cached.stats, via_walk.stats);
+    }
+
+    #[test]
+    fn stats_count_real_work() {
+        let g = paper_core_graph();
+        let sp = CoreSpace::new(&g);
+        let r = peel(&sp);
+        // Every container incidence is visited exactly once: Σ d_S = 2|E|.
+        assert_eq!(r.stats.containers_scanned, 2 * g.num_edges() as u64);
+        assert!(r.stats.dead_containers > 0);
+        assert!(r.stats.bucket_moves > 0);
+        // Dead + decremented-or-at-floor partition the incidences.
+        assert!(r.stats.dead_containers < r.stats.containers_scanned);
+    }
+
     #[test]
     fn parallel_peel_matches_sequential() {
         let g = paper_core_graph();
@@ -382,6 +775,24 @@ mod tests {
         let seq_t = peel(&tsp);
         let par_t = peel_parallel(&tsp, ParallelConfig::with_threads(3).chunk(1));
         assert_eq!(par_t.kappa, seq_t.kappa);
+        // The flat and walk parallel engines agree too.
+        let flat = FlatContainers::build(&tsp);
+        let par_flat = peel_parallel_flat(&flat, ParallelConfig::with_threads(3).chunk(1));
+        let par_walk = peel_parallel_walk(&tsp, ParallelConfig::with_threads(3).chunk(1));
+        assert_eq!(par_flat.kappa, seq_t.kappa);
+        assert_eq!(par_walk.kappa, seq_t.kappa);
+    }
+
+    #[test]
+    fn parallel_counters_are_deterministic_across_thread_counts() {
+        let g = hdsd_datasets::holme_kim(150, 4, 0.5, 9);
+        let sp = TrussSpace::precomputed(&g);
+        let one = peel_parallel(&sp, ParallelConfig::with_threads(1).chunk(8));
+        for threads in [2, 4] {
+            let par = peel_parallel(&sp, ParallelConfig::with_threads(threads).chunk(8));
+            assert_eq!(par.kappa, one.kappa);
+            assert_eq!(par.stats, one.stats, "threads={threads}");
+        }
     }
 
     #[test]
@@ -391,6 +802,9 @@ mod tests {
         let r = peel(&sp);
         assert!(r.kappa.is_empty());
         assert_eq!(r.max_kappa, 0);
+        assert_eq!(r.stats, PeelStats::default());
+        let flat = FlatContainers::build(&sp);
+        assert!(peel_flat(&flat).kappa.is_empty());
     }
 
     #[test]
@@ -399,5 +813,6 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let r = peel(&sp);
         assert_eq!(r.kappa, vec![1, 1, 0, 0, 0]);
+        assert_eq!(peel_flat(&FlatContainers::build(&sp)).kappa, r.kappa);
     }
 }

@@ -133,6 +133,11 @@ impl CliqueSpace for CachedSpace {
     fn prefers_flat_cache(&self) -> bool {
         false
     }
+
+    /// The resident container arrays: the exact path peels these directly.
+    fn as_flat(&self) -> Option<&FlatContainers> {
+        Some(&self.flat)
+    }
 }
 
 #[cfg(test)]

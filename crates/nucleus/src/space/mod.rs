@@ -103,6 +103,16 @@ pub trait CliqueSpace: Sync {
     fn prefers_flat_cache(&self) -> bool {
         true
     }
+
+    /// The space's resident [`FlatContainers`], when its containers are
+    /// *already* materialized in that layout ([`CachedSpace`] overrides
+    /// this). Lets the exact path ([`crate::peel::peel`]) run its
+    /// monomorphized flat engine directly instead of re-walking the rows
+    /// through the callback interface — and without building a second copy
+    /// of arrays that already exist.
+    fn as_flat(&self) -> Option<&FlatContainers> {
+        None
+    }
 }
 
 /// Uniform access layer for the hot sweep loops: the same Snd/And kernels

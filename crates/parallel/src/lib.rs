@@ -15,7 +15,8 @@
 pub mod scheduling;
 
 pub use scheduling::{
-    parallel_for_chunks, parallel_for_chunks_with, FrontierQueue, Policy, SchedulerStats,
+    parallel_for_chunks, parallel_for_chunks_collect, parallel_for_chunks_with, FrontierQueue,
+    Policy, SchedulerStats,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};

@@ -196,13 +196,34 @@ pub fn parallel_for_chunks_with<S, I, F>(
     f: F,
 ) -> SchedulerStats
 where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    parallel_for_chunks_collect(n, cfg, init, f).0
+}
+
+/// Like [`parallel_for_chunks_with`], but hands each worker's final state
+/// back to the caller (one entry per worker that ran; sequential runs
+/// return exactly one). This is the lock-free accumulation primitive: a
+/// worker appends to its own state on the hot path and the caller merges
+/// the returned states after the barrier — no shared mutex, no atomics
+/// beyond chunk handout.
+pub fn parallel_for_chunks_collect<S, I, F>(
+    n: usize,
+    cfg: ParallelConfig,
+    init: I,
+    f: F,
+) -> (SchedulerStats, Vec<S>)
+where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
 {
     let threads = cfg.threads.max(1);
     let chunk = cfg.chunk.max(1);
     if n == 0 {
-        return SchedulerStats::from_chunks(vec![0; threads]);
+        return (SchedulerStats::from_chunks(vec![0; threads]), Vec::new());
     }
     if threads == 1 {
         let mut s = init();
@@ -214,7 +235,7 @@ where
             done = hi;
             chunks += 1;
         }
-        return SchedulerStats::from_chunks(vec![chunks]);
+        return (SchedulerStats::from_chunks(vec![chunks]), vec![s]);
     }
 
     match cfg.policy {
@@ -222,13 +243,14 @@ where
         Policy::Dynamic => {
             let next = AtomicUsize::new(0);
             let counters: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
-            std::thread::scope(|scope| {
+            let states = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
                 for t in 0..threads {
                     let next = &next;
                     let counter = &counters[t];
                     let init = &init;
                     let f = &f;
-                    scope.spawn(move || {
+                    handles.push(scope.spawn(move || {
                         let mut s = init();
                         loop {
                             let lo = next.fetch_add(chunk, Ordering::Relaxed);
@@ -239,25 +261,31 @@ where
                             f(&mut s, lo..hi);
                             counter.fetch_add(1, Ordering::Relaxed);
                         }
-                    });
+                        s
+                    }));
                 }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
-            SchedulerStats::from_chunks(
-                counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            (
+                SchedulerStats::from_chunks(
+                    counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                ),
+                states,
             )
         }
         #[allow(clippy::needless_range_loop)]
         Policy::Static => {
             let per = n.div_ceil(threads);
             let counters: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
-            std::thread::scope(|scope| {
+            let states = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
                 for t in 0..threads {
                     let lo = (t * per).min(n);
                     let hi = ((t + 1) * per).min(n);
                     let counter = &counters[t];
                     let init = &init;
                     let f = &f;
-                    scope.spawn(move || {
+                    handles.push(scope.spawn(move || {
                         let mut s = init();
                         let mut at = lo;
                         while at < hi {
@@ -266,11 +294,16 @@ where
                             at = end;
                             counter.fetch_add(1, Ordering::Relaxed);
                         }
-                    });
+                        s
+                    }));
                 }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
-            SchedulerStats::from_chunks(
-                counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            (
+                SchedulerStats::from_chunks(
+                    counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                ),
+                states,
             )
         }
     }
@@ -327,6 +360,32 @@ mod tests {
     fn chunk_of_one_works() {
         sum_check(3, Policy::Dynamic, 50, 1);
         sum_check(3, Policy::Static, 50, 1);
+    }
+
+    #[test]
+    fn collect_returns_every_workers_state() {
+        for &(threads, policy) in
+            &[(1usize, Policy::Dynamic), (4, Policy::Dynamic), (3, Policy::Static)]
+        {
+            let cfg = ParallelConfig { threads, chunk: 8, policy };
+            let (_, states) =
+                parallel_for_chunks_collect(1000, cfg, Vec::new, |local: &mut Vec<usize>, r| {
+                    local.extend(r)
+                });
+            assert_eq!(states.len(), threads, "{policy:?}");
+            let mut all: Vec<usize> = states.into_iter().flatten().collect();
+            all.sort_unstable();
+            // Every index appears exactly once across the worker states.
+            assert_eq!(all, (0..1000).collect::<Vec<_>>(), "{policy:?} threads={threads}");
+        }
+        // n == 0: no worker ran, no states to merge.
+        let (_, states) = parallel_for_chunks_collect(
+            0,
+            ParallelConfig::with_threads(4),
+            Vec::new,
+            |local: &mut Vec<usize>, r| local.extend(r),
+        );
+        assert!(states.is_empty());
     }
 
     #[test]

@@ -128,8 +128,9 @@ fn run(args: &[String]) -> Result<(), String> {
             s.edges,
             s.spaces
                 .iter()
-                .map(|(name, cliques, max_k, _)| format!(
-                    "{name}({cliques} cliques, max κ {max_k})"
+                .map(|sp| format!(
+                    "{}({} cliques, max κ {}, build {} µs, peel {} µs)",
+                    sp.space, sp.cliques, sp.max_kappa, sp.build_us, sp.peel_us
                 ))
                 .collect::<Vec<_>>()
                 .join(", ")

@@ -133,13 +133,25 @@ struct SpaceState {
     cached: CachedSpace,
     kappa: Vec<u32>,
     hierarchy: Option<HierarchyIndex>,
+    /// Wall time of the cold space materialization (snapshot build) at
+    /// startup; 0 when the state was adopted from a snapshot restore.
+    build_us: u64,
+    /// Wall time of the cold exact peel at startup; 0 on snapshot restore
+    /// (κ is adopted, nothing is peeled).
+    peel_us: u64,
 }
 
 impl SpaceState {
     fn fresh(sel: SpaceSel, graph: &CsrGraph, triangles: Option<&TriangleList>) -> SpaceState {
+        let t_build = Instant::now();
         let cached = sel.build_cached(graph, triangles);
+        let build_us = t_build.elapsed().as_micros() as u64;
+        // `peel` sees the snapshot's resident flat rows (`as_flat`) and
+        // runs the monomorphized flat engine — the cold-start hot path.
+        let t_peel = Instant::now();
         let kappa = peel(&cached).kappa;
-        SpaceState { sel, cached, kappa, hierarchy: None }
+        let peel_us = t_peel.elapsed().as_micros() as u64;
+        SpaceState { sel, cached, kappa, hierarchy: None, build_us, peel_us }
     }
 
     fn ensure_hierarchy(&mut self) -> &HierarchyIndex {
@@ -237,6 +249,23 @@ pub struct UpdateReport {
     pub wall_us: u64,
 }
 
+/// Point-in-time statistics of one resident space.
+#[derive(Clone, Debug)]
+pub struct SpaceStats {
+    /// Space name (`core` / `truss` / `nucleus34`).
+    pub space: String,
+    /// r-clique count.
+    pub cliques: usize,
+    /// Maximum κ.
+    pub max_kappa: u32,
+    /// Whether a hierarchy forest is resident.
+    pub hierarchy_resident: bool,
+    /// Cold-start snapshot materialization time (0 on snapshot restore).
+    pub build_us: u64,
+    /// Cold-start exact peel time (0 on snapshot restore — κ is adopted).
+    pub peel_us: u64,
+}
+
 /// Point-in-time engine statistics.
 #[derive(Clone, Debug)]
 pub struct EngineStats {
@@ -246,8 +275,8 @@ pub struct EngineStats {
     pub edges: usize,
     /// Edge batches applied since construction/restore.
     pub updates_applied: u64,
-    /// Per-space: (name, clique count, max κ, hierarchy resident?).
-    pub spaces: Vec<(String, usize, u32, bool)>,
+    /// Per-space statistics, including the cold-start cost split.
+    pub spaces: Vec<SpaceStats>,
 }
 
 /// The long-lived query-serving engine.
@@ -595,7 +624,9 @@ impl Engine {
                 (3, 4) => SpaceSel::Nucleus34,
                 other => return Err(format!("snapshot contains unknown space {other:?}")),
             };
+            let t_build = Instant::now();
             let cached = sel.build_cached(&snap.graph, triangles.as_ref());
+            let build_us = t_build.elapsed().as_micros() as u64;
             if cached.num_cliques() != sp.kappa.len() {
                 return Err(format!(
                     "snapshot κ length {} does not match rebuilt {} space ({} cliques)",
@@ -612,7 +643,16 @@ impl Engine {
                 (Some(forest), None) => Some(HierarchyIndex::from_forest(forest, sp.kappa.len())),
                 (None, _) => None,
             };
-            states.push(SpaceState { sel, cached, kappa: sp.kappa, hierarchy });
+            // κ is adopted, nothing is peeled: that is the point of
+            // restoring from a snapshot, and peel_us = 0 records it.
+            states.push(SpaceState {
+                sel,
+                cached,
+                kappa: sp.kappa,
+                hierarchy,
+                build_us,
+                peel_us: 0,
+            });
         }
         Ok(Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 })
     }
@@ -626,13 +666,13 @@ impl Engine {
             spaces: self
                 .states
                 .iter()
-                .map(|st| {
-                    (
-                        st.sel.name().to_string(),
-                        st.cached.num_cliques(),
-                        st.kappa.iter().copied().max().unwrap_or(0),
-                        st.hierarchy.is_some(),
-                    )
+                .map(|st| SpaceStats {
+                    space: st.sel.name().to_string(),
+                    cliques: st.cached.num_cliques(),
+                    max_kappa: st.kappa.iter().copied().max().unwrap_or(0),
+                    hierarchy_resident: st.hierarchy.is_some(),
+                    build_us: st.build_us,
+                    peel_us: st.peel_us,
                 })
                 .collect(),
         }
@@ -804,7 +844,7 @@ mod tests {
                 assert_eq!(hi.node_of, hi.forest.clique_to_node(st.cached.num_cliques()));
             }
         }
-        assert!(engine.stats().spaces.iter().all(|(_, _, _, resident)| *resident));
+        assert!(engine.stats().spaces.iter().all(|s| s.hierarchy_resident));
     }
 
     #[test]
@@ -829,7 +869,7 @@ mod tests {
             assert!(engine.node_region(sel, 0).unwrap_err().contains("out of range"));
         }
         // The early returns never materialized a trivial index.
-        assert!(engine.stats().spaces.iter().all(|(_, _, _, resident)| !resident));
+        assert!(engine.stats().spaces.iter().all(|s| !s.hierarchy_resident));
     }
 
     #[test]
@@ -852,6 +892,24 @@ mod tests {
                 sel.name()
             );
         }
+    }
+
+    #[test]
+    fn stats_split_cold_start_into_build_and_peel() {
+        // Large enough that every space's build and peel cross the 1 µs
+        // timer resolution.
+        let g = hdsd_datasets::holme_kim(1500, 6, 0.5, 29);
+        let mut engine = Engine::new(g, &full_config());
+        let fresh = engine.stats();
+        assert!(fresh.spaces.iter().all(|s| s.build_us > 0), "{fresh:?}");
+        assert!(fresh.spaces.iter().all(|s| s.peel_us > 0), "{fresh:?}");
+        // A restored engine re-materializes spaces (build_us measured) but
+        // adopts κ — the whole point of snapshots — so peel_us is 0.
+        let snap = engine.to_snapshot();
+        let back = Engine::from_snapshot(snap, LocalConfig::sequential()).unwrap();
+        let restored = back.stats();
+        assert!(restored.spaces.iter().all(|s| s.build_us > 0), "{restored:?}");
+        assert!(restored.spaces.iter().all(|s| s.peel_us == 0), "{restored:?}");
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod protocol;
 
 pub use engine::{
     Engine, EngineConfig, EngineStats, HierarchyRepairReport, NucleusSummary, RegionReport,
-    SpaceRefresh, SpaceSel, UpdateReport,
+    SpaceRefresh, SpaceSel, SpaceStats, UpdateReport,
 };
 pub use json::Json;
 pub use protocol::{Handled, Server};

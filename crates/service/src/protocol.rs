@@ -130,12 +130,14 @@ impl Server {
                 "spaces",
                 s.spaces
                     .iter()
-                    .map(|(name, cliques, max_k, resident)| {
+                    .map(|sp| {
                         obj([
-                            ("space", name.as_str().into()),
-                            ("cliques", (*cliques).into()),
-                            ("max_kappa", (*max_k).into()),
-                            ("hierarchy_resident", (*resident).into()),
+                            ("space", sp.space.as_str().into()),
+                            ("cliques", sp.cliques.into()),
+                            ("max_kappa", sp.max_kappa.into()),
+                            ("hierarchy_resident", sp.hierarchy_resident.into()),
+                            ("build_micros", sp.build_us.into()),
+                            ("peel_micros", sp.peel_us.into()),
                         ])
                     })
                     .collect(),
@@ -484,6 +486,35 @@ mod tests {
             .unwrap();
         let region = ok(&mut s, r#"{"op":"region","space":"core","id":6}"#);
         assert_eq!(region.get("k").unwrap().as_u64(), Some(kappa6));
+    }
+
+    #[test]
+    fn stats_response_pins_the_per_space_shape() {
+        let mut s = demo_server();
+        let v = ok(&mut s, r#"{"op":"stats"}"#);
+        let spaces = v.get("spaces").unwrap().as_array().unwrap();
+        assert_eq!(spaces.len(), 3);
+        for sp in spaces {
+            // Pin the exact member set and order: dashboards and the smoke
+            // script key on this shape.
+            let Json::Obj(members) = sp else { panic!("space stat must be an object") };
+            let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                [
+                    "space",
+                    "cliques",
+                    "max_kappa",
+                    "hierarchy_resident",
+                    "build_micros",
+                    "peel_micros"
+                ],
+                "{}",
+                sp
+            );
+            assert!(sp.get("build_micros").unwrap().as_u64().is_some());
+            assert!(sp.get("peel_micros").unwrap().as_u64().is_some());
+        }
     }
 
     #[test]
