@@ -5,7 +5,10 @@ Compares the deterministic *counter* metrics of a fresh quick bench run
 (recomputation ratios, warm-vs-cold processed counts) against a committed
 baseline with a relative tolerance, and fails the job on regression.
 Wall-clock fields are deliberately ignored — CI runners are too noisy —
-but correctness flags (kappa_exact, converged) are hard failures.
+with one exception: the peel kind gates the flat-vs-walk speedup ratio
+(same-process relative time, invoked with a wider tolerance that then
+applies to all of that kind's metrics). Correctness flags (kappa_exact,
+converged, kappa_identical, counters_match) are hard failures.
 
 Usage:
   bench_gate.py compare --kind frontier \
@@ -58,7 +61,35 @@ def extract_service(doc):
     return metrics, []
 
 
-EXTRACTORS = {"frontier": extract_frontier, "service": extract_service}
+def extract_peel(doc):
+    """Counters and ratios of the exact-path peeling bench.
+
+    Hard failures: any engine disagreeing on the exact decomposition
+    (kappa_identical) or the flat/walk work counters diverging
+    (counters_match) — both are determinism pins the bench itself asserts
+    and re-reports here. Gated metrics: the flat-vs-walk speedup on the
+    container-heavy spaces (core's native layout is already CSR, its
+    near-1 ratio would only gate noise), plus the deterministic work
+    counters (containers scanned, bucket moves) as drift floors."""
+    hard_failures = []
+    metrics = {}
+    for row in doc.get("spaces", []):
+        space = row.get("space")
+        if not row.get("kappa_identical", False):
+            hard_failures.append(f"peel {space}: engines disagree on the exact decomposition")
+        if not row.get("counters_match", False):
+            hard_failures.append(f"peel {space}: flat/walk work counters diverged")
+        if space != "core":
+            metrics[f"peel_speedup_flat_vs_walk[{space}]"] = float(row["speedup_flat_vs_walk"])
+        # "pin:" metrics are checked two-sided: the counters are
+        # graph-determined constants, so drift in EITHER direction (more
+        # work or less) is a regression, not just a drop.
+        metrics[f"pin:peel_containers_scanned[{space}]"] = float(row["containers_scanned"])
+        metrics[f"pin:peel_bucket_moves[{space}]"] = float(row["bucket_moves"])
+    return metrics, hard_failures
+
+
+EXTRACTORS = {"frontier": extract_frontier, "service": extract_service, "peel": extract_peel}
 
 
 def compare(kind, baseline_doc, fresh_doc, tolerance):
@@ -73,6 +104,19 @@ def compare(kind, baseline_doc, fresh_doc, tolerance):
         fresh = fresh_metrics.get(name)
         if fresh is None:
             failures.append(f"{name}: missing from fresh run (baseline {base:.3f})")
+            continue
+        if name.startswith("pin:"):
+            # Pinned metric: deterministic value, regression in either
+            # direction (the tolerance is only slack for intentional
+            # baseline refreshes landing in the same commit).
+            lo, hi = base * (1.0 - tolerance), base * (1.0 + tolerance)
+            ok = lo <= fresh <= hi
+            verdict = "ok" if ok else "DRIFT"
+            print(f"  {name}: fresh {fresh:.3f} vs baseline {base:.3f} (band {lo:.3f}..{hi:.3f}) {verdict}")
+            if not ok:
+                failures.append(
+                    f"{name}: {fresh:.3f} outside {lo:.3f}..{hi:.3f} (baseline {base:.3f}, tol {tolerance:.0%})"
+                )
             continue
         floor = base * (1.0 - tolerance)
         verdict = "ok" if fresh >= floor else "REGRESSION"
@@ -107,9 +151,30 @@ def selftest():
             {"space": "nucleus34", "preserved_fraction": 1.0},
         ],
     }
+    peel = {
+        "spaces": [
+            {
+                "space": "core",
+                "speedup_flat_vs_walk": 1.1,
+                "containers_scanned": 1000,
+                "bucket_moves": 400,
+                "kappa_identical": True,
+                "counters_match": True,
+            },
+            {
+                "space": "truss",
+                "speedup_flat_vs_walk": 1.8,
+                "containers_scanned": 2000,
+                "bucket_moves": 900,
+                "kappa_identical": True,
+                "counters_match": True,
+            },
+        ]
+    }
     checks = []
     checks.append(("identical frontier passes", compare("frontier", frontier, frontier, 0.1) == []))
     checks.append(("identical service passes", compare("service", service, service, 0.1) == []))
+    checks.append(("identical peel passes", compare("peel", peel, peel, 0.1) == []))
 
     regressed = json.loads(json.dumps(frontier))
     regressed["frontier_vs_full_scan"][0]["ratio"] = 1.2
@@ -130,6 +195,22 @@ def selftest():
     checks.append(
         ("regressed hierarchy preservation fails", compare("service", service, unpreserving, 0.1) != [])
     )
+
+    slow_peel = json.loads(json.dumps(peel))
+    slow_peel["spaces"][1]["speedup_flat_vs_walk"] = 1.0
+    checks.append(("regressed peel speedup fails", compare("peel", peel, slow_peel, 0.1) != []))
+
+    inflated_peel = json.loads(json.dumps(peel))
+    inflated_peel["spaces"][1]["bucket_moves"] = 2000  # common-mode work increase
+    checks.append(("inflated peel counters fail", compare("peel", peel, inflated_peel, 0.1) != []))
+
+    inexact_peel = json.loads(json.dumps(peel))
+    inexact_peel["spaces"][0]["kappa_identical"] = False
+    checks.append(("peel exactness loss fails", compare("peel", peel, inexact_peel, 0.1) != []))
+
+    drifted_peel = json.loads(json.dumps(peel))
+    drifted_peel["spaces"][1]["counters_match"] = False
+    checks.append(("peel counter divergence fails", compare("peel", peel, drifted_peel, 0.1) != []))
 
     missing = {"refreshes": []}
     checks.append(("missing metrics fail", compare("service", service, missing, 0.1) != []))
