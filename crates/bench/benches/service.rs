@@ -101,7 +101,7 @@ fn main() {
         let n_sel = engine.num_cliques(sel).unwrap();
         for budget in [Some(64usize), Some(1024), None] {
             let iterations = 3;
-            let opts = QueryOptions { iterations, budget, lower_bound: true };
+            let opts = QueryOptions { iterations, budget, lower_bound: true, deadline: None };
             let mut total_us = 0f64;
             let mut total_explored = 0usize;
             let mut truncated = 0usize;

@@ -68,6 +68,7 @@ pub use convergence::{
 pub use delta::{core_space_delta, nucleus34_space_delta, truss_space_delta, SpaceDelta};
 pub use export::{
     read_snapshot, write_hierarchy_dot, write_kappa_tsv, write_snapshot, Snapshot, SpaceSnapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
 pub use hierarchy::{
     assert_forest_eq, build_hierarchy, repair_hierarchy, Hierarchy, HierarchyNode, RepairStats,

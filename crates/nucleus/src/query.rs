@@ -34,11 +34,18 @@ pub struct QueryOptions {
     /// `κ(q) ≥ lower` — together with the estimate this brackets
     /// `lower ≤ κ(q) ≤ estimate`.
     pub lower_bound: bool,
+    /// Wall-clock deadline. Enforced at the same checkpoints as `budget`:
+    /// exploration stops (marking the result `truncated`) once the
+    /// deadline passes, and the lower-bound certificate is skipped (left
+    /// at 0, which is always valid). The estimate stays a correct upper
+    /// bound exactly as under a budget cut — unexplored reads fall back
+    /// to `d_s ≥ κ`.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        QueryOptions { iterations: 3, budget: None, lower_bound: false }
+        QueryOptions { iterations: 3, budget: None, lower_bound: false, deadline: None }
     }
 }
 
@@ -64,7 +71,7 @@ pub struct QueryEstimate {
 /// touching only the `t`-hop neighborhood of `q`. The estimate equals the
 /// global Snd `τ_t(q)` bit-for-bit.
 pub fn local_estimate<S: CliqueSpace>(space: &S, q: usize, t: usize) -> QueryEstimate {
-    local_estimate_opts(space, q, &QueryOptions { iterations: t, budget: None, lower_bound: false })
+    local_estimate_opts(space, q, &QueryOptions { iterations: t, ..QueryOptions::default() })
 }
 
 /// [`local_estimate`] with an exploration budget and optional lower-bound
@@ -77,8 +84,11 @@ pub fn local_estimate_opts<S: CliqueSpace>(
     assert!(q < space.num_cliques(), "query clique out of range");
     let t = opts.iterations;
     let cap = opts.budget.unwrap_or(usize::MAX).max(1);
+    // `Instant::now` is only consulted when a deadline was set, so the
+    // unconstrained path pays nothing.
+    let past_deadline = || opts.deadline.is_some_and(|d| std::time::Instant::now() >= d);
     // BFS distances up to t in the r-clique adjacency, stopping at the
-    // exploration budget.
+    // exploration budget or the deadline.
     let mut dist: HashMap<usize, u32> = HashMap::new();
     dist.insert(q, 0);
     let mut frontier = vec![q];
@@ -86,7 +96,7 @@ pub fn local_estimate_opts<S: CliqueSpace>(
     'bfs: for d in 1..=t as u32 {
         let mut next = Vec::new();
         for &i in &frontier {
-            if dist.len() >= cap {
+            if dist.len() >= cap || past_deadline() {
                 truncated = true;
                 break 'bfs;
             }
@@ -146,7 +156,16 @@ pub fn local_estimate_opts<S: CliqueSpace>(
         }
     }
 
-    let lower = if opts.lower_bound { ball_lower_bound(space, q, &dist) } else { 0 };
+    // The certificate is strictly optional work; past the deadline it is
+    // skipped (0 is always a valid lower bound) and the cut is reported.
+    let lower = if opts.lower_bound && !past_deadline() {
+        ball_lower_bound(space, q, &dist)
+    } else {
+        if opts.lower_bound {
+            truncated = true;
+        }
+        0
+    };
     QueryEstimate {
         estimate: tau[&q],
         lower,
@@ -342,7 +361,12 @@ mod tests {
             let est = local_estimate_opts(
                 &sp,
                 7,
-                &QueryOptions { iterations: 4, budget: Some(budget), lower_bound: true },
+                &QueryOptions {
+                    iterations: 4,
+                    budget: Some(budget),
+                    lower_bound: true,
+                    deadline: None,
+                },
             );
             assert!(est.explored <= budget.max(1) + 1, "budget {budget} overshot");
             assert!(est.estimate >= exact[7], "budget {budget} broke the upper bound");
@@ -353,7 +377,7 @@ mod tests {
             }
         }
         // An unconstrained run reproduces local_estimate exactly.
-        let opts = QueryOptions { iterations: 4, budget: None, lower_bound: false };
+        let opts = QueryOptions { iterations: 4, budget: None, lower_bound: false, deadline: None };
         assert_eq!(local_estimate_opts(&sp, 7, &opts).estimate, full.estimate);
     }
 
@@ -362,7 +386,7 @@ mod tests {
         let g = hdsd_datasets::holme_kim(150, 5, 0.6, 21);
         let core = CoreSpace::new(&g);
         let truss = TrussSpace::precomputed(&g);
-        let opts = QueryOptions { iterations: 3, budget: None, lower_bound: true };
+        let opts = QueryOptions { iterations: 3, budget: None, lower_bound: true, deadline: None };
         for q in [0usize, 11, 60, 120] {
             let exact = peel(&core).kappa;
             let est = local_estimate_opts(&core, q, &opts);
@@ -391,7 +415,7 @@ mod tests {
         let est = local_estimate_opts(
             &sp,
             0,
-            &QueryOptions { iterations: 2, budget: None, lower_bound: true },
+            &QueryOptions { iterations: 2, budget: None, lower_bound: true, deadline: None },
         );
         assert_eq!(est.lower, 4);
         assert_eq!(est.estimate, 4);

@@ -59,7 +59,8 @@ fn check_space<S: CliqueSpace>(space: &S, queries: &[usize], iterations: &[usize
                 space.name()
             );
             // The certificate interval brackets κ.
-            let opts = QueryOptions { iterations: t, budget: None, lower_bound: true };
+            let opts =
+                QueryOptions { iterations: t, budget: None, lower_bound: true, deadline: None };
             let bounded = local_estimate_opts(space, q, &opts);
             assert_eq!(bounded.estimate, est.estimate, "options path must agree");
             assert!(
@@ -92,7 +93,7 @@ proptest! {
             let exact = peel(&sp).kappa;
             for q in [0usize, 11, 47] {
                 let q = q % sp.num_cliques();
-                let opts = QueryOptions { iterations: 3, budget: Some(budget), lower_bound: true };
+                let opts = QueryOptions { iterations: 3, budget: Some(budget), lower_bound: true, deadline: None };
                 let est = local_estimate_opts(&sp, q, &opts);
                 prop_assert!(est.lower <= exact[q]);
                 prop_assert!(est.estimate >= exact[q]);

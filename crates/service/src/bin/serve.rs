@@ -3,6 +3,7 @@
 //! ```text
 //! hdsd-serve [--graph FILE | --snapshot FILE | --synthetic N,M,P,SEED | --demo]
 //!            [--spaces core,truss,34] [--threads N] [--listen ADDR:PORT]
+//!            [--durable DIR] [--fsync always|batch:N|off] [--debug-ops]
 //!
 //!   --graph FILE       SNAP-style edge list to serve
 //!   --snapshot FILE    binary snapshot (fast restart: graph + κ + hierarchy)
@@ -11,16 +12,51 @@
 //!   --spaces LIST      resident decompositions    (default core,truss)
 //!   --threads N        refresh sweep threads      (default 1)
 //!   --listen ADDR      serve TCP instead of stdin (e.g. 127.0.0.1:7171)
+//!   --durable DIR      crash-safe serving: WAL + atomic checkpoints in DIR.
+//!                      On restart the newest checkpoint is loaded and the
+//!                      WAL tail replayed; the other input flags only seed
+//!                      an empty directory.
+//!   --fsync POLICY     WAL sync policy (default always)
+//!   --debug-ops        enable the debug_panic op (fault drills)
 //! ```
 //!
 //! Protocol: one JSON request per line, one JSON response per line — see
-//! `hdsd_service::protocol`. `{"op":"shutdown"}` stops the server.
+//! `hdsd_service::protocol`. `{"op":"shutdown"}` stops the server; under
+//! `--durable`, SIGTERM/SIGINT also stop it gracefully (drain + final
+//! checkpoint), and `kill -9` is recovered from on the next start.
 
 use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hdsd_nucleus::{read_snapshot, LocalConfig};
-use hdsd_service::{Engine, EngineConfig, Server, SpaceSel};
+use hdsd_service::{
+    Durability, DurableConfig, Engine, EngineConfig, FailPoints, FsyncPolicy, Server, SpaceSel,
+};
+
+/// Set by the SIGTERM/SIGINT handler; polled by the serve loops.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    // Minimal libc-free signal(2) binding: the handler only flips an
+    // atomic, which is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +77,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut spaces = vec![SpaceSel::Core, SpaceSel::Truss];
     let mut threads = 1usize;
     let mut listen = None;
+    let mut durable_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut debug_ops = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -67,6 +106,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 threads = value(&mut i)?.parse().map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--listen" => listen = Some(value(&mut i)?),
+            "--durable" => durable_dir = Some(value(&mut i)?),
+            "--fsync" => {
+                let v = value(&mut i)?;
+                fsync = FsyncPolicy::parse(&v)
+                    .ok_or_else(|| format!("bad --fsync {v:?} (always|batch:N|off)"))?;
+            }
+            "--debug-ops" => debug_ops = true,
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of src/bin/serve.rs");
                 return Ok(());
@@ -80,12 +126,15 @@ fn run(args: &[String]) -> Result<(), String> {
         if threads <= 1 { LocalConfig::sequential() } else { LocalConfig::with_threads(threads) };
     let cfg = EngineConfig { spaces, local };
 
-    let engine = if let Some(path) = snapshot_path {
-        let file = std::fs::File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
-        let snap = read_snapshot(&mut std::io::BufReader::new(file))
-            .map_err(|e| format!("read snapshot {path:?}: {e}"))?;
-        Engine::from_snapshot(snap, local)?
-    } else {
+    // Builds the engine from the input flags — the normal startup path,
+    // and the seed for an empty durability directory.
+    let build_engine = move || -> Result<Engine, String> {
+        if let Some(path) = snapshot_path {
+            let file = std::fs::File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
+            let snap = read_snapshot(&mut std::io::BufReader::new(file))
+                .map_err(|e| format!("read snapshot {path:?}: {e}"))?;
+            return Engine::from_snapshot(snap, cfg.local);
+        }
         let graph = if let Some(path) = graph_path {
             hdsd_graph::read_edge_list(&path).map_err(|e| format!("read {path:?}: {e}"))?
         } else if let Some(spec) = synthetic {
@@ -117,11 +166,44 @@ fn run(args: &[String]) -> Result<(), String> {
             return Err("no input: pass --graph, --snapshot, --synthetic or --demo (see --help)"
                 .to_string());
         };
-        Engine::new(graph, &cfg)
+        Ok(Engine::new(graph, &cfg))
     };
 
+    let mut server = match durable_dir {
+        Some(dir) => {
+            let dcfg = DurableConfig {
+                dir: dir.clone().into(),
+                policy: fsync,
+                failpoints: FailPoints::none(),
+            };
+            let (engine, dur, rep) = Durability::open(dcfg, local, build_engine)?;
+            eprintln!(
+                "hdsd-serve: durable in {dir:?} ({}; replayed {} WAL record(s){}, \
+                 generation {}, {} µs)",
+                if rep.cold_start {
+                    "fresh directory"
+                } else {
+                    "recovered from checkpoint — κ adopted, nothing re-peeled"
+                },
+                rep.replayed,
+                if rep.torn_bytes > 0 {
+                    format!(", dropped {} torn byte(s)", rep.torn_bytes)
+                } else {
+                    String::new()
+                },
+                rep.generation,
+                rep.wall_us,
+            );
+            Server::with_durability(engine, dur)
+        }
+        None => Server::new(build_engine()?),
+    };
+    if debug_ops {
+        server.enable_debug_ops();
+    }
+
     {
-        let s = engine.stats();
+        let s = server.engine_mut().stats();
         eprintln!(
             "hdsd-serve: {} vertices, {} edges; resident: {}",
             s.vertices,
@@ -137,10 +219,23 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let server = Server::new(engine);
+    install_signal_handlers();
     match listen {
         None => serve_stdio(server),
         Some(addr) => serve_tcp(server, &addr),
+    }
+}
+
+/// Final drain: flush the WAL and fold the engine into a checkpoint so
+/// the next start replays nothing. Failures are reported, not fatal —
+/// the WAL still holds every acknowledged batch.
+fn drain(server: &mut Server, why: &str) {
+    if !server.is_durable() {
+        return;
+    }
+    match server.drain_and_checkpoint() {
+        Ok(()) => eprintln!("hdsd-serve: {why}: checkpointed"),
+        Err(e) => eprintln!("hdsd-serve: {why}: final checkpoint failed ({e}); WAL retained"),
     }
 }
 
@@ -149,6 +244,9 @@ fn serve_stdio(mut server: Server) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for line in stdin.lock().lines() {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            break;
+        }
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         if line.trim().is_empty() {
             continue;
@@ -158,23 +256,32 @@ fn serve_stdio(mut server: Server) -> Result<(), String> {
             .and_then(|_| out.flush())
             .map_err(|e| format!("stdout: {e}"))?;
         if h.shutdown {
-            break;
+            // The shutdown op already checkpointed under --durable.
+            return Ok(());
         }
     }
+    drain(&mut server, "shutdown (EOF/signal)");
     Ok(())
 }
 
 fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     eprintln!("hdsd-serve: listening on {}", listener.local_addr().map_err(|e| e.to_string())?);
+    // Nonblocking accepts: the loop wakes regularly to observe the stop
+    // flag (shutdown op) and SHUTDOWN (signals) even with no clients.
+    listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
     let server = Arc::new(Mutex::new(server));
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    for conn in listener.incoming() {
-        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+    let stop = Arc::new(AtomicBool::new(false));
+    loop {
+        if stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match conn {
-            Ok(s) => s,
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                continue;
+            }
             Err(e) => {
                 eprintln!("hdsd-serve: accept: {e}");
                 continue;
@@ -202,25 +309,34 @@ fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
                 if line.trim().is_empty() {
                     continue;
                 }
-                if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                    break; // another connection already shut the server down
+                if stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst) {
+                    break; // the server is already shutting down
                 }
                 // One request at a time across connections: the engine is
                 // a single mutable resource (updates rewrite the graph).
-                let h = server.lock().expect("engine lock").handle_line(&line);
+                // A panic inside a handler is caught by handle_line, but
+                // if one ever escapes (e.g. a poisoned-lock panic in a
+                // dying thread), the next worker must not die with it:
+                // take the engine back from a poisoned mutex.
+                let h = server
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .handle_line(&line);
                 if writeln!(writer, "{}", h.response).and_then(|_| writer.flush()).is_err() {
                     break;
                 }
                 if h.shutdown {
-                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
-                    // Nudge the accept loop so it observes the stop flag.
-                    if let Ok(addr) = writer.local_addr() {
-                        let _ = std::net::TcpStream::connect(addr);
-                    }
+                    stop.store(true, Ordering::SeqCst);
                     return;
                 }
             }
         });
+    }
+    // Signal path (the shutdown op already checkpointed in-band): take
+    // the engine back — poisoned or not — and drain.
+    if SHUTDOWN.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst) {
+        let mut guard = server.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drain(&mut guard, "shutdown (signal)");
     }
     Ok(())
 }

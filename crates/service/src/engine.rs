@@ -410,8 +410,40 @@ impl Engine {
         Ok(local_estimate_opts(&st.cached, id, opts))
     }
 
+    /// Fails when `deadline` (if any) has already passed. Budgeted ops
+    /// call this around their expensive stages (hierarchy materialization,
+    /// region extraction) so a request-scoped `deadline_ms` bounds them
+    /// the same way `budget` bounds estimates.
+    fn check_deadline(deadline: Option<Instant>, stage: &str) -> Result<(), String> {
+        match deadline {
+            Some(d) if Instant::now() >= d => Err(format!("deadline exceeded ({stage})")),
+            _ => Ok(()),
+        }
+    }
+
+    /// The resident hierarchy forest of a space, building it if absent.
+    /// The crash-recovery harness uses this to compare a recovered
+    /// engine's forests against an uninterrupted reference.
+    pub fn hierarchy_of(&mut self, sel: SpaceSel) -> Result<&Hierarchy, String> {
+        let st = self.state_mut(sel)?;
+        Ok(&st.ensure_hierarchy().forest)
+    }
+
     /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
     pub fn nuclei_at(&mut self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
+        self.nuclei_at_within(sel, k, None)
+    }
+
+    /// [`Engine::nuclei_at`] under an optional wall-clock deadline: the
+    /// request fails (instead of blocking the daemon) when the deadline
+    /// passes before or during hierarchy materialization.
+    pub fn nuclei_at_within(
+        &mut self,
+        sel: SpaceSel,
+        k: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<NucleusSummary>, String> {
+        Self::check_deadline(deadline, "before hierarchy lookup")?;
         let st = self.state_mut(sel)?;
         if st.cached.num_cliques() == 0 {
             // An empty space has an empty forest; answer without
@@ -419,6 +451,7 @@ impl Engine {
             return Ok(Vec::new());
         }
         let hi = st.ensure_hierarchy();
+        Self::check_deadline(deadline, "after hierarchy materialization")?;
         let mut out: Vec<NucleusSummary> = hi
             .forest
             .nuclei_at(k)
@@ -432,11 +465,23 @@ impl Engine {
     /// The densest region containing r-clique `id`: the maximal nucleus in
     /// which it first participates (its own node in the hierarchy).
     pub fn region_of(&mut self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
+        self.region_of_within(sel, id, None)
+    }
+
+    /// [`Engine::region_of`] under an optional wall-clock deadline.
+    pub fn region_of_within(
+        &mut self,
+        sel: SpaceSel,
+        id: usize,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, String> {
+        Self::check_deadline(deadline, "before hierarchy lookup")?;
         if self.state(sel)?.cached.num_cliques() == 0 {
             // No cliques to address: stable error, no trivial index built.
             return Err(format!("clique id {id} out of range"));
         }
         self.state_mut(sel)?.ensure_hierarchy();
+        Self::check_deadline(deadline, "after hierarchy materialization")?;
         let st = self.state(sel)?;
         if id >= st.cached.num_cliques() {
             return Err(format!("clique id {id} out of range"));
@@ -452,10 +497,22 @@ impl Engine {
     /// A materialized hierarchy node by id (used by the `nuclei` op's
     /// drill-down).
     pub fn node_region(&mut self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
+        self.node_region_within(sel, node, None)
+    }
+
+    /// [`Engine::node_region`] under an optional wall-clock deadline.
+    pub fn node_region_within(
+        &mut self,
+        sel: SpaceSel,
+        node: u32,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, String> {
+        Self::check_deadline(deadline, "before hierarchy lookup")?;
         if self.state(sel)?.cached.num_cliques() == 0 {
             return Err(format!("hierarchy node {node} out of range"));
         }
         self.state_mut(sel)?.ensure_hierarchy();
+        Self::check_deadline(deadline, "after hierarchy materialization")?;
         let st = self.state(sel)?;
         if node as usize >= st.hierarchy.as_ref().unwrap().forest.len() {
             return Err(format!("hierarchy node {node} out of range"));
@@ -736,7 +793,12 @@ mod tests {
                 .estimate(
                     SpaceSel::Core,
                     q,
-                    &QueryOptions { iterations: 3, budget: Some(500), lower_bound: true },
+                    &QueryOptions {
+                        iterations: 3,
+                        budget: Some(500),
+                        lower_bound: true,
+                        deadline: None,
+                    },
                 )
                 .unwrap();
             assert!(est.lower <= exact[q] && exact[q] <= est.estimate, "vertex {q}");

@@ -16,10 +16,19 @@
 //!
 //! The `hdsd-serve` binary speaks a line-delimited JSON protocol
 //! ([`protocol`]) over stdin/stdout or TCP, with per-request telemetry.
+//!
+//! Serving is crash-safe when opened over a durability directory
+//! ([`recovery`]): update batches are appended to a checksummed
+//! write-ahead log ([`wal`]) *before* they are applied, checkpoints are
+//! atomic (temp file + rename, v4 trailer checksum), and startup recovery
+//! replays the WAL tail through the warm incremental-update path — a torn
+//! tail is detected and dropped, never partially applied.
 
 pub mod engine;
 pub mod json;
 pub mod protocol;
+pub mod recovery;
+pub mod wal;
 
 pub use engine::{
     Engine, EngineConfig, EngineStats, HierarchyRepairReport, NucleusSummary, RegionReport,
@@ -27,3 +36,11 @@ pub use engine::{
 };
 pub use json::Json;
 pub use protocol::{Handled, Server};
+pub use recovery::{
+    write_snapshot_atomic, CheckpointReport, Durability, DurableConfig, RecoveryReport,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+pub use wal::{
+    is_injected_crash, read_wal, FailPoints, FsyncPolicy, WalContents, WalRecord, WalStats,
+    WalWriter,
+};

@@ -15,21 +15,61 @@
 //! ```
 //!
 //! Ops: `stats`, `kappa`, `estimate`, `nuclei`, `region`, `node`,
-//! `insert`, `remove`, `update`, `save`, `shutdown`.
+//! `insert`, `remove`, `update`, `save`, `checkpoint`, `wal_stats`,
+//! `shutdown` (plus `debug_panic` when debug ops are enabled).
+//!
+//! ## Durability
+//!
+//! When the server is opened over a durability directory (`--durable DIR`),
+//! every `insert`/`remove`/`update` batch is appended to the write-ahead
+//! log and fsynced per policy *before* the engine applies it; the response
+//! then carries the batch's `wal_seq`. `checkpoint` folds the engine into
+//! an atomic snapshot (temp file + rename) and truncates the WAL;
+//! `wal_stats` reports log telemetry plus the startup recovery report.
+//! `save` writes a point-in-time snapshot to an arbitrary path with the
+//! same temp-file + rename + fsync discipline.
+//!
+//! ## Deadlines
+//!
+//! `estimate`, `region`, `node`, and `nuclei` requests may carry
+//! `"deadline_ms": N`. Estimates degrade gracefully (exploration stops and
+//! the response is marked `"truncated":true`); hierarchy-backed ops answer
+//! a clean `deadline exceeded` error instead of blocking the connection on
+//! an expensive materialization.
+//!
+//! Every request is additionally hardened: a panicking handler is caught
+//! and answered with `{"ok":false,"error":"internal panic: ..."}`, and the
+//! server keeps serving.
 
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use hdsd_graph::VertexId;
-use hdsd_nucleus::{write_snapshot, QueryOptions};
+use hdsd_nucleus::QueryOptions;
 
 use crate::engine::{Engine, RegionReport, SpaceSel};
 use crate::json::{obj, Json};
+use crate::recovery::Durability;
+use crate::wal::FailPoints;
 
-/// Stateful request handler wrapping an [`Engine`].
+/// Stateful request handler wrapping an [`Engine`], optionally backed by
+/// a durability directory (WAL + checkpoints).
 pub struct Server {
     engine: Engine,
+    durability: Option<Durability>,
+    debug_ops: bool,
     started: Instant,
     requests: u64,
+}
+
+/// Renders a caught panic payload as a response error string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string payload".to_string());
+    format!("internal panic: {msg}")
 }
 
 /// A handled request: the response line plus whether to shut down.
@@ -41,9 +81,42 @@ pub struct Handled {
 }
 
 impl Server {
-    /// Wraps an engine.
+    /// Wraps an engine (no durability: updates live only in memory).
     pub fn new(engine: Engine) -> Server {
-        Server { engine, started: Instant::now(), requests: 0 }
+        Server { engine, durability: None, debug_ops: false, started: Instant::now(), requests: 0 }
+    }
+
+    /// Wraps a recovered engine together with its durability state: every
+    /// accepted update batch is WAL-logged before it is applied.
+    pub fn with_durability(engine: Engine, durability: Durability) -> Server {
+        Server {
+            engine,
+            durability: Some(durability),
+            debug_ops: false,
+            started: Instant::now(),
+            requests: 0,
+        }
+    }
+
+    /// Enables the `debug_panic` op (fault drills and tests only).
+    pub fn enable_debug_ops(&mut self) {
+        self.debug_ops = true;
+    }
+
+    /// Whether this server runs over a durability directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Flushes pending WAL appends and takes an atomic checkpoint — the
+    /// graceful-shutdown path (signal handlers, EOF). No-op without
+    /// durability.
+    pub fn drain_and_checkpoint(&mut self) -> Result<(), String> {
+        if let Some(d) = self.durability.as_mut() {
+            d.sync().map_err(|e| format!("WAL sync: {e}"))?;
+            d.checkpoint(&mut self.engine).map_err(|e| format!("checkpoint: {e}"))?;
+        }
+        Ok(())
     }
 
     /// The wrapped engine (for tests and benches).
@@ -51,11 +124,15 @@ impl Server {
         &mut self.engine
     }
 
-    /// Handles one request line, returning the response line.
+    /// Handles one request line, returning the response line. A handler
+    /// panic is contained here: the client gets `{"ok":false}` with the
+    /// panic message and the server keeps serving.
     pub fn handle_line(&mut self, line: &str) -> Handled {
         let start = Instant::now();
         self.requests += 1;
-        let (mut response, shutdown) = match self.dispatch(line) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(line)))
+            .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+        let (mut response, shutdown) = match outcome {
             Ok((fields, shutdown)) => {
                 let mut members = vec![("ok".to_string(), Json::Bool(true))];
                 if let Json::Obj(rest) = fields {
@@ -88,7 +165,17 @@ impl Server {
             "remove" => self.update(None, Some(&req))?,
             "update" => self.update(Some(&req), Some(&req))?,
             "save" => self.save(&req)?,
-            "shutdown" => return Ok((obj([("bye", true.into())]), true)),
+            "checkpoint" => self.checkpoint_op()?,
+            "wal_stats" => self.wal_stats_op()?,
+            "debug_panic" if self.debug_ops => panic!("debug_panic op fired"),
+            "shutdown" => {
+                let mut fields = vec![("bye".to_string(), true.into())];
+                if self.durability.is_some() {
+                    self.drain_and_checkpoint()?;
+                    fields.push(("checkpointed".to_string(), true.into()));
+                }
+                return Ok((Json::Obj(fields), true));
+            }
             other => return Err(format!("unknown op {other:?}")),
         };
         Ok((fields, false))
@@ -158,6 +245,13 @@ impl Server {
         ]))
     }
 
+    /// Parses an optional `"deadline_ms"` field into an absolute instant.
+    fn deadline_of(req: &Json) -> Option<Instant> {
+        req.get("deadline_ms")
+            .and_then(Json::as_u64)
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
     fn estimate(&mut self, req: &Json) -> Result<Json, String> {
         let sel = self.space_of(req)?;
         let id = self.clique_of(req, sel)?;
@@ -165,6 +259,7 @@ impl Server {
             iterations: req.get("iterations").and_then(Json::as_usize).unwrap_or(3),
             budget: req.get("budget").and_then(Json::as_usize),
             lower_bound: req.get("lower_bound").and_then(Json::as_bool).unwrap_or(true),
+            deadline: Self::deadline_of(req),
         };
         let est = self.engine.estimate(sel, id, &opts)?;
         Ok(obj([
@@ -187,7 +282,7 @@ impl Server {
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"k\"".to_string())? as u32;
         let limit = req.get("limit").and_then(Json::as_usize).unwrap_or(32);
-        let nuclei = self.engine.nuclei_at(sel, k)?;
+        let nuclei = self.engine.nuclei_at_within(sel, k, Self::deadline_of(req))?;
         let total = nuclei.len();
         Ok(obj([
             ("space", sel.name().into()),
@@ -224,7 +319,7 @@ impl Server {
         let sel = self.space_of(req)?;
         let id = self.clique_of(req, sel)?;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = self.engine.region_of(sel, id)?;
+        let r = self.engine.region_of_within(sel, id, Self::deadline_of(req))?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
@@ -235,7 +330,7 @@ impl Server {
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"node\"".to_string())? as u32;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = self.engine.node_region(sel, node)?;
+        let r = self.engine.node_region_within(sel, node, Self::deadline_of(req))?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
@@ -284,8 +379,19 @@ impl Server {
         if insert.is_empty() && remove.is_empty() {
             return Err("empty update: provide \"insert\"/\"remove\" (or \"edges\")".to_string());
         }
+        self.validate_batch(&insert, &remove)?;
+        // Durable path: the batch reaches the log (synced per policy)
+        // before the engine sees it. If the append fails, nothing was
+        // applied and the client is told so in those words.
+        let wal_seq = match self.durability.as_mut() {
+            Some(d) => Some(
+                d.append(&insert, &remove)
+                    .map_err(|e| format!("WAL append failed; update NOT applied: {e}"))?,
+            ),
+            None => None,
+        };
         let report = self.engine.update(&insert, &remove);
-        Ok(obj([
+        let mut fields = obj([
             ("inserted", report.inserted.into()),
             ("removed", report.removed.into()),
             ("wall_micros", report.wall_us.into()),
@@ -323,7 +429,60 @@ impl Server {
                     })
                     .collect(),
             ),
-        ]))
+        ]);
+        if let (Some(seq), Json::Obj(members)) = (wal_seq, &mut fields) {
+            members.push(("wal_seq".to_string(), seq.into()));
+        }
+        Ok(fields)
+    }
+
+    /// Rejects malformed batches before anything (WAL or engine) sees
+    /// them: self-loops, duplicate edges within a batch, an edge both
+    /// inserted and removed, and vertex ids far beyond the current graph
+    /// (a garbage id would otherwise allocate per-vertex arrays to match
+    /// it). Errors name the offending edge; nothing is partially applied.
+    fn validate_batch(
+        &self,
+        insert: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+    ) -> Result<(), String> {
+        /// New vertex ids a single insert batch may introduce.
+        const MAX_VERTEX_GROWTH: u64 = 1 << 20;
+        let n = self.engine.stats().vertices as u64;
+        let cap = n + MAX_VERTEX_GROWTH;
+        let mut seen = std::collections::HashSet::new();
+        for (label, edges, limit) in [("insert", insert, cap), ("remove", remove, n)] {
+            for &(u, v) in edges {
+                if u == v {
+                    return Err(format!("{label} edge [{u},{v}] is a self-loop"));
+                }
+                let big = u64::from(u.max(v));
+                if big >= limit {
+                    return Err(if label == "remove" {
+                        format!(
+                            "remove edge [{u},{v}]: vertex {big} is out of range \
+                             (graph has {n} vertices)"
+                        )
+                    } else {
+                        format!(
+                            "insert edge [{u},{v}]: vertex {big} is out of range \
+                             (graph has {n} vertices; one batch may introduce ids \
+                             up to {})",
+                            cap - 1
+                        )
+                    });
+                }
+                if !seen.insert((label, (u.min(v), u.max(v)))) {
+                    return Err(format!("{label} edge [{u},{v}] appears twice in the batch"));
+                }
+            }
+        }
+        for &(u, v) in remove {
+            if seen.contains(&("insert", (u.min(v), u.max(v)))) {
+                return Err(format!("edge [{u},{v}] is both inserted and removed in one batch"));
+            }
+        }
+        Ok(())
     }
 
     fn save(&mut self, req: &Json) -> Result<Json, String> {
@@ -332,12 +491,56 @@ impl Server {
             .and_then(Json::as_str)
             .ok_or_else(|| "missing string field \"path\"".to_string())?;
         let snap = self.engine.to_snapshot();
-        let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
-        let mut out = std::io::BufWriter::new(file);
-        write_snapshot(&snap, &mut out).map_err(|e| format!("write {path:?}: {e}"))?;
-        use std::io::Write as _;
-        out.flush().map_err(|e| format!("flush {path:?}: {e}"))?;
+        crate::recovery::write_snapshot_atomic(
+            &snap,
+            std::path::Path::new(path),
+            &FailPoints::none(),
+        )
+        .map_err(|e| format!("save {path:?}: {e}"))?;
         Ok(obj([("path", path.into()), ("spaces", snap.spaces.len().into())]))
+    }
+
+    fn checkpoint_op(&mut self) -> Result<Json, String> {
+        let d = self
+            .durability
+            .as_mut()
+            .ok_or_else(|| "durability disabled (start with --durable DIR)".to_string())?;
+        let ck = d.checkpoint(&mut self.engine).map_err(|e| format!("checkpoint: {e}"))?;
+        Ok(obj([
+            ("path", ck.path.display().to_string().into()),
+            ("spaces", ck.spaces.into()),
+            ("snapshot_bytes", ck.snapshot_bytes.into()),
+            ("wal_bytes_truncated", ck.wal_bytes_truncated.into()),
+            ("generation", ck.generation.into()),
+        ]))
+    }
+
+    fn wal_stats_op(&self) -> Result<Json, String> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| "durability disabled (start with --durable DIR)".to_string())?;
+        let s = d.wal_stats();
+        let r = d.recovery();
+        Ok(obj([
+            ("path", s.path.display().to_string().into()),
+            ("generation", s.generation.into()),
+            ("records", s.records.into()),
+            ("bytes", s.bytes.into()),
+            ("pending_sync", s.pending_sync.into()),
+            ("policy", s.policy.into()),
+            ("checkpoints", d.checkpoints_taken().into()),
+            (
+                "recovery",
+                obj([
+                    ("snapshot_loaded", r.snapshot_loaded.into()),
+                    ("cold_start", r.cold_start.into()),
+                    ("replayed", r.replayed.into()),
+                    ("torn_bytes", r.torn_bytes.into()),
+                    ("wall_micros", r.wall_us.into()),
+                ]),
+            ),
+        ]))
     }
 }
 
@@ -537,5 +740,132 @@ mod tests {
         }
         // The server still answers after errors.
         ok(&mut s, r#"{"op":"stats"}"#);
+    }
+
+    fn err(server: &mut Server, line: &str) -> String {
+        let h = server.handle_line(line);
+        let v = Json::parse(&h.response).expect("response is valid JSON");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line} → {}", h.response);
+        v.get("error").and_then(Json::as_str).expect("error field").to_string()
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_before_the_engine() {
+        let mut s = demo_server();
+        let before = ok(&mut s, r#"{"op":"stats"}"#);
+        let cases = [
+            (r#"{"op":"update","insert":[[3,3]]}"#, "self-loop"),
+            (r#"{"op":"update","insert":[[0,5],[5,0]]}"#, "twice"),
+            (r#"{"op":"update","insert":[[0,4294000000]]}"#, "out of range"),
+            (r#"{"op":"remove","edges":[[0,400]]}"#, "out of range"),
+            (r#"{"op":"update","insert":[[0,6]],"remove":[[6,0]]}"#, "both inserted and removed"),
+        ];
+        for (line, needle) in cases {
+            let e = err(&mut s, line);
+            assert!(e.contains(needle), "{line}: {e}");
+        }
+        // Nothing was partially applied: graph unchanged, no update counted.
+        let after = ok(&mut s, r#"{"op":"stats"}"#);
+        for field in ["vertices", "edges", "updates_applied"] {
+            assert_eq!(
+                after.get(field).unwrap().as_u64(),
+                before.get(field).unwrap().as_u64(),
+                "{field} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_request_is_answered_and_serving_continues() {
+        let mut s = demo_server();
+        // Hidden unless explicitly enabled.
+        assert!(err(&mut s, r#"{"op":"debug_panic"}"#).contains("unknown op"));
+        s.enable_debug_ops();
+        let e = err(&mut s, r#"{"op":"debug_panic"}"#);
+        assert!(e.contains("internal panic"), "{e}");
+        // The very next request is served normally.
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn durability_ops_require_a_durable_server() {
+        let mut s = demo_server();
+        for line in [r#"{"op":"checkpoint"}"#, r#"{"op":"wal_stats"}"#] {
+            assert!(err(&mut s, line).contains("durability disabled"), "{line}");
+        }
+        // Updates still work, they just carry no wal_seq.
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,6]]}"#);
+        assert!(v.get("wal_seq").is_none());
+    }
+
+    #[test]
+    fn expired_deadlines_degrade_estimates_and_fail_hierarchy_ops_cleanly() {
+        let mut s = demo_server();
+        // An already-expired deadline: the estimate still answers, marked
+        // truncated, instead of exploring.
+        let v = ok(&mut s, r#"{"op":"estimate","space":"core","id":0,"deadline_ms":0}"#);
+        assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(true));
+        // Hierarchy-backed ops refuse up front rather than materializing.
+        for line in [
+            r#"{"op":"nuclei","space":"core","k":1,"deadline_ms":0}"#,
+            r#"{"op":"region","space":"core","id":0,"deadline_ms":0}"#,
+            r#"{"op":"node","space":"core","node":0,"deadline_ms":0}"#,
+        ] {
+            assert!(err(&mut s, line).contains("deadline exceeded"), "{line}");
+        }
+        // A generous deadline changes nothing.
+        let v = ok(&mut s, r#"{"op":"region","space":"core","id":0,"deadline_ms":60000}"#);
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn durable_server_logs_checkpoints_and_recovers() {
+        use crate::recovery::{Durability, DurableConfig};
+        use crate::wal::{FailPoints, FsyncPolicy};
+        let dir = std::env::temp_dir().join(format!("hdsd_proto_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || DurableConfig {
+            dir: dir.clone(),
+            policy: FsyncPolicy::Always,
+            failpoints: FailPoints::none(),
+        };
+        let fresh = || {
+            Ok(Engine::new(
+                graph_from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]),
+                &EngineConfig::default(),
+            ))
+        };
+        let (engine, dur, _) = Durability::open(cfg(), LocalConfig::sequential(), fresh).unwrap();
+        let mut s = Server::with_durability(engine, dur);
+        let v = ok(&mut s, r#"{"op":"update","insert":[[1,3],[0,3]]}"#);
+        assert_eq!(v.get("wal_seq").unwrap().as_u64(), Some(1));
+        let v = ok(&mut s, r#"{"op":"wal_stats"}"#);
+        assert_eq!(v.get("records").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("policy").and_then(Json::as_str), Some("always"));
+        let v = ok(&mut s, r#"{"op":"checkpoint"}"#);
+        assert!(v.get("wal_bytes_truncated").unwrap().as_u64().unwrap() > 0);
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,4],[1,4]]}"#);
+        assert_eq!(v.get("wal_seq").unwrap().as_u64(), Some(1)); // fresh generation
+        let kappa = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        let kappa = kappa.get("kappa").unwrap().as_u64().unwrap();
+        drop(s); // unclean: no shutdown, no final checkpoint
+
+        let (engine, dur, rep) =
+            Durability::open(
+                cfg(),
+                LocalConfig::sequential(),
+                || Err("must not cold start".into()),
+            )
+            .unwrap();
+        assert!(rep.snapshot_loaded && rep.replayed == 1);
+        let mut s = Server::with_durability(engine, dur);
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(kappa));
+        // Graceful shutdown checkpoints.
+        let h = s.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(h.shutdown);
+        assert!(h.response.contains("\"checkpointed\":true"), "{}", h.response);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

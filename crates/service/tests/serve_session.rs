@@ -208,3 +208,128 @@ fn tcp_mode_serves_requests() {
     let _ = child.kill();
     let _ = child.wait();
 }
+
+#[test]
+fn panicking_request_is_survived_over_the_wire() {
+    let mut s = Serve::spawn(&["--demo", "--debug-ops"]);
+    let v = s.request(r#"{"op":"debug_panic"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("internal panic"), "{v}");
+    // The daemon did not die: the very next request on the same pipe is
+    // answered normally.
+    let v = s.ok(r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+    s.shutdown();
+}
+
+#[test]
+fn durable_daemon_survives_kill_dash_nine() {
+    let dir = std::env::temp_dir().join(format!("hdsd_serve_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().unwrap().replace('\\', "/");
+    let durable_args =
+        ["--demo", "--spaces", "core,truss,34", "--durable", &dir_str, "--fsync", "always"];
+
+    let mut s = Serve::spawn(&durable_args);
+    let v = s.ok(r#"{"op":"update","insert":[[0,4],[1,4]],"remove":[[5,6]]}"#);
+    assert_eq!(v.get("wal_seq").unwrap().as_u64(), Some(1), "{v}");
+    let v = s.ok(r#"{"op":"update","insert":[[0,7],[4,7]]}"#);
+    assert_eq!(v.get("wal_seq").unwrap().as_u64(), Some(2));
+    let kappa4 = s.ok(r#"{"op":"kappa","space":"core","id":4}"#);
+    let kappa4 = kappa4.get("kappa").unwrap().as_u64().unwrap();
+    assert_eq!(kappa4, 4, "the closed K5 must be served before the crash");
+    // kill(), on unix, is SIGKILL: no drain, no checkpoint, no goodbye.
+    s.child.kill().expect("kill -9");
+    let _ = s.child.wait();
+    drop(s);
+
+    // Restart over the same directory: the WAL tail replays through the
+    // warm update path and every acknowledged batch is still there.
+    let mut s2 = Serve::spawn(&durable_args);
+    let v = s2.ok(r#"{"op":"wal_stats"}"#);
+    let rec = v.get("recovery").unwrap();
+    assert_eq!(rec.get("snapshot_loaded").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(rec.get("replayed").and_then(Json::as_u64), Some(2), "{v}");
+    let v = s2.ok(r#"{"op":"kappa","space":"core","id":4}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(kappa4), "κ lost in the crash");
+    let v = s2.ok(r#"{"op":"kappa","space":"core","id":6}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(0), "removal lost in the crash");
+    // Graceful shutdown folds the replayed state into a checkpoint...
+    let v = s2.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(v.get("checkpointed").and_then(Json::as_bool), Some(true), "{v}");
+    let _ = s2.child.wait();
+    drop(s2);
+
+    // ...so the third start replays nothing.
+    let mut s3 = Serve::spawn(&durable_args);
+    let v = s3.ok(r#"{"op":"wal_stats"}"#);
+    let rec = v.get("recovery").unwrap();
+    assert_eq!(rec.get("replayed").and_then(Json::as_u64), Some(0), "{v}");
+    s3.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_checkpoints_gracefully() {
+    let dir = std::env::temp_dir().join(format!("hdsd_serve_sigterm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().unwrap().to_string();
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut child = Command::new(BIN)
+        .args(["--demo", "--durable", &dir_str, "--listen", &addr])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn durable TCP hdsd-serve");
+
+    let mut stream = None;
+    for _ in 0..100 {
+        match std::net::TcpStream::connect(&addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let stream = stream.expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"op":"update","insert":[[0,4],[1,4]]}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"wal_seq\":1"), "{reply}");
+
+    // SIGTERM (not SIGKILL): the accept loop notices, drains, checkpoints.
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    for _ in 0..200 {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(child.try_wait().unwrap().is_some(), "daemon ignored SIGTERM");
+
+    // The shutdown was graceful: the update is in the checkpoint and the
+    // restart replays nothing.
+    let mut s = Serve::spawn(&["--demo", "--durable", &dir_str]);
+    let v = s.ok(r#"{"op":"wal_stats"}"#);
+    let rec = v.get("recovery").unwrap();
+    assert_eq!(rec.get("snapshot_loaded").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(rec.get("replayed").and_then(Json::as_u64), Some(0), "{v}");
+    let v = s.ok(r#"{"op":"kappa","space":"core","id":4}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(4), "update lost despite graceful SIGTERM");
+    s.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
