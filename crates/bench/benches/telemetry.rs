@@ -1,0 +1,145 @@
+//! Telemetry overhead microbench: what the hot paths pay for being
+//! observable.
+//!
+//! The instrumentation contract is that a counter bump is one relaxed
+//! atomic add behind a per-call-site cached `Arc`, a histogram record is
+//! two relaxed adds plus a `fetch_max`, and a **disabled** span guard is a
+//! single relaxed load and a branch — cheap enough to leave compiled into
+//! `peel_flat`, `WalWriter::append` and every other hot seam
+//! unconditionally. This bench measures each primitive in a tight
+//! `black_box` loop and reports ns/op next to a pinned ceiling; the CI
+//! gate (`scripts/bench_gate.py --kind telemetry`) hard-fails any
+//! primitive that exceeds its ceiling and pins the ceilings themselves so
+//! they cannot drift silently.
+//!
+//! Ceilings are deliberately loose (10–50× the expected cost on an idle
+//! machine): they exist to catch accidental O(1) → O(lock) regressions —
+//! a mutex, an allocation, a syscall sneaking into the fast path — not to
+//! measure scheduler noise on shared CI runners.
+//!
+//! Run with `cargo bench -p hdsd-bench --bench telemetry` (append
+//! `-- --quick` for the CI size; quick mode writes to `target/`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use hdsd_telemetry::{counter_add, span, trace, Registry};
+
+struct Row {
+    name: &'static str,
+    ns_per_op: f64,
+    ceiling_ns: f64,
+}
+
+/// Mean cost of `f` over `iters` calls, in nanoseconds.
+fn time_ns_per_op(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Best-of-`reps` run of a measurement closure (minimum filters out
+/// scheduler preemption; the ceilings do the rest).
+fn best(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: u64 = if quick { 2_000_000 } else { 20_000_000 };
+    let reps = 5;
+
+    // Counter bump through the macro's per-call-site Arc cache — the
+    // exact code shape of `requests_total` on the request path.
+    let counter_ns = best(reps, || {
+        time_ns_per_op(iters, || {
+            counter_add!("bench_telemetry_ops_total", 1);
+        })
+    });
+
+    // Histogram record with the Arc already in hand — the shape of the
+    // per-op request histogram and the WAL latency histograms.
+    let hist = Registry::global().histogram("bench_telemetry_record_micros");
+    let mut v = 0u64;
+    let histogram_ns = best(reps, || {
+        time_ns_per_op(iters, || {
+            hist.record(black_box(v & 0xFFFF));
+            v = v.wrapping_add(977);
+        })
+    });
+
+    // Span guard with tracing globally off — what every instrumented hot
+    // path pays when `--trace-slow-ms` is not set.
+    trace::set_enabled(false);
+    let disabled_span_ns = best(reps, || {
+        time_ns_per_op(iters, || {
+            span!("bench.disabled");
+        })
+    });
+
+    // Span guard with tracing armed: two clock reads plus a ring-buffer
+    // push, amortized over chunks so the per-request collector (capacity
+    // 256) is drained the way the server drains it.
+    let enabled_span_ns = best(reps, || {
+        trace::set_enabled(true);
+        let chunk = 200u64;
+        let rounds = (iters / (20 * chunk)).max(1);
+        let t = Instant::now();
+        for _ in 0..rounds {
+            trace::begin();
+            for _ in 0..chunk {
+                span!("bench.enabled");
+            }
+            black_box(trace::take());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / (rounds * chunk) as f64;
+        trace::set_enabled(false);
+        ns
+    });
+
+    let rows = vec![
+        Row { name: "counter_add", ns_per_op: counter_ns, ceiling_ns: 100.0 },
+        Row { name: "histogram_record", ns_per_op: histogram_ns, ceiling_ns: 150.0 },
+        Row { name: "disabled_span", ns_per_op: disabled_span_ns, ceiling_ns: 50.0 },
+        Row { name: "enabled_span", ns_per_op: enabled_span_ns, ceiling_ns: 2000.0 },
+    ];
+
+    for r in &rows {
+        eprintln!(
+            "telemetry {}: {:.2} ns/op (ceiling {:.0} ns){}",
+            r.name,
+            r.ns_per_op,
+            r.ceiling_ns,
+            if r.ns_per_op > r.ceiling_ns { "  OVER CEILING" } else { "" }
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.3}, \"ceiling_ns\": {:.1}}}{}",
+            r.name,
+            r.ns_per_op,
+            r.ceiling_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    // Quick mode is a smoke test; only full-size runs may overwrite the
+    // tracked trend artifact.
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_telemetry.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json")
+    };
+    std::fs::write(path, &out).expect("write telemetry bench JSON");
+    eprintln!("wrote {path}");
+}

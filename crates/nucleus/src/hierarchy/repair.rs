@@ -102,6 +102,7 @@ pub fn repair_hierarchy<S: CliqueSpace>(
     old_num_cliques: usize,
     dirty_seed: &[u32],
 ) -> (Hierarchy, RepairStats) {
+    hdsd_telemetry::span!("hierarchy.repair");
     let n = space.num_cliques();
     assert_eq!(kappa.len(), n, "kappa length must match clique count");
     assert_eq!(new_to_old.len(), n, "new_to_old length must match clique count");

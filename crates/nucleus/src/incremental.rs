@@ -619,6 +619,7 @@ fn resume_from<S: CliqueSpace>(
     new_space: &S,
     cfg: &LocalConfig,
 ) -> RefreshOutcome {
+    hdsd_telemetry::span!("refresh.resume");
     let mut order: Vec<u32> = (0..warm.tau.len() as u32).collect();
     order.sort_unstable_by_key(|&i| warm.tau[i as usize]);
     let result =

@@ -112,6 +112,7 @@ pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
 /// Exact sequential peeling over a flat container cache (the hot engine;
 /// see [`PeelEngine`] for the reusable-buffer form).
 pub fn peel_flat(flat: &FlatContainers) -> PeelResult {
+    hdsd_telemetry::span!("peel.flat");
     PeelEngine::new().peel(flat)
 }
 
@@ -242,6 +243,7 @@ impl PeelEngine {
 /// "walk" rows) and the fallback for spaces with no cache. Bit-identical
 /// to [`peel_flat`] on the same space.
 pub fn peel_walk<S: CliqueSpace>(space: &S) -> PeelResult {
+    hdsd_telemetry::span!("peel.walk");
     let n = space.num_cliques();
     if n == 0 {
         return PeelResult::empty();

@@ -220,6 +220,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
 {
+    hdsd_telemetry::span!("parallel.chunks");
     let threads = cfg.threads.max(1);
     let chunk = cfg.chunk.max(1);
     if n == 0 {

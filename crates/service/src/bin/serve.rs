@@ -4,6 +4,8 @@
 //! hdsd-serve [--graph FILE | --snapshot FILE | --synthetic N,M,P,SEED | --demo]
 //!            [--spaces core,truss,34] [--threads N] [--listen ADDR:PORT]
 //!            [--durable DIR] [--fsync always|batch:N|off] [--debug-ops]
+//!            [--metrics-addr ADDR:PORT] [--trace-slow-ms N]
+//!            [--log-format text|json]
 //!
 //!   --graph FILE       SNAP-style edge list to serve
 //!   --snapshot FILE    binary snapshot (fast restart: graph + κ + hierarchy)
@@ -18,6 +20,11 @@
 //!                      an empty directory.
 //!   --fsync POLICY     WAL sync policy (default always)
 //!   --debug-ops        enable the debug_panic op (fault drills)
+//!   --metrics-addr A   serve the metrics registry as Prometheus text
+//!                      exposition over HTTP at A (e.g. 127.0.0.1:9901)
+//!   --trace-slow-ms N  trace every request; responses slower than N ms
+//!                      carry their span tree and enter the slow-query log
+//!   --log-format F     stderr log format: text (default) or json
 //! ```
 //!
 //! Protocol: one JSON request per line, one JSON response per line — see
@@ -33,6 +40,7 @@ use hdsd_nucleus::{read_snapshot, LocalConfig};
 use hdsd_service::{
     Durability, DurableConfig, Engine, EngineConfig, FailPoints, FsyncPolicy, Server, SpaceSel,
 };
+use hdsd_telemetry::{error, info, log, warn};
 
 /// Set by the SIGTERM/SIGINT handler; polled by the serve loops.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -63,7 +71,7 @@ fn main() {
     match run(&args) {
         Ok(()) => {}
         Err(e) => {
-            eprintln!("hdsd-serve: {e}");
+            error!("serve", "{e}");
             std::process::exit(2);
         }
     }
@@ -80,6 +88,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut durable_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut debug_ops = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut trace_slow_ms: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -113,6 +123,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("bad --fsync {v:?} (always|batch:N|off)"))?;
             }
             "--debug-ops" => debug_ops = true,
+            "--metrics-addr" => metrics_addr = Some(value(&mut i)?),
+            "--trace-slow-ms" => {
+                trace_slow_ms =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("bad --trace-slow-ms: {e}"))?);
+            }
+            "--log-format" => {
+                let v = value(&mut i)?;
+                let f = log::parse_format(&v)
+                    .ok_or_else(|| format!("bad --log-format {v:?} (text|json)"))?;
+                log::set_format(f);
+            }
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of src/bin/serve.rs");
                 return Ok(());
@@ -177,22 +198,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 failpoints: FailPoints::none(),
             };
             let (engine, dur, rep) = Durability::open(dcfg, local, build_engine)?;
-            eprintln!(
-                "hdsd-serve: durable in {dir:?} ({}; replayed {} WAL record(s){}, \
-                 generation {}, {} µs)",
+            info!(
+                "serve",
+                "durable in {dir:?} ({})",
                 if rep.cold_start {
                     "fresh directory"
                 } else {
                     "recovered from checkpoint — κ adopted, nothing re-peeled"
-                },
-                rep.replayed,
-                if rep.torn_bytes > 0 {
-                    format!(", dropped {} torn byte(s)", rep.torn_bytes)
-                } else {
-                    String::new()
-                },
-                rep.generation,
-                rep.wall_us,
+                };
+                "replayed" => rep.replayed,
+                "torn_bytes" => rep.torn_bytes,
+                "generation" => rep.generation,
+                "recovery_micros" => rep.wall_us,
             );
             Server::with_durability(engine, dur)
         }
@@ -201,11 +218,18 @@ fn run(args: &[String]) -> Result<(), String> {
     if debug_ops {
         server.enable_debug_ops();
     }
+    server.set_trace_slow_us(trace_slow_ms.map(|ms| ms.saturating_mul(1000)));
+    if let Some(addr) = metrics_addr {
+        let bound = hdsd_telemetry::prometheus::serve_http(&addr)
+            .map_err(|e| format!("bind --metrics-addr {addr}: {e}"))?;
+        info!("serve", "metrics exporter listening"; "addr" => bound);
+    }
 
     {
         let s = server.engine_mut().stats();
-        eprintln!(
-            "hdsd-serve: {} vertices, {} edges; resident: {}",
+        info!(
+            "serve",
+            "{} vertices, {} edges; resident: {}",
             s.vertices,
             s.edges,
             s.spaces
@@ -234,8 +258,8 @@ fn drain(server: &mut Server, why: &str) {
         return;
     }
     match server.drain_and_checkpoint() {
-        Ok(()) => eprintln!("hdsd-serve: {why}: checkpointed"),
-        Err(e) => eprintln!("hdsd-serve: {why}: final checkpoint failed ({e}); WAL retained"),
+        Ok(()) => info!("serve", "{why}: checkpointed"),
+        Err(e) => error!("serve", "{why}: final checkpoint failed ({e}); WAL retained"),
     }
 }
 
@@ -266,7 +290,7 @@ fn serve_stdio(mut server: Server) -> Result<(), String> {
 
 fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-    eprintln!("hdsd-serve: listening on {}", listener.local_addr().map_err(|e| e.to_string())?);
+    info!("serve", "listening"; "addr" => listener.local_addr().map_err(|e| e.to_string())?);
     // Nonblocking accepts: the loop wakes regularly to observe the stop
     // flag (shutdown op) and SHUTDOWN (signals) even with no clients.
     listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
@@ -283,7 +307,7 @@ fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
                 continue;
             }
             Err(e) => {
-                eprintln!("hdsd-serve: accept: {e}");
+                warn!("serve", "accept failed: {e}");
                 continue;
             }
         };
@@ -297,7 +321,7 @@ fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
             let mut writer = match stream.try_clone() {
                 Ok(w) => w,
                 Err(e) => {
-                    eprintln!("hdsd-serve: clone stream: {e}");
+                    warn!("serve", "clone stream failed: {e}");
                     return;
                 }
             };

@@ -27,6 +27,7 @@ use hdsd_nucleus::{
     refresh_resume_of, truss_space_delta, CachedSpace, CliqueSpace, CoreSpace, Hierarchy,
     LocalConfig, Nucleus34Space, QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, TrussSpace,
 };
+use hdsd_telemetry::{labeled, span, Registry};
 
 /// Which decomposition a request addresses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,14 +145,30 @@ struct SpaceState {
 impl SpaceState {
     fn fresh(sel: SpaceSel, graph: &CsrGraph, triangles: Option<&TriangleList>) -> SpaceState {
         let t_build = Instant::now();
-        let cached = sel.build_cached(graph, triangles);
+        let cached = {
+            span!("space.build");
+            sel.build_cached(graph, triangles)
+        };
         let build_us = t_build.elapsed().as_micros() as u64;
         // `peel` sees the snapshot's resident flat rows (`as_flat`) and
         // runs the monomorphized flat engine — the cold-start hot path.
         let t_peel = Instant::now();
-        let kappa = peel(&cached).kappa;
+        let pr = {
+            span!("space.peel");
+            peel(&cached)
+        };
         let peel_us = t_peel.elapsed().as_micros() as u64;
-        SpaceState { sel, cached, kappa, hierarchy: None, build_us, peel_us }
+        // The peel's work counters used to be computed and dropped here;
+        // flow them into the registry so a running daemon exposes them.
+        let reg = Registry::global();
+        let lbl = [("space", sel.name())];
+        reg.counter(&labeled("peel_containers_scanned_total", &lbl))
+            .add(pr.stats.containers_scanned);
+        reg.counter(&labeled("peel_dead_containers_total", &lbl)).add(pr.stats.dead_containers);
+        reg.counter(&labeled("peel_bucket_moves_total", &lbl)).add(pr.stats.bucket_moves);
+        reg.histogram(&labeled("space_build_micros", &lbl)).record(build_us);
+        reg.histogram(&labeled("space_peel_micros", &lbl)).record(peel_us);
+        SpaceState { sel, cached, kappa: pr.kappa, hierarchy: None, build_us, peel_us }
     }
 
     fn ensure_hierarchy(&mut self) -> &HierarchyIndex {
@@ -223,6 +240,8 @@ pub struct SpaceRefresh {
     pub lifted: usize,
     /// Wall time of the space snapshot splice (container-cache patch).
     pub splice_us: u64,
+    /// Wall time of the warm κ refresh (candidate lift + resumed sweeps).
+    pub refresh_us: u64,
     /// Incremental hierarchy repair telemetry, when a forest was resident
     /// (`None` when the space had no hierarchy built yet — nothing to
     /// repair, and nothing is invalidated either).
@@ -302,7 +321,9 @@ impl Engine {
             .iter()
             .map(|&sel| SpaceState::fresh(sel, &graph, triangles.as_ref()))
             .collect();
-        Engine { graph, triangles, states, local: cfg.local, updates_applied: 0 }
+        let engine = Engine { graph, triangles, states, local: cfg.local, updates_applied: 0 };
+        engine.publish_gauges();
+        engine
     }
 
     /// The current graph.
@@ -554,8 +575,12 @@ impl Engine {
         remove: &[(VertexId, VertexId)],
     ) -> UpdateReport {
         let start = Instant::now();
-        let (new_graph, ed) = apply_edge_batch(&self.graph, insert, remove);
-        let td = self.triangles.as_ref().map(|tl| triangle_delta(tl, &new_graph, &ed));
+        let (new_graph, ed, td) = {
+            span!("update.graph_delta");
+            let (new_graph, ed) = apply_edge_batch(&self.graph, insert, remove);
+            let td = self.triangles.as_ref().map(|tl| triangle_delta(tl, &new_graph, &ed));
+            (new_graph, ed, td)
+        };
         let graph_delta_us = start.elapsed().as_micros() as u64;
         let ins_ends = ed.inserted_endpoints(&new_graph);
         let rm_ends = ed.removed_endpoints(&self.graph);
@@ -564,6 +589,7 @@ impl Engine {
         let mut hierarchy_repair_us = 0u64;
         for st in self.states.iter_mut() {
             let t_splice = Instant::now();
+            let splice_span = hdsd_telemetry::trace::Span::enter("update.splice");
             let sd = match st.sel {
                 SpaceSel::Core => core_space_delta(&new_graph, self.graph.num_vertices()),
                 SpaceSel::Truss => truss_space_delta(
@@ -582,23 +608,30 @@ impl Engine {
                     td.as_ref().unwrap(),
                 ),
             };
+            drop(splice_span);
             let splice_us = t_splice.elapsed().as_micros() as u64;
+            let t_refresh = Instant::now();
             let stale_of: Vec<Option<u32>> = sd
                 .new_to_old
                 .iter()
                 .map(|&o| if o == NO_ID { None } else { Some(st.kappa[o as usize]) })
                 .collect();
-            let out = refresh_resume_of(
-                &stale_of,
-                &sd.cached,
-                &ins_ends,
-                &rm_ends,
-                ed.inserted(),
-                &self.local,
-            );
+            let out = {
+                span!("update.refresh");
+                refresh_resume_of(
+                    &stale_of,
+                    &sd.cached,
+                    &ins_ends,
+                    &rm_ends,
+                    ed.inserted(),
+                    &self.local,
+                )
+            };
+            let refresh_us = t_refresh.elapsed().as_micros() as u64;
             let old_num_cliques = st.cached.num_cliques();
             let hierarchy_repair = st.hierarchy.take().map(|hi| {
                 let t_repair = Instant::now();
+                span!("update.repair");
                 let dirty = out.repair_dirty_seed(&stale_of);
                 let (forest, stats) = hi.forest.repair(
                     &sd.cached,
@@ -620,6 +653,28 @@ impl Engine {
                     full_rebuild: stats.full_rebuild,
                 }
             });
+            // Flow the scheduler/refresh counters (previously dropped with
+            // the ConvergenceResult) into the registry, labeled by space.
+            let reg = Registry::global();
+            let lbl = [("space", st.sel.name())];
+            reg.counter(&labeled("refresh_sweeps_total", &lbl)).add(out.result.sweeps as u64);
+            reg.counter(&labeled("refresh_processed_total", &lbl))
+                .add(out.result.total_processed());
+            reg.counter(&labeled("refresh_skipped_total", &lbl))
+                .add(out.result.scheduler.items_skipped);
+            reg.counter(&labeled("refresh_awake_total", &lbl)).add(out.awake as u64);
+            reg.counter(&labeled("refresh_lifted_total", &lbl)).add(out.lifted as u64);
+            reg.histogram(&labeled("update_splice_micros", &lbl)).record(splice_us);
+            reg.histogram(&labeled("update_refresh_micros", &lbl)).record(refresh_us);
+            if let Some(hr) = &hierarchy_repair {
+                reg.histogram(&labeled("hierarchy_repair_micros", &lbl)).record(hr.repair_us);
+                reg.counter(&labeled("repair_preserved_nodes_total", &lbl))
+                    .add(hr.preserved_nodes as u64);
+                reg.counter(&labeled("repair_rebuilt_nodes_total", &lbl))
+                    .add(hr.rebuilt_nodes as u64);
+                reg.counter(&labeled("repair_full_rebuilds_total", &lbl))
+                    .add(hr.full_rebuild as u64);
+            }
             reports.push(SpaceRefresh {
                 space: st.sel.name(),
                 sweeps: out.result.sweeps,
@@ -627,6 +682,7 @@ impl Engine {
                 awake: out.awake,
                 lifted: out.lifted,
                 splice_us,
+                refresh_us,
                 hierarchy_repair,
             });
             st.cached = sd.cached;
@@ -637,14 +693,27 @@ impl Engine {
         }
         self.graph = new_graph;
         self.updates_applied += 1;
+        let wall_us = start.elapsed().as_micros() as u64;
+        let reg = Registry::global();
+        reg.counter("updates_applied_total").inc();
+        reg.histogram("update_wall_micros").record(wall_us);
+        reg.histogram("update_graph_delta_micros").record(graph_delta_us);
+        self.publish_gauges();
         UpdateReport {
             inserted: ed.inserted(),
             removed: ed.removed(),
             graph_delta_us,
             spaces: reports,
             hierarchy_repair_us,
-            wall_us: start.elapsed().as_micros() as u64,
+            wall_us,
         }
+    }
+
+    /// Publishes point-in-time graph size gauges to the global registry.
+    fn publish_gauges(&self) {
+        let reg = Registry::global();
+        reg.gauge("graph_vertices").set(self.graph.num_vertices() as u64);
+        reg.gauge("graph_edges").set(self.graph.num_edges() as u64);
     }
 
     /// Serializes the engine (building any missing hierarchy so the
@@ -711,7 +780,9 @@ impl Engine {
                 peel_us: 0,
             });
         }
-        Ok(Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 })
+        let engine = Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 };
+        engine.publish_gauges();
+        Ok(engine)
     }
 
     /// Point-in-time statistics.

@@ -16,7 +16,32 @@
 //!
 //! Ops: `stats`, `kappa`, `estimate`, `nuclei`, `region`, `node`,
 //! `insert`, `remove`, `update`, `save`, `checkpoint`, `wal_stats`,
-//! `shutdown` (plus `debug_panic` when debug ops are enabled).
+//! `metrics`, `slow_log`, `shutdown` (plus `debug_panic` when debug ops
+//! are enabled).
+//!
+//! ## Timing fields on the wire
+//!
+//! Every duration crosses the wire in **microseconds** under a key that
+//! ends in `micros` (`micros`, `build_micros`, `splice_micros`, ...).
+//! Internally the same numbers live in Rust struct fields named with the
+//! `_us` suffix (`build_us`, `splice_us`); the protocol layer is the only
+//! place the rename happens, and `timing_keys_are_micros_only` pins the
+//! complete set of emitted timing keys so a new field cannot drift into a
+//! third convention (`_ms`, `_seconds`, bare names) unnoticed. The only
+//! non-microsecond time on the wire is the `stats` op's `uptime_seconds`,
+//! named with its unit for the same reason.
+//!
+//! ## Telemetry
+//!
+//! Every request — including failed ones — is counted in the global
+//! metrics registry (`requests_total`, `requests_failed_total`) and its
+//! latency recorded in a per-op histogram (`request_micros{op=...}`).
+//! Responses always carry `micros`, success or failure. The `metrics` op
+//! returns the whole registry as JSON (the same data `--metrics-addr`
+//! exposes as Prometheus text); `slow_log` returns the bounded in-memory
+//! log of requests that exceeded the `--trace-slow-ms` threshold, each
+//! with its recorded span tree. When tracing is armed, an over-threshold
+//! response also carries its own `trace` array inline.
 //!
 //! ## Durability
 //!
@@ -41,11 +66,14 @@
 //! and answered with `{"ok":false,"error":"internal panic: ..."}`, and the
 //! server keeps serving.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hdsd_graph::VertexId;
 use hdsd_nucleus::QueryOptions;
+use hdsd_telemetry::{counter_add, labeled, trace, Histogram, MetricSnapshot, Registry};
 
 use crate::engine::{Engine, RegionReport, SpaceSel};
 use crate::json::{obj, Json};
@@ -60,6 +88,13 @@ pub struct Server {
     debug_ops: bool,
     started: Instant,
     requests: u64,
+    failed: u64,
+    /// Requests slower than this (µs) get their span tree attached and
+    /// are pushed to the slow-query log. `None` disables slow tracing.
+    trace_slow_us: Option<u64>,
+    /// Cached per-op latency histogram handles (op labels are a small
+    /// closed set, so each registry lookup happens once per op).
+    op_hist: HashMap<&'static str, Arc<Histogram>>,
 }
 
 /// Renders a caught panic payload as a response error string.
@@ -83,24 +118,35 @@ pub struct Handled {
 impl Server {
     /// Wraps an engine (no durability: updates live only in memory).
     pub fn new(engine: Engine) -> Server {
-        Server { engine, durability: None, debug_ops: false, started: Instant::now(), requests: 0 }
+        Server {
+            engine,
+            durability: None,
+            debug_ops: false,
+            started: Instant::now(),
+            requests: 0,
+            failed: 0,
+            trace_slow_us: None,
+            op_hist: HashMap::new(),
+        }
     }
 
     /// Wraps a recovered engine together with its durability state: every
     /// accepted update batch is WAL-logged before it is applied.
     pub fn with_durability(engine: Engine, durability: Durability) -> Server {
-        Server {
-            engine,
-            durability: Some(durability),
-            debug_ops: false,
-            started: Instant::now(),
-            requests: 0,
-        }
+        Server { durability: Some(durability), ..Server::new(engine) }
     }
 
     /// Enables the `debug_panic` op (fault drills and tests only).
     pub fn enable_debug_ops(&mut self) {
         self.debug_ops = true;
+    }
+
+    /// Arms slow-request tracing: requests slower than `us` microseconds
+    /// return their span tree and land in the slow-query log. Also flips
+    /// the process-wide span-recording switch.
+    pub fn set_trace_slow_us(&mut self, us: Option<u64>) {
+        self.trace_slow_us = us;
+        trace::set_enabled(us.is_some());
     }
 
     /// Whether this server runs over a durability directory.
@@ -124,14 +170,64 @@ impl Server {
         &mut self.engine
     }
 
+    /// Canonical metric label for a request's op: known ops map to
+    /// themselves, unknown ops collapse to `"other"`, and unparseable
+    /// requests (bad JSON, missing `op`) to `"invalid"` — a closed set, so
+    /// a hostile client cannot grow the registry unboundedly.
+    fn op_key(op: Option<&str>) -> &'static str {
+        match op {
+            None => "invalid",
+            Some("stats") => "stats",
+            Some("kappa") => "kappa",
+            Some("estimate") => "estimate",
+            Some("nuclei") => "nuclei",
+            Some("region") => "region",
+            Some("node") => "node",
+            Some("insert") => "insert",
+            Some("remove") => "remove",
+            Some("update") => "update",
+            Some("save") => "save",
+            Some("checkpoint") => "checkpoint",
+            Some("wal_stats") => "wal_stats",
+            Some("metrics") => "metrics",
+            Some("slow_log") => "slow_log",
+            Some("debug_panic") => "debug_panic",
+            Some("shutdown") => "shutdown",
+            Some(_) => "other",
+        }
+    }
+
+    /// The per-op request-latency histogram, registered on first use.
+    fn op_histogram(&mut self, op: &'static str) -> &Histogram {
+        self.op_hist.entry(op).or_insert_with(|| {
+            Registry::global().histogram(&labeled("request_micros", &[("op", op)]))
+        })
+    }
+
     /// Handles one request line, returning the response line. A handler
     /// panic is contained here: the client gets `{"ok":false}` with the
-    /// panic message and the server keeps serving.
+    /// panic message and the server keeps serving. Success or failure, the
+    /// response carries `micros` and the request is counted in the per-op
+    /// latency histogram.
     pub fn handle_line(&mut self, line: &str) -> Handled {
         let start = Instant::now();
         self.requests += 1;
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(line)))
-            .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+        let request_id = self.requests;
+        let tracing = self.trace_slow_us.is_some() && trace::enabled();
+        if tracing {
+            trace::begin();
+        }
+        let parsed = Json::parse(line.trim());
+        let op = Self::op_key(match &parsed {
+            Ok(req) => req.get("op").and_then(Json::as_str),
+            Err(_) => None,
+        });
+        let outcome = match &parsed {
+            Err(e) => Err(format!("bad JSON: {e}")),
+            Ok(req) => catch_unwind(AssertUnwindSafe(|| self.dispatch(req)))
+                .unwrap_or_else(|payload| Err(panic_message(&*payload))),
+        };
+        let failed = outcome.is_err();
         let (mut response, shutdown) = match outcome {
             Ok((fields, shutdown)) => {
                 let mut members = vec![("ok".to_string(), Json::Bool(true))];
@@ -142,31 +238,48 @@ impl Server {
             }
             Err(e) => (obj([("ok", Json::Bool(false)), ("error", e.into())]), false),
         };
+        let micros = start.elapsed().as_micros() as u64;
         if let Json::Obj(members) = &mut response {
-            members.push(("micros".to_string(), (start.elapsed().as_micros() as u64).into()));
+            members.push(("micros".to_string(), micros.into()));
+        }
+        counter_add!("requests_total", 1);
+        if failed {
+            self.failed += 1;
+            counter_add!("requests_failed_total", 1);
+        }
+        self.op_histogram(op).record(micros);
+        if tracing {
+            let tr = trace::take();
+            if self.trace_slow_us.is_some_and(|limit| micros >= limit) {
+                if let Json::Obj(members) = &mut response {
+                    members.push(("trace".to_string(), trace_json(&tr)));
+                }
+                trace::slow_log_push(request_id, op, micros, tr);
+            }
         }
         Handled { response: response.to_string(), shutdown }
     }
 
-    fn dispatch(&mut self, line: &str) -> Result<(Json, bool), String> {
-        let req = Json::parse(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    fn dispatch(&mut self, req: &Json) -> Result<(Json, bool), String> {
         let op = req
             .get("op")
             .and_then(Json::as_str)
             .ok_or_else(|| "missing string field \"op\"".to_string())?;
         let fields = match op {
             "stats" => self.stats(),
-            "kappa" => self.kappa(&req)?,
-            "estimate" => self.estimate(&req)?,
-            "nuclei" => self.nuclei(&req)?,
-            "region" => self.region(&req)?,
-            "node" => self.node(&req)?,
-            "insert" => self.update(Some(&req), None)?,
-            "remove" => self.update(None, Some(&req))?,
-            "update" => self.update(Some(&req), Some(&req))?,
-            "save" => self.save(&req)?,
+            "kappa" => self.kappa(req)?,
+            "estimate" => self.estimate(req)?,
+            "nuclei" => self.nuclei(req)?,
+            "region" => self.region(req)?,
+            "node" => self.node(req)?,
+            "insert" => self.update(Some(req), None)?,
+            "remove" => self.update(None, Some(req))?,
+            "update" => self.update(Some(req), Some(req))?,
+            "save" => self.save(req)?,
             "checkpoint" => self.checkpoint_op()?,
             "wal_stats" => self.wal_stats_op()?,
+            "metrics" => obj([("metrics", metrics_json(Registry::global()))]),
+            "slow_log" => slow_log_json(),
             "debug_panic" if self.debug_ops => panic!("debug_panic op fired"),
             "shutdown" => {
                 let mut fields = vec![("bye".to_string(), true.into())];
@@ -207,29 +320,36 @@ impl Server {
 
     fn stats(&self) -> Json {
         let s = self.engine.stats();
-        obj([
-            ("vertices", s.vertices.into()),
-            ("edges", s.edges.into()),
-            ("updates_applied", s.updates_applied.into()),
-            ("requests", self.requests.into()),
-            ("uptime_ms", (self.started.elapsed().as_millis() as u64).into()),
-            (
-                "spaces",
-                s.spaces
-                    .iter()
-                    .map(|sp| {
-                        obj([
-                            ("space", sp.space.as_str().into()),
-                            ("cliques", sp.cliques.into()),
-                            ("max_kappa", sp.max_kappa.into()),
-                            ("hierarchy_resident", sp.hierarchy_resident.into()),
-                            ("build_micros", sp.build_us.into()),
-                            ("peel_micros", sp.peel_us.into()),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ])
+        let mut members = vec![
+            ("vertices".to_string(), s.vertices.into()),
+            ("edges".to_string(), s.edges.into()),
+            ("updates_applied".to_string(), s.updates_applied.into()),
+            ("requests_total".to_string(), self.requests.into()),
+            ("requests_failed".to_string(), self.failed.into()),
+            ("uptime_seconds".to_string(), self.started.elapsed().as_secs().into()),
+        ];
+        if let Some(d) = &self.durability {
+            let w = d.wal_stats();
+            members.push(("wal_generation".to_string(), w.generation.into()));
+            members.push(("wal_seq".to_string(), w.records.into()));
+        }
+        members.push((
+            "spaces".to_string(),
+            s.spaces
+                .iter()
+                .map(|sp| {
+                    obj([
+                        ("space", sp.space.as_str().into()),
+                        ("cliques", sp.cliques.into()),
+                        ("max_kappa", sp.max_kappa.into()),
+                        ("hierarchy_resident", sp.hierarchy_resident.into()),
+                        ("build_micros", sp.build_us.into()),
+                        ("peel_micros", sp.peel_us.into()),
+                    ])
+                })
+                .collect(),
+        ));
+        Json::Obj(members)
     }
 
     fn kappa(&mut self, req: &Json) -> Result<Json, String> {
@@ -410,6 +530,7 @@ impl Server {
                             ("awake".to_string(), s.awake.into()),
                             ("lifted".to_string(), s.lifted.into()),
                             ("splice_micros".to_string(), s.splice_us.into()),
+                            ("refresh_micros".to_string(), s.refresh_us.into()),
                         ];
                         if let Some(hr) = &s.hierarchy_repair {
                             fields.push((
@@ -542,6 +663,80 @@ impl Server {
             ),
         ]))
     }
+}
+
+/// Renders a recorded span tree as the protocol's `trace` array: one
+/// object per span, parent-linked by array index (`-1` for roots), plus a
+/// trailing `dropped` marker object when the per-request capacity was hit.
+fn trace_json(tr: &trace::Trace) -> Json {
+    let mut spans: Vec<Json> = tr
+        .spans
+        .iter()
+        .map(|s| {
+            obj([
+                ("name", s.name.into()),
+                ("start_micros", s.start_us.into()),
+                ("dur_micros", s.dur_us.into()),
+                ("parent", Json::Num(s.parent as f64)),
+                ("thread", s.thread.into()),
+            ])
+        })
+        .collect();
+    if tr.dropped > 0 {
+        spans.push(obj([("dropped", tr.dropped.into())]));
+    }
+    Json::Arr(spans)
+}
+
+/// Renders the metrics registry as the `metrics` op's response body: one
+/// member per metric, sorted by name, each a typed object. Histograms
+/// carry count/sum/max plus the log₂-bucket p50/p90/p99 estimates.
+fn metrics_json(registry: &Registry) -> Json {
+    Json::Obj(
+        registry
+            .snapshot()
+            .into_iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    MetricSnapshot::Counter(v) => {
+                        obj([("type", "counter".into()), ("value", v.into())])
+                    }
+                    MetricSnapshot::Gauge(v) => {
+                        obj([("type", "gauge".into()), ("value", v.into())])
+                    }
+                    MetricSnapshot::Histogram(h) => obj([
+                        ("type", "histogram".into()),
+                        ("count", h.count.into()),
+                        ("sum", h.sum.into()),
+                        ("max", h.max.into()),
+                        ("p50", h.quantile(0.5).into()),
+                        ("p90", h.quantile(0.9).into()),
+                        ("p99", h.quantile(0.99).into()),
+                    ]),
+                };
+                (name, value)
+            })
+            .collect(),
+    )
+}
+
+/// Renders the bounded slow-query log (oldest first).
+fn slow_log_json() -> Json {
+    Json::Obj(vec![(
+        "entries".to_string(),
+        trace::slow_log_snapshot()
+            .iter()
+            .map(|e| {
+                obj([
+                    ("seq", e.seq.into()),
+                    ("request_id", e.request_id.into()),
+                    ("op", e.op.as_str().into()),
+                    ("micros", e.micros.into()),
+                    ("trace", trace_json(&e.trace)),
+                ])
+            })
+            .collect(),
+    )])
 }
 
 #[cfg(test)]
@@ -867,5 +1062,200 @@ mod tests {
         assert!(h.shutdown);
         assert!(h.response.contains("\"checkpointed\":true"), "{}", h.response);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Tests that arm slow-request tracing flip a process-global flag, so
+    /// they serialize here instead of disarming each other under the
+    /// parallel test harness.
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn timing_keys_are_micros_only() {
+        // The wire convention pinned by the module docs: every duration is
+        // microseconds under a key ending in `micros`; `uptime_seconds` is
+        // the only other time-typed key. The `metrics` op is excluded from
+        // the walk — its members are registry names, not wire keys.
+        fn collect_keys(v: &Json, keys: &mut std::collections::BTreeSet<String>) {
+            match v {
+                Json::Obj(members) => {
+                    for (k, v) in members {
+                        keys.insert(k.clone());
+                        collect_keys(v, keys);
+                    }
+                }
+                Json::Arr(items) => {
+                    for v in items {
+                        collect_keys(v, keys);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut keys = std::collections::BTreeSet::new();
+        let mut s = demo_server();
+        s.set_trace_slow_us(Some(0)); // every response carries its span tree
+        for line in [
+            r#"{"op":"stats"}"#,
+            r#"{"op":"kappa","space":"core","id":0}"#,
+            r#"{"op":"estimate","space":"core","id":6,"iterations":2}"#,
+            r#"{"op":"region","space":"core","id":0}"#,
+            r#"{"op":"nuclei","space":"truss","k":1}"#,
+            r#"{"op":"node","space":"core","node":0}"#,
+            r#"{"op":"update","insert":[[0,6]],"remove":[]}"#,
+            r#"{"op":"slow_log"}"#,
+        ] {
+            collect_keys(&ok(&mut s, line), &mut keys);
+        }
+        s.set_trace_slow_us(None);
+        // Failure responses follow the same convention.
+        let h = s.handle_line("not json");
+        collect_keys(&Json::parse(&h.response).unwrap(), &mut keys);
+        // Durable-only ops: wal_stats (recovery report) and checkpoint.
+        {
+            use crate::recovery::{Durability, DurableConfig};
+            use crate::wal::{FailPoints, FsyncPolicy};
+            let dir =
+                std::env::temp_dir().join(format!("hdsd_proto_timing_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = DurableConfig {
+                dir: dir.clone(),
+                policy: FsyncPolicy::Always,
+                failpoints: FailPoints::none(),
+            };
+            let fresh = || {
+                Ok(Engine::new(
+                    graph_from_edges([(0, 1), (1, 2), (0, 2)]),
+                    &EngineConfig::default(),
+                ))
+            };
+            let (engine, dur, _) = Durability::open(cfg, LocalConfig::sequential(), fresh).unwrap();
+            let mut d = Server::with_durability(engine, dur);
+            collect_keys(&ok(&mut d, r#"{"op":"wal_stats"}"#), &mut keys);
+            collect_keys(&ok(&mut d, r#"{"op":"checkpoint"}"#), &mut keys);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        let micros_keys: Vec<&str> =
+            keys.iter().filter(|k| k.contains("micros")).map(String::as_str).collect();
+        assert_eq!(
+            micros_keys,
+            [
+                "build_micros",
+                "dur_micros",
+                "graph_delta_micros",
+                "hierarchy_repair_micros",
+                "micros",
+                "peel_micros",
+                "refresh_micros",
+                "repair_micros",
+                "splice_micros",
+                "start_micros",
+                "wall_micros",
+            ],
+            "the set of wire timing keys changed — update the module docs and this pin together"
+        );
+        for k in &keys {
+            assert!(
+                !k.ends_with("_us") && !k.ends_with("_ms"),
+                "{k}: durations cross the wire as `micros` keys only"
+            );
+            if k.contains("seconds") {
+                assert_eq!(k, "uptime_seconds");
+            }
+        }
+        assert!(keys.contains("uptime_seconds"));
+    }
+
+    #[test]
+    fn metrics_op_returns_the_registry_with_pinned_shapes() {
+        let mut s = demo_server();
+        ok(&mut s, r#"{"op":"stats"}"#);
+        let v = ok(&mut s, r#"{"op":"metrics"}"#);
+        let m = v.get("metrics").expect("metrics member");
+        let Json::Obj(members) = m else { panic!("metrics must be an object: {v}") };
+        assert!(
+            members.windows(2).all(|w| w[0].0 < w[1].0),
+            "metrics must be sorted by name with no duplicates"
+        );
+        let counter = m.get("requests_total").expect("requests_total registered");
+        assert_eq!(counter.get("type").and_then(Json::as_str), Some("counter"));
+        assert!(counter.get("value").unwrap().as_u64().unwrap() >= 1);
+        let hist = m.get(r#"request_micros{op="stats"}"#).expect("per-op request histogram");
+        let Json::Obj(hm) = hist else { panic!("histogram must be an object") };
+        let hist_keys: Vec<&str> = hm.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(hist_keys, ["type", "count", "sum", "max", "p50", "p90", "p99"]);
+        assert_eq!(hist.get("type").and_then(Json::as_str), Some("histogram"));
+        assert!(hist.get("count").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn failed_requests_carry_micros_and_count_in_telemetry() {
+        let reg = Registry::global();
+        // The registry is process-global and other tests run concurrently:
+        // assert deltas, never absolute values.
+        let failed_before = reg.counter("requests_failed_total").get();
+        let invalid_before =
+            reg.histogram(&labeled("request_micros", &[("op", "invalid")])).snapshot().count;
+        let other_before =
+            reg.histogram(&labeled("request_micros", &[("op", "other")])).snapshot().count;
+        let mut s = demo_server();
+        for line in ["not json", r#"{"op":"frobnicate"}"#] {
+            let h = s.handle_line(line);
+            let v = Json::parse(&h.response).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            assert!(
+                v.get("micros").unwrap().as_u64().is_some(),
+                "{line}: failed responses still report micros"
+            );
+        }
+        assert!(reg.counter("requests_failed_total").get() >= failed_before + 2);
+        let invalid_after =
+            reg.histogram(&labeled("request_micros", &[("op", "invalid")])).snapshot().count;
+        let other_after =
+            reg.histogram(&labeled("request_micros", &[("op", "other")])).snapshot().count;
+        assert!(invalid_after > invalid_before, "unparseable line lands in op=invalid");
+        assert!(other_after > other_before, "unknown op lands in op=other");
+        // The per-server stats see them too (deterministic: this server
+        // handled exactly these three requests).
+        let v = ok(&mut s, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("requests_failed").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn slow_requests_attach_trace_and_enter_the_slow_log() {
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = demo_server();
+        s.set_trace_slow_us(Some(0)); // everything is "slow"
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,6]],"remove":[]}"#);
+        let spans = v.get("trace").expect("slow response carries its span tree");
+        let spans = spans.as_array().unwrap();
+        assert!(!spans.is_empty());
+        let names: Vec<&str> =
+            spans.iter().filter_map(|sp| sp.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"update.graph_delta"), "{names:?}");
+        assert!(names.contains(&"update.refresh"), "{names:?}");
+        for sp in spans.iter().filter(|sp| sp.get("name").is_some()) {
+            assert!(sp.get("start_micros").unwrap().as_u64().is_some());
+            assert!(sp.get("dur_micros").unwrap().as_u64().is_some());
+            assert!(sp.get("parent").is_some());
+            assert!(sp.get("thread").unwrap().as_u64().is_some());
+        }
+        // A threshold no request reaches: traced, but nothing attached.
+        s.set_trace_slow_us(Some(u64::MAX));
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert!(v.get("trace").is_none());
+        s.set_trace_slow_us(None);
+        // The slow update is in the bounded in-memory log.
+        let v = ok(&mut s, r#"{"op":"slow_log"}"#);
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        let e = entries
+            .iter()
+            .rev()
+            .find(|e| e.get("op").and_then(Json::as_str) == Some("update"))
+            .expect("slow update must be logged");
+        assert!(e.get("micros").unwrap().as_u64().is_some());
+        assert!(!e.get("trace").unwrap().as_array().unwrap().is_empty());
     }
 }

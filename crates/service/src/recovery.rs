@@ -209,6 +209,7 @@ impl Durability {
         };
 
         if have_snap && have_wal {
+            hdsd_telemetry::span!("recover.replay");
             let contents = read_wal(&wal_path)
                 .map_err(|e| format!("recovery: WAL {}: {e}", wal_path.display()))?;
             report.torn_bytes = contents.torn_bytes;
@@ -233,6 +234,11 @@ impl Durability {
             WalWriter::create(&wal_path, report.generation, cfg.policy, cfg.failpoints.clone())
                 .map_err(|e| format!("recovery: WAL {}: {e}", wal_path.display()))?;
         report.wall_us = start.elapsed().as_micros() as u64;
+
+        let reg = hdsd_telemetry::Registry::global();
+        reg.gauge("recovery_replayed_records").set(report.replayed);
+        reg.gauge("recovery_torn_bytes").set(report.torn_bytes);
+        reg.gauge("recovery_wall_micros").set(report.wall_us);
 
         let dur = Durability {
             dir: cfg.dir,
@@ -259,15 +265,27 @@ impl Durability {
     /// any error the WAL keeps its records — nothing acknowledged is
     /// dropped until the snapshot is safely in place.
     pub fn checkpoint(&mut self, engine: &mut Engine) -> io::Result<CheckpointReport> {
+        let t_ckpt = Instant::now();
+        hdsd_telemetry::span!("ckpt.checkpoint");
         self.wal.sync("ckpt.wal.sync")?;
         let snap_path = self.dir.join(SNAPSHOT_FILE);
-        let snap = engine.to_snapshot();
+        let snap = {
+            hdsd_telemetry::span!("ckpt.snapshot");
+            engine.to_snapshot()
+        };
         let spaces = snap.spaces.len();
-        write_snapshot_atomic(&snap, &snap_path, &self.fail)?;
+        {
+            hdsd_telemetry::span!("ckpt.write");
+            write_snapshot_atomic(&snap, &snap_path, &self.fail)?;
+        }
         let wal_bytes_truncated = self.wal.stats().bytes - crate::wal::WAL_HEADER_BYTES;
         self.wal.rotate()?;
         self.checkpoints += 1;
         let snapshot_bytes = fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+        let reg = hdsd_telemetry::Registry::global();
+        reg.counter("checkpoints_total").inc();
+        reg.gauge("checkpoint_bytes").set(snapshot_bytes);
+        reg.histogram("checkpoint_micros").record(t_ckpt.elapsed().as_micros() as u64);
         Ok(CheckpointReport {
             path: snap_path,
             spaces,

@@ -343,6 +343,8 @@ impl WalWriter {
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> io::Result<u64> {
+        let t_append = std::time::Instant::now();
+        hdsd_telemetry::span!("wal.append");
         self.guard("wal.append.before")?;
         let payload = encode_payload(self.next_seq, insert, remove);
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -364,6 +366,9 @@ impl WalWriter {
         }
         self.bytes += frame.len() as u64;
         self.pending_sync += 1;
+        let reg = hdsd_telemetry::Registry::global();
+        reg.counter("wal_records_total").inc();
+        reg.counter("wal_appended_bytes_total").add(frame.len() as u64);
         match self.policy {
             FsyncPolicy::Always => self.sync("wal.fsync")?,
             FsyncPolicy::Batch(n) => {
@@ -376,6 +381,7 @@ impl WalWriter {
         self.guard("wal.append.after")?;
         let seq = self.next_seq;
         self.next_seq += 1;
+        reg.histogram("wal_append_micros").record(t_append.elapsed().as_micros() as u64);
         Ok(seq)
     }
 
@@ -383,11 +389,16 @@ impl WalWriter {
     /// call this regardless of policy).
     pub fn sync(&mut self, point: &'static str) -> io::Result<()> {
         self.guard(point)?;
+        hdsd_telemetry::span!("wal.fsync");
+        let t_sync = std::time::Instant::now();
         if let Err(e) = self.file.sync_all() {
             self.dead = true;
             return Err(e);
         }
         self.pending_sync = 0;
+        let reg = hdsd_telemetry::Registry::global();
+        reg.counter("wal_fsyncs_total").inc();
+        reg.histogram("wal_fsync_micros").record(t_sync.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -412,6 +423,7 @@ impl WalWriter {
         self.next_seq = 1;
         self.bytes = WAL_HEADER_BYTES;
         self.pending_sync = 0;
+        hdsd_telemetry::Registry::global().counter("wal_rotations_total").inc();
         Ok(())
     }
 

@@ -1,0 +1,219 @@
+//! Lock-free log₂-bucketed histograms for latency-style measurements.
+//!
+//! A [`Histogram`] holds 64 `AtomicU64` buckets; a recorded value `v`
+//! lands in the bucket whose index is the bit length of `v` (so bucket
+//! `i` covers `[2^(i-1), 2^i - 1]` for `i ≥ 1` and bucket 0 holds only
+//! zero). Recording is two relaxed adds plus a relaxed `fetch_max` —
+//! safe from any thread, never blocking. Reads go through
+//! [`Histogram::snapshot`], which produces a plain mergeable
+//! [`HistogramSnapshot`] from which bounded-error quantiles are
+//! extracted: the estimate of quantile `q` is the upper edge of the
+//! bucket holding the rank-`⌈q·n⌉` observation, clamped to the observed
+//! maximum, so it always satisfies `exact ≤ estimate ≤ 2·exact`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets in a histogram. Bucket `i < 63` has upper edge
+/// `2^i - 1`; the last bucket is unbounded.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Returns the bucket index for a recorded value: the bit length of `v`,
+/// clamped to the last bucket (`v = 0` maps to bucket 0).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Returns the inclusive upper edge of bucket `i`: `2^i - 1`, saturating
+/// to `u64::MAX` for the final unbounded bucket.
+#[inline]
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free histogram of `u64` observations in log₂ buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free: two relaxed adds and a relaxed
+    /// `fetch_max`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram state. Concurrent
+    /// recorders may land between field reads, so a snapshot's `count`
+    /// can briefly disagree with its bucket total by in-flight records;
+    /// quantile extraction uses the bucket totals, so it stays coherent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts, `NUM_BUCKETS` long.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Creates an empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: vec![0; NUM_BUCKETS] }
+    }
+
+    /// Folds another snapshot into this one. Merging is associative and
+    /// commutative with [`HistogramSnapshot::empty`] as identity, so
+    /// per-shard histograms can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket
+    /// counts. Returns 0 for an empty snapshot. The estimate is the
+    /// upper edge of the bucket containing the rank-`⌈q·n⌉` observation,
+    /// clamped to the observed maximum; relative to the exact quantile
+    /// `x` it satisfies `x ≤ estimate ≤ 2·x`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_edges_cover_their_index() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_edge(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_edge(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantile_simple() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        // p100 clamps to the observed max, not the bucket edge (1023).
+        assert_eq!(s.quantile(1.0), 1000);
+        // p50 = rank 3 → value 3 → bucket 2 → edge 3.
+        assert_eq!(s.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let u = Histogram::new();
+        for v in [5u64, 9, 17] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [2u64, 300, 70000] {
+            b.record(v);
+            u.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, u.snapshot());
+    }
+}

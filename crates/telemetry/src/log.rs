@@ -1,0 +1,235 @@
+//! Structured stderr logging for the daemon.
+//!
+//! One line per event, in either human-readable text or JSON
+//! (`--log-format json|text`), each carrying a UTC timestamp, a level, a
+//! target (subsystem tag) and optional key/value fields:
+//!
+//! ```text
+//! 2026-08-08T12:00:00.123Z INFO serve listening addr=127.0.0.1:7171
+//! {"ts":"2026-08-08T12:00:00.123Z","level":"info","target":"serve","msg":"listening","addr":"127.0.0.1:7171"}
+//! ```
+//!
+//! The writer is a single `eprintln!` per event — stderr is line-buffered
+//! through a lock already, so concurrent threads cannot interleave
+//! partial lines. Level filtering happens before formatting via one
+//! relaxed atomic load.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics.
+    Debug = 0,
+    /// Normal operational events.
+    Info = 1,
+    /// Unexpected but recoverable conditions.
+    Warn = 2,
+    /// Failures.
+    Error = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn as_upper(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+/// Output format for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable single-line text (default).
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide log format.
+pub fn set_format(f: Format) {
+    FORMAT.store(matches!(f, Format::Json) as u8, Ordering::Relaxed);
+}
+
+/// Parses a `--log-format` value.
+pub fn parse_format(s: &str) -> Option<Format> {
+    match s {
+        "text" => Some(Format::Text),
+        "json" => Some(Format::Json),
+        _ => None,
+    }
+}
+
+/// Sets the minimum level that will be emitted.
+pub fn set_min_level(l: Level) {
+    MIN_LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `l` are currently emitted.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Formats a `SystemTime` as UTC ISO-8601 with millisecond precision
+/// (`2026-08-08T12:00:00.123Z`). Pure integer math — no locale, no libc.
+pub fn format_timestamp(t: SystemTime) -> String {
+    let dur = t.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = dur.as_secs();
+    let millis = dur.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm), valid for the unix era.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}.{millis:03}Z")
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits one log event. `fields` are appended as `key=value` pairs (text)
+/// or string members (json). Prefer the [`crate::info!`]-family macros.
+pub fn write(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = format_timestamp(SystemTime::now());
+    let json = FORMAT.load(Ordering::Relaxed) == 1;
+    let mut line = String::with_capacity(64 + msg.len());
+    if json {
+        line.push_str("{\"ts\":\"");
+        line.push_str(&ts);
+        line.push_str("\",\"level\":\"");
+        line.push_str(level.as_str());
+        line.push_str("\",\"target\":\"");
+        json_escape_into(&mut line, target);
+        line.push_str("\",\"msg\":\"");
+        json_escape_into(&mut line, msg);
+        line.push('"');
+        for (k, v) in fields {
+            line.push_str(",\"");
+            json_escape_into(&mut line, k);
+            line.push_str("\":\"");
+            json_escape_into(&mut line, v);
+            line.push('"');
+        }
+        line.push('}');
+    } else {
+        let _ = write!(line, "{ts} {} {target} {msg}", level.as_upper());
+        for (k, v) in fields {
+            let _ = write!(line, " {k}={v}");
+        }
+    }
+    eprintln!("{line}");
+}
+
+/// Logs at [`Level::Info`]: `info!("serve", "listening"; "addr" => addr)`.
+#[macro_export]
+macro_rules! info {
+    ($($args:tt)*) => { $crate::log_event!($crate::log::Level::Info, $($args)*) };
+}
+
+/// Logs at [`Level::Warn`]; same syntax as [`crate::info!`].
+#[macro_export]
+macro_rules! warn {
+    ($($args:tt)*) => { $crate::log_event!($crate::log::Level::Warn, $($args)*) };
+}
+
+/// Logs at [`Level::Error`]; same syntax as [`crate::info!`].
+#[macro_export]
+macro_rules! error {
+    ($($args:tt)*) => { $crate::log_event!($crate::log::Level::Error, $($args)*) };
+}
+
+/// Logs at [`Level::Debug`]; same syntax as [`crate::info!`].
+#[macro_export]
+macro_rules! debug {
+    ($($args:tt)*) => { $crate::log_event!($crate::log::Level::Debug, $($args)*) };
+}
+
+/// Shared expansion behind the level macros: a target, a format string
+/// with args, then optional `; "key" => value` fields (values go through
+/// `ToString`).
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $target:expr, $($fmt:expr),+ $(; $($k:literal => $v:expr),* $(,)?)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write(
+                $level,
+                $target,
+                &format!($($fmt),+),
+                &[$($(($k, ($v).to_string())),*)?],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_epoch_and_known_dates() {
+        assert_eq!(format_timestamp(UNIX_EPOCH), "1970-01-01T00:00:00.000Z");
+        // 2026-08-08T00:00:00Z = 1786147200.
+        let t = UNIX_EPOCH + std::time::Duration::from_millis(1_786_147_200_123);
+        assert_eq!(format_timestamp(t), "2026-08-08T00:00:00.123Z");
+        // Leap-year day: 2024-02-29T12:34:56Z = 1709210096.
+        let t = UNIX_EPOCH + std::time::Duration::from_secs(1_709_210_096);
+        assert_eq!(format_timestamp(t), "2024-02-29T12:34:56.000Z");
+    }
+
+    #[test]
+    fn level_filtering() {
+        assert!(Level::Error > Level::Warn);
+        assert!(Level::Warn > Level::Info);
+        assert!(Level::Info > Level::Debug);
+    }
+
+    #[test]
+    fn macros_compile_with_and_without_fields() {
+        // Emitted below Info by default, so these stay silent.
+        crate::debug!("test", "plain message");
+        crate::debug!("test", "formatted {}", 42; "k" => "v", "n" => 7);
+    }
+}

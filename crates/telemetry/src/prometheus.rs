@@ -1,0 +1,212 @@
+//! Prometheus text-exposition rendering and a minimal HTTP exporter.
+//!
+//! [`render`] turns a registry snapshot into exposition format 0.0.4
+//! (the `# TYPE` / `_bucket{le=...}` text format every scraper accepts),
+//! hand-rolled to keep the workspace dependency-free. Metric names are
+//! prefixed `hdsd_`; labels encoded into registry keys by
+//! [`crate::labeled`] are carried through verbatim, so
+//! `request_micros{op="stats"}` becomes the family
+//! `hdsd_request_micros` with the `op` label on every sample.
+//!
+//! [`serve_http`] binds a TCP listener (`--metrics-addr`, port 0
+//! supported for tests) and answers every request with a fresh render of
+//! the global registry on a detached accept-loop thread — one connection
+//! at a time, `Connection: close`, which is all a scrape loop needs.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::histogram::{bucket_upper_edge, HistogramSnapshot, NUM_BUCKETS};
+use crate::registry::{MetricSnapshot, Registry};
+
+/// Prefix applied to every exported metric family.
+pub const PREFIX: &str = "hdsd_";
+
+/// Splits a registry key into its family name and label block:
+/// `a{op="x"}` → `("a", Some("op=\"x\""))`.
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], Some(&key[i + 1..key.len() - 1])),
+        _ => (key, None),
+    }
+}
+
+fn sample_name(
+    out: &mut String,
+    family: &str,
+    suffix: &str,
+    labels: Option<&str>,
+    extra: Option<&str>,
+) {
+    out.push_str(PREFIX);
+    out.push_str(family);
+    out.push_str(suffix);
+    match (labels, extra) {
+        (None, None) => {}
+        (l, e) => {
+            out.push('{');
+            if let Some(l) = l {
+                out.push_str(l);
+            }
+            if let Some(e) = e {
+                if l.is_some() {
+                    out.push(',');
+                }
+                out.push_str(e);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn histogram_exposition(
+    out: &mut String,
+    family: &str,
+    labels: Option<&str>,
+    h: &HistogramSnapshot,
+) {
+    // Emit only the occupied prefix of the bucket array: everything up to
+    // the highest nonzero bucket, then +Inf. Empty histogram → +Inf only.
+    let highest = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate().take(highest.min(NUM_BUCKETS - 1)) {
+        cumulative += c;
+        let le = format!("le=\"{}\"", bucket_upper_edge(i));
+        sample_name(out, family, "_bucket", labels, Some(&le));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    cumulative = h.buckets.iter().sum();
+    sample_name(out, family, "_bucket", labels, Some("le=\"+Inf\""));
+    let _ = writeln!(out, " {cumulative}");
+    sample_name(out, family, "_sum", labels, None);
+    let _ = writeln!(out, " {}", h.sum);
+    sample_name(out, family, "_count", labels, None);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+/// Renders a registry snapshot in Prometheus text exposition format.
+pub fn render(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::with_capacity(64 * snapshot.len().max(1));
+    let mut last_family: Option<String> = None;
+    for (key, metric) in &snapshot {
+        let (family, labels) = split_labels(key);
+        if last_family.as_deref() != Some(family) {
+            let kind = match metric {
+                MetricSnapshot::Counter(_) => "counter",
+                MetricSnapshot::Gauge(_) => "gauge",
+                MetricSnapshot::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {PREFIX}{family} {kind}");
+            last_family = Some(family.to_string());
+        }
+        match metric {
+            MetricSnapshot::Counter(v) | MetricSnapshot::Gauge(v) => {
+                sample_name(&mut out, family, "", labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricSnapshot::Histogram(h) => {
+                histogram_exposition(&mut out, family, labels, h);
+            }
+        }
+    }
+    out
+}
+
+fn answer(stream: &mut TcpStream) -> std::io::Result<()> {
+    // Drain the request head; the path is irrelevant — every request gets
+    // the metrics page.
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = render(Registry::global());
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Binds `addr` and serves the global registry over HTTP from a detached
+/// daemon thread. Returns the bound address (useful with port 0).
+pub fn serve_http<A: ToSocketAddrs>(addr: A) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new().name("hdsd-metrics".to_string()).spawn(move || {
+        for mut stream in listener.incoming().flatten() {
+            let _ = answer(&mut stream);
+        }
+    })?;
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_labels_roundtrip() {
+        assert_eq!(split_labels("plain_total"), ("plain_total", None));
+        assert_eq!(
+            split_labels("request_micros{op=\"stats\"}"),
+            ("request_micros", Some("op=\"stats\""))
+        );
+    }
+
+    #[test]
+    fn render_counter_gauge_histogram() {
+        let r = Registry::new();
+        r.counter("requests_total").add(3);
+        r.counter(&crate::labeled("request_micros_by_op", &[("op", "x")])).add(1);
+        r.gauge("graph_edges").set(42);
+        let h = r.histogram("wal_fsync_micros");
+        h.record(5);
+        h.record(300);
+        let text = render(&r);
+        assert!(text.contains("# TYPE hdsd_requests_total counter\n"));
+        assert!(text.contains("hdsd_requests_total 3\n"));
+        assert!(text.contains("hdsd_request_micros_by_op{op=\"x\"} 1\n"));
+        assert!(text.contains("# TYPE hdsd_graph_edges gauge\n"));
+        assert!(text.contains("hdsd_graph_edges 42\n"));
+        assert!(text.contains("# TYPE hdsd_wal_fsync_micros histogram\n"));
+        // 5 → bucket 3 (le 7), 300 → bucket 9 (le 511); buckets are cumulative.
+        assert!(text.contains("hdsd_wal_fsync_micros_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("hdsd_wal_fsync_micros_bucket{le=\"511\"} 2\n"));
+        assert!(text.contains("hdsd_wal_fsync_micros_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hdsd_wal_fsync_micros_sum 305\n"));
+        assert!(text.contains("hdsd_wal_fsync_micros_count 2\n"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_family() {
+        let r = Registry::new();
+        r.counter(&crate::labeled("ops_total", &[("op", "a")])).add(1);
+        r.counter(&crate::labeled("ops_total", &[("op", "b")])).add(2);
+        let text = render(&r);
+        assert_eq!(text.matches("# TYPE hdsd_ops_total counter").count(), 1);
+        assert!(text.contains("hdsd_ops_total{op=\"a\"} 1\n"));
+        assert!(text.contains("hdsd_ops_total{op=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn http_exporter_serves_exposition() {
+        crate::Registry::global().counter("prom_http_test_total").add(7);
+        let addr = serve_http("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("hdsd_prom_http_test_total 7"));
+    }
+}

@@ -1,0 +1,236 @@
+//! The process-wide metrics registry.
+//!
+//! A [`Registry`] maps metric names to shared atomic instruments:
+//! [`Counter`]s (monotonic), [`Gauge`]s (set to the latest value) and
+//! [`super::Histogram`]s. Registration (`counter` / `gauge` /
+//! `histogram`) takes a short mutex to look up or insert the name and
+//! hands back an `Arc` handle; all subsequent updates through the handle
+//! are lock-free relaxed atomics. Call sites that cannot keep a handle
+//! use the [`crate::counter_add!`] macro, which caches one per call site.
+//!
+//! Labels are encoded into the name itself with [`labeled`] —
+//! `request_micros{op="stats"}` — which keeps the registry a flat ordered
+//! map and lets the Prometheus renderer split family from labels
+//! syntactically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the most recently set value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Replaces the value (relaxed).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric: the shared instrument behind a name.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time copy of one metric's value, as returned by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named collection of metrics. Use [`Registry::global`] for the
+/// process-wide instance; fresh instances exist for tests and future
+/// per-shard registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry all instrumentation records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use. Panics if `name` is already registered as a different
+    /// kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let map = self.metrics.lock().unwrap();
+        map.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+}
+
+/// Builds a labeled metric name: `labeled("request_micros",
+/// &[("op", "stats")])` → `request_micros{op="stats"}`. Label values are
+/// escaped for the Prometheus exposition format (backslash, quote,
+/// newline).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("dual");
+        let _ = r.gauge("dual");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.gauge("b_gauge").set(9);
+        r.counter("a_total").add(2);
+        r.histogram("c_micros").record(5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a_total", "b_gauge", "c_micros"]);
+        assert!(matches!(snap[0].1, MetricSnapshot::Counter(2)));
+        assert!(matches!(snap[1].1, MetricSnapshot::Gauge(9)));
+        match &snap[2].1 {
+            MetricSnapshot::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_formats_and_escapes() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(labeled("m", &[("op", "stats")]), "m{op=\"stats\"}");
+        assert_eq!(labeled("m", &[("a", "x\"y"), ("b", "z")]), "m{a=\"x\\\"y\",b=\"z\"}");
+    }
+}

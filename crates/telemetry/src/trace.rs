@@ -1,0 +1,304 @@
+//! Stage tracing: parent-linked span guards over a monotonic clock.
+//!
+//! Spans are recorded into a per-thread bounded collector, so recording
+//! never takes a lock and worker threads cannot interleave each other's
+//! span trees. The whole subsystem is gated on a single process-wide
+//! flag: while tracing is disabled (the default) a [`Span::enter`] is one
+//! relaxed load and a branch, cheap enough to leave in peel/refresh hot
+//! stages permanently.
+//!
+//! The serving layer drives the lifecycle per request: [`begin`] clears
+//! the current thread's collector, instrumented code opens guards with
+//! [`crate::span!`], and [`take`] returns the finished [`Trace`] —
+//! parent-linked [`SpanRecord`]s in start order plus a count of spans
+//! dropped once the per-thread capacity (256) was reached. Requests that
+//! exceed the `--trace-slow-ms` threshold are additionally pushed into a
+//! bounded global slow-query log ([`slow_log_push`] / [`slow_log_snapshot`]).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum spans retained per trace; further spans are counted as dropped.
+pub const TRACE_CAPACITY: usize = 256;
+
+/// Maximum entries retained in the global slow-query log (oldest evicted).
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables span recording process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static stage name, e.g. `"peel.flat"`.
+    pub name: &'static str,
+    /// Start offset in microseconds from the trace's [`begin`] call.
+    pub start_us: u64,
+    /// Duration in microseconds (0 if the guard never dropped).
+    pub dur_us: u64,
+    /// Index of the parent span within the trace, or -1 for roots.
+    pub parent: i32,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+}
+
+/// A finished trace: spans in start order plus the overflow count.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Recorded spans, parent-linked by index.
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded after [`TRACE_CAPACITY`] was reached.
+    pub dropped: u64,
+}
+
+struct Collector {
+    base: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<u32>,
+    dropped: u64,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector { base: Instant::now(), spans: Vec::new(), stack: Vec::new(), dropped: 0 }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+    static THREAD_ID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// Small dense id of the current thread (assigned on first use).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// Resets the current thread's collector, starting a fresh trace whose
+/// span offsets are measured from now.
+pub fn begin() {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.base = Instant::now();
+        c.spans.clear();
+        c.stack.clear();
+        c.dropped = 0;
+    });
+}
+
+/// Takes the current thread's trace, leaving the collector empty.
+pub fn take() -> Trace {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.stack.clear();
+        Trace { spans: std::mem::take(&mut c.spans), dropped: std::mem::take(&mut c.dropped) }
+    })
+}
+
+/// RAII guard for one stage span; created by [`crate::span!`]. While
+/// tracing is disabled the guard is inert and costs one relaxed load.
+#[must_use = "a span records its duration when dropped; bind it with `let`"]
+#[derive(Debug)]
+pub struct Span {
+    /// Index in the collector's span vec, or `None` when tracing is off
+    /// or the trace is full.
+    slot: Option<u32>,
+}
+
+impl Span {
+    /// Opens a span named `name`, parented to the innermost open span on
+    /// this thread.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span { slot: None };
+        }
+        Span { slot: Self::enter_slow(name) }
+    }
+
+    #[cold]
+    fn enter_slow(name: &'static str) -> Option<u32> {
+        COLLECTOR.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.spans.len() >= TRACE_CAPACITY {
+                c.dropped += 1;
+                return None;
+            }
+            let start_us = c.base.elapsed().as_micros() as u64;
+            let parent = c.stack.last().map_or(-1, |&p| p as i32);
+            let slot = c.spans.len() as u32;
+            let thread = thread_id();
+            c.spans.push(SpanRecord { name, start_us, dur_us: 0, parent, thread });
+            c.stack.push(slot);
+            Some(slot)
+        })
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot {
+            COLLECTOR.with(|c| {
+                let mut c = c.borrow_mut();
+                let end_us = c.base.elapsed().as_micros() as u64;
+                if let Some(rec) = c.spans.get_mut(slot as usize) {
+                    rec.dur_us = end_us.saturating_sub(rec.start_us);
+                }
+                if c.stack.last() == Some(&slot) {
+                    c.stack.pop();
+                }
+            });
+        }
+    }
+}
+
+/// One slow request retained in the in-memory slow-query log.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Monotonic sequence number of the slow entry (process-wide).
+    pub seq: u64,
+    /// Request id assigned by the server.
+    pub request_id: u64,
+    /// Operation name of the slow request.
+    pub op: String,
+    /// Total request latency in microseconds.
+    pub micros: u64,
+    /// The request's span tree.
+    pub trace: Trace,
+}
+
+static SLOW_SEQ: AtomicU64 = AtomicU64::new(0);
+static SLOW_LOG: Mutex<VecDeque<SlowEntry>> = Mutex::new(VecDeque::new());
+
+/// Appends an entry to the slow-query log, evicting the oldest entry past
+/// [`SLOW_LOG_CAPACITY`]. Returns the entry's sequence number.
+pub fn slow_log_push(request_id: u64, op: &str, micros: u64, trace: Trace) -> u64 {
+    let seq = SLOW_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut log = SLOW_LOG.lock().unwrap();
+    if log.len() >= SLOW_LOG_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(SlowEntry { seq, request_id, op: op.to_string(), micros, trace });
+    seq
+}
+
+/// Copies the slow-query log, oldest first.
+pub fn slow_log_snapshot() -> Vec<SlowEntry> {
+    SLOW_LOG.lock().unwrap().iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ENABLED is process-global and cargo runs tests on parallel threads,
+    // so every test that flips it holds this lock.
+    static ENABLE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = ENABLE_LOCK.lock().unwrap();
+        set_enabled(false);
+        begin();
+        {
+            let _a = Span::enter("a");
+            let _b = Span::enter("b");
+        }
+        let t = take();
+        assert!(t.spans.is_empty());
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn nested_spans_are_parent_linked() {
+        let _g = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        begin();
+        {
+            let _outer = Span::enter("outer");
+            {
+                let _inner = Span::enter("inner");
+            }
+            let _sibling = Span::enter("sibling");
+        }
+        let t = take();
+        set_enabled(false);
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.spans[0].name, "outer");
+        assert_eq!(t.spans[0].parent, -1);
+        assert_eq!(t.spans[1].name, "inner");
+        assert_eq!(t.spans[1].parent, 0);
+        assert_eq!(t.spans[2].name, "sibling");
+        assert_eq!(t.spans[2].parent, 0);
+        let tid = thread_id();
+        assert!(t.spans.iter().all(|s| s.thread == tid));
+    }
+
+    #[test]
+    fn capacity_overflow_counts_dropped() {
+        let _g = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        begin();
+        for _ in 0..TRACE_CAPACITY + 10 {
+            let _s = Span::enter("x");
+        }
+        let t = take();
+        set_enabled(false);
+        assert_eq!(t.spans.len(), TRACE_CAPACITY);
+        assert_eq!(t.dropped, 10);
+    }
+
+    #[test]
+    fn threads_do_not_share_collectors() {
+        let _g = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        begin();
+        let _mine = Span::enter("main-span");
+        let handle = std::thread::spawn(|| {
+            begin();
+            let _theirs = Span::enter("worker-span");
+            drop(_theirs);
+            take()
+        });
+        let worker = handle.join().unwrap();
+        drop(_mine);
+        let mine = take();
+        set_enabled(false);
+        assert_eq!(worker.spans.len(), 1);
+        assert_eq!(worker.spans[0].name, "worker-span");
+        assert_eq!(mine.spans.len(), 1);
+        assert_eq!(mine.spans[0].name, "main-span");
+        assert_ne!(worker.spans[0].thread, mine.spans[0].thread);
+    }
+
+    #[test]
+    fn slow_log_is_bounded_fifo() {
+        let base = slow_log_push(0, "warm", 1, Trace::default());
+        for i in 0..SLOW_LOG_CAPACITY + 5 {
+            slow_log_push(i as u64, "stats", 10_000, Trace::default());
+        }
+        let snap = slow_log_snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY);
+        // Oldest entries (including the warmup push) were evicted and
+        // sequence numbers stay strictly increasing.
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(snap[0].seq > base);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the log₂-bucket histogram: quantile estimates stay
+//! within the documented bounded relative error of exact sorted-slice
+//! quantiles, merging is associative, and concurrent recording loses
+//! nothing.
+
+use std::sync::Arc;
+
+use hdsd_telemetry::{Histogram, HistogramSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Exact quantile under the same rank convention the histogram uses:
+/// the `⌈q·n⌉`-th smallest observation.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    // For every quantile the log₂-bucket estimate `e` of the exact
+    // value `x` satisfies `x ≤ e ≤ 2·x` (and `e = 0` exactly when
+    // `x = 0`).
+    #[test]
+    fn quantiles_within_bounded_relative_error(
+        raw in vec(0u64..=1_000_000_000, 1..300),
+        q_pct in (1u64..=100).prop_map(|p| p as f64 / 100.0),
+    ) {
+        let snap = snapshot_of(&raw);
+        let mut values = raw;
+        values.sort_unstable();
+        for q in [q_pct, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let est = snap.quantile(q);
+            prop_assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            prop_assert!(
+                est <= exact.saturating_mul(2).max(exact),
+                "q={q}: est {est} > 2*exact ({exact})"
+            );
+            if exact == 0 {
+                prop_assert_eq!(est, 0);
+            }
+        }
+    }
+
+    // `p1.0` is exactly the observed maximum.
+    #[test]
+    fn p100_is_exact_max(values in vec(0u64..=(1u64 << 60), 1..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.quantile(1.0), *values.iter().max().unwrap());
+    }
+
+    // Merging is associative and order-independent: any grouping of
+    // three shards equals the histogram of the concatenated values.
+    #[test]
+    fn merge_is_associative(
+        a in vec(0u64..=1_000_000, 0..100),
+        b in vec(0u64..=1_000_000, 0..100),
+        c in vec(0u64..=1_000_000, 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right = sb.clone();
+        right.merge(&sc);
+        let mut outer = sa.clone();
+        outer.merge(&right);
+
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = snapshot_of(&union);
+
+        prop_assert_eq!(&left, &outer);
+        prop_assert_eq!(&left, &direct);
+
+        let mut with_identity = HistogramSnapshot::empty();
+        with_identity.merge(&direct);
+        prop_assert_eq!(&with_identity, &direct);
+    }
+}
+
+/// Concurrent recorders on one histogram lose no observations: the final
+/// snapshot's count, sum and bucket totals equal the union of what every
+/// thread recorded.
+#[test]
+fn concurrent_recording_is_lossless() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets deterministically.
+                    h.record((t * PER_THREAD + i) % 5_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|v| v % 5_000).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert_eq!(snap.max, 4_999);
+}

@@ -89,7 +89,35 @@ def extract_peel(doc):
     return metrics, hard_failures
 
 
-EXTRACTORS = {"frontier": extract_frontier, "service": extract_service, "peel": extract_peel}
+def extract_telemetry(doc):
+    """Overhead ceilings of the telemetry primitives.
+
+    Each result row carries its measured ns/op and a pinned ceiling. The
+    ceiling check is a hard failure — a counter add or a disabled span
+    guard blowing through a 10-50x headroom ceiling means a lock, an
+    allocation or a syscall crept into a hot path, not CI noise. The
+    ceilings themselves are gated as two-sided "pin:" metrics so they
+    cannot be quietly loosened without touching the committed baseline."""
+    hard_failures = []
+    metrics = {}
+    for row in doc.get("results", []):
+        name = row["name"]
+        ns = float(row["ns_per_op"])
+        ceiling = float(row["ceiling_ns"])
+        if ns > ceiling:
+            hard_failures.append(
+                f"telemetry {name}: {ns:.1f} ns/op exceeds its {ceiling:.0f} ns ceiling"
+            )
+        metrics[f"pin:telemetry_ceiling_ns[{name}]"] = ceiling
+    return metrics, hard_failures
+
+
+EXTRACTORS = {
+    "frontier": extract_frontier,
+    "service": extract_service,
+    "peel": extract_peel,
+    "telemetry": extract_telemetry,
+}
 
 
 def compare(kind, baseline_doc, fresh_doc, tolerance):
@@ -171,10 +199,19 @@ def selftest():
             },
         ]
     }
+    telemetry = {
+        "results": [
+            {"name": "counter_add", "ns_per_op": 6.0, "ceiling_ns": 100.0},
+            {"name": "disabled_span", "ns_per_op": 1.5, "ceiling_ns": 50.0},
+        ]
+    }
     checks = []
     checks.append(("identical frontier passes", compare("frontier", frontier, frontier, 0.1) == []))
     checks.append(("identical service passes", compare("service", service, service, 0.1) == []))
     checks.append(("identical peel passes", compare("peel", peel, peel, 0.1) == []))
+    checks.append(
+        ("identical telemetry passes", compare("telemetry", telemetry, telemetry, 0.1) == [])
+    )
 
     regressed = json.loads(json.dumps(frontier))
     regressed["frontier_vs_full_scan"][0]["ratio"] = 1.2
@@ -211,6 +248,18 @@ def selftest():
     drifted_peel = json.loads(json.dumps(peel))
     drifted_peel["spaces"][1]["counters_match"] = False
     checks.append(("peel counter divergence fails", compare("peel", peel, drifted_peel, 0.1) != []))
+
+    over_ceiling = json.loads(json.dumps(telemetry))
+    over_ceiling["results"][1]["ns_per_op"] = 80.0  # a lock crept into the span guard
+    checks.append(
+        ("telemetry over ceiling fails", compare("telemetry", telemetry, over_ceiling, 0.1) != [])
+    )
+
+    loosened = json.loads(json.dumps(telemetry))
+    loosened["results"][0]["ceiling_ns"] = 10_000.0  # quietly raising the bar
+    checks.append(
+        ("loosened telemetry ceiling fails", compare("telemetry", telemetry, loosened, 0.1) != [])
+    )
 
     missing = {"refreshes": []}
     checks.append(("missing metrics fail", compare("service", service, missing, 0.1) != []))

@@ -19,13 +19,44 @@ SESSION='{"op":"stats"}
 {"op":"kappa","space":"core","id":6}
 {"op":"update","insert":[[0,4],[1,4]],"remove":[]}
 {"op":"kappa","space":"core","id":4}
-{"op":"shutdown"}'
+{"op":"metrics"}'
 
-OUT=$(printf '%s\n' "$SESSION" | ./target/release/hdsd-serve --demo --spaces core,truss,34)
+# The session is fed with a pause before the shutdown op so the metrics
+# listener stays up long enough to be scraped mid-flight, exactly like a
+# Prometheus scrape loop against a live daemon.
+METRICS_PORT="${METRICS_PORT:-19901}"
+OUT=$(
+  {
+    printf '%s\n' "$SESSION"
+    sleep 2
+    printf '%s\n' '{"op":"shutdown"}'
+  } | ./target/release/hdsd-serve --demo --spaces core,truss,34 \
+        --metrics-addr "127.0.0.1:${METRICS_PORT}" --trace-slow-ms 0 &
+  SERVE_PID=$!
+  python3 - "$METRICS_PORT" > target/smoke_metrics.txt <<'PYEOF'
+import sys, time, urllib.request
+url = "http://127.0.0.1:%s/metrics" % sys.argv[1]
+body = ""
+# Retry until the exporter is up AND the first requests have landed in
+# the registry (the session is racing us through the daemon's stdin).
+for attempt in range(30):
+    try:
+        body = urllib.request.urlopen(url, timeout=2).read().decode()
+        if "hdsd_request_micros" in body:
+            break
+    except Exception:
+        pass
+    time.sleep(0.2)
+else:
+    sys.exit("scrape failed or never saw request metrics: " + url)
+sys.stdout.write(body)
+PYEOF
+  wait "$SERVE_PID"
+)
 echo "$OUT"
 
 lines=$(printf '%s\n' "$OUT" | wc -l)
-[ "$lines" -eq 11 ] || { echo "FAIL: expected 11 replies, got $lines"; exit 1; }
+[ "$lines" -eq 12 ] || { echo "FAIL: expected 12 replies, got $lines"; exit 1; }
 
 assert_line() { # line_number pattern description
   reply=$(printf '%s\n' "$OUT" | sed -n "${1}p")
@@ -36,6 +67,8 @@ assert_line() { # line_number pattern description
 }
 
 assert_line 1 '"edges":12' "stats sees the demo graph"
+assert_line 1 '"uptime_seconds":' "stats reports uptime"
+assert_line 1 '"requests_total":' "stats counts requests"
 assert_line 2 '"kappa":3' "κ-core lookup"
 assert_line 3 '"kappa":2' "κ-truss lookup by endpoints"
 assert_line 4 '"interval":' "budgeted estimate returns the bound interval"
@@ -45,11 +78,25 @@ assert_line 7 '"removed":1' "edge removal applied"
 assert_line 8 '"kappa":0' "tail vertex left every core"
 assert_line 9 '"inserted":2' "K5-closing insertions applied"
 assert_line 10 '"kappa":4' "warm refresh found the new 4-core"
-assert_line 11 '"bye"' "clean shutdown"
+assert_line 11 '"requests_total"' "metrics op returns the registry"
+assert_line 11 'request_micros{op=' "metrics op has per-op histograms"
+assert_line 9 '"trace":' "slow threshold 0 attaches the span tree to the update"
+assert_line 12 '"bye"' "clean shutdown"
 
-for n in 1 2 3 4 5 6 7 8 9 10 11; do
+for n in 1 2 3 4 5 6 7 8 9 10 11 12; do
   assert_line "$n" '"ok":true' "reply $n ok"
   assert_line "$n" '"micros":' "reply $n telemetry"
 done
 
-echo "PASS: hdsd-serve answered the scripted session correctly"
+# The scraped Prometheus exposition: families the dashboards key on.
+assert_scrape() { # pattern description
+  grep -qF -- "$1" target/smoke_metrics.txt \
+    || { echo "FAIL: metrics scrape missing '$1' ($2)"; exit 1; }
+}
+assert_scrape '# TYPE hdsd_requests_total counter' "request counter family"
+assert_scrape 'hdsd_request_micros_bucket{op="stats"' "per-op latency histogram"
+assert_scrape 'hdsd_graph_edges' "graph gauges"
+assert_scrape 'hdsd_space_peel_micros' "startup peel latency"
+assert_scrape 'hdsd_peel_containers_scanned_total' "peel work counters"
+
+echo "PASS: hdsd-serve answered the scripted session and served a scrapeable metrics surface"
