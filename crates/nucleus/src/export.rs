@@ -4,6 +4,7 @@
 //! resident hierarchies in one self-contained file).
 
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 use hdsd_graph::io::{read_u32, read_u64, write_u32, write_u64, Crc32};
 use hdsd_graph::CsrGraph;
@@ -47,14 +48,20 @@ pub const SNAPSHOT_VERSION: u32 = 4;
 pub const SNAPSHOT_MIN_VERSION: u32 = 3;
 
 /// One decomposition's resident state inside a [`Snapshot`].
+///
+/// The payload rows are `Arc`'d so a snapshot can **share** a live
+/// engine's resident state zero-copy (a checkpoint of a multi-gigabyte
+/// epoch allocates pointers, not copies) and, symmetrically, a restore
+/// can hand its rows to the engine without cloning. Plain owned values
+/// still convert implicitly at the constructors.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpaceSnapshot {
     /// The `(r, s)` of the decomposition.
     pub rs: (u32, u32),
     /// Exact κ per r-clique (ids follow the snapshot graph's space).
-    pub kappa: Vec<u32>,
+    pub kappa: Arc<Vec<u32>>,
     /// The nucleus forest, when it was resident at save time.
-    pub hierarchy: Option<Hierarchy>,
+    pub hierarchy: Option<Arc<Hierarchy>>,
     /// The forest's clique → node index (`u32::MAX` for cliques in no
     /// nucleus), persisted with the hierarchy so the snapshot is
     /// self-contained and the reader can cross-check it against the
@@ -63,29 +70,36 @@ pub struct SpaceSnapshot {
     /// trusted on the write path — a stale value could otherwise poison
     /// restores); [`read_snapshot`] populates it after validating that
     /// it inverts the forest.
-    pub node_of: Option<Vec<u32>>,
+    pub node_of: Option<Arc<Vec<u32>>>,
 }
 
 impl SpaceSnapshot {
     /// A space snapshot with no resident hierarchy.
-    pub fn new(rs: (u32, u32), kappa: Vec<u32>) -> SpaceSnapshot {
-        SpaceSnapshot { rs, kappa, hierarchy: None, node_of: None }
+    pub fn new(rs: (u32, u32), kappa: impl Into<Arc<Vec<u32>>>) -> SpaceSnapshot {
+        SpaceSnapshot { rs, kappa: kappa.into(), hierarchy: None, node_of: None }
     }
 
     /// A space snapshot with a resident hierarchy and a freshly derived
     /// clique → node index.
-    pub fn with_hierarchy(rs: (u32, u32), kappa: Vec<u32>, hierarchy: Hierarchy) -> SpaceSnapshot {
-        let node_of = hierarchy.clique_to_node(kappa.len());
+    pub fn with_hierarchy(
+        rs: (u32, u32),
+        kappa: impl Into<Arc<Vec<u32>>>,
+        hierarchy: impl Into<Arc<Hierarchy>>,
+    ) -> SpaceSnapshot {
+        let kappa = kappa.into();
+        let hierarchy = hierarchy.into();
+        let node_of = Arc::new(hierarchy.clique_to_node(kappa.len()));
         SpaceSnapshot { rs, kappa, hierarchy: Some(hierarchy), node_of: Some(node_of) }
     }
 }
 
 /// A restartable image of a serving engine: the graph plus every
-/// decomposition's κ (and optional hierarchy).
+/// decomposition's κ (and optional hierarchy), `Arc`-shared with whoever
+/// produced it (see [`SpaceSnapshot`]).
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     /// The graph at save time.
-    pub graph: CsrGraph,
+    pub graph: Arc<CsrGraph>,
     /// Per-space decomposition state.
     pub spaces: Vec<SpaceSnapshot>,
 }
@@ -265,11 +279,11 @@ pub fn read_snapshot(raw: &mut impl Read) -> io::Result<Snapshot> {
                 if node_of != h.clique_to_node(kappa.len()) {
                     return Err(bad("hierarchy clique index inconsistent with forest"));
                 }
-                (Some(h), Some(node_of))
+                (Some(Arc::new(h)), Some(Arc::new(node_of)))
             }
             _ => return Err(bad("bad hierarchy presence flag")),
         };
-        spaces.push(SpaceSnapshot { rs, kappa, hierarchy, node_of });
+        spaces.push(SpaceSnapshot { rs, kappa: Arc::new(kappa), hierarchy, node_of });
     }
     if version >= 4 {
         // The digest covers everything up to here; read the stored trailer
@@ -286,7 +300,7 @@ pub fn read_snapshot(raw: &mut impl Read) -> io::Result<Snapshot> {
     if input.inner.read(&mut [0u8; 1])? != 0 {
         return Err(bad("trailing bytes after snapshot"));
     }
-    Ok(Snapshot { graph, spaces })
+    Ok(Snapshot { graph: Arc::new(graph), spaces })
 }
 
 /// Writes one `id <TAB> vertices <TAB> kappa` line per r-clique.
@@ -400,7 +414,7 @@ mod tests {
         let hc = build_hierarchy(&core, &kc);
         let ht = build_hierarchy(&truss, &kt);
         let snap = Snapshot {
-            graph: g.clone(),
+            graph: Arc::new(g.clone()),
             spaces: vec![
                 SpaceSnapshot::with_hierarchy((1, 2), kc.clone(), hc.clone()),
                 SpaceSnapshot::with_hierarchy((2, 3), kt.clone(), ht.clone()),
@@ -413,14 +427,14 @@ mod tests {
         assert_eq!(back.graph.num_vertices(), g.num_vertices());
         assert_eq!(back.spaces.len(), 2);
         assert_eq!(back.spaces[0].rs, (1, 2));
-        assert_eq!(back.spaces[0].kappa, kc);
-        assert_eq!(back.spaces[0].hierarchy.as_ref().unwrap(), &hc);
+        assert_eq!(*back.spaces[0].kappa, kc);
+        assert_eq!(back.spaces[0].hierarchy.as_deref().unwrap(), &hc);
         assert_eq!(back.spaces[1].rs, (2, 3));
-        assert_eq!(back.spaces[1].kappa, kt);
-        assert_eq!(back.spaces[1].hierarchy.as_ref().unwrap(), &ht);
+        assert_eq!(*back.spaces[1].kappa, kt);
+        assert_eq!(back.spaces[1].hierarchy.as_deref().unwrap(), &ht);
         // v3: the clique → node index rides along bit-identically.
-        assert_eq!(back.spaces[0].node_of.as_ref().unwrap(), &hc.clique_to_node(kc.len()));
-        assert_eq!(back.spaces[1].node_of.as_ref().unwrap(), &ht.clique_to_node(kt.len()));
+        assert_eq!(back.spaces[0].node_of.as_deref().unwrap(), &hc.clique_to_node(kc.len()));
+        assert_eq!(back.spaces[1].node_of.as_deref().unwrap(), &ht.clique_to_node(kt.len()));
         // A second save of the restored snapshot is byte-identical.
         let mut buf2 = Vec::new();
         write_snapshot(&back, &mut buf2).unwrap();
@@ -432,11 +446,14 @@ mod tests {
         let g = sample();
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
-        let snap = Snapshot { graph: g, spaces: vec![SpaceSnapshot::new((1, 2), kappa.clone())] };
+        let snap = Snapshot {
+            graph: Arc::new(g),
+            spaces: vec![SpaceSnapshot::new((1, 2), kappa.clone())],
+        };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         let back = read_snapshot(&mut buf.as_slice()).unwrap();
-        assert_eq!(back.spaces[0].kappa, kappa);
+        assert_eq!(*back.spaces[0].kappa, kappa);
         assert!(back.spaces[0].hierarchy.is_none());
         assert!(back.spaces[0].node_of.is_none());
     }
@@ -447,8 +464,10 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
-        let snap =
-            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let snap = Snapshot {
+            graph: Arc::new(g),
+            spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)],
+        };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         assert!(read_snapshot(&mut &b"HDSDJUNKxxxxxxxxxxxx"[..]).is_err());
@@ -466,8 +485,10 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
-        let snap =
-            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let snap = Snapshot {
+            graph: Arc::new(g),
+            spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)],
+        };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         // node_of is the final payload section of the (single) space
@@ -492,7 +513,7 @@ mod tests {
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
         let snap = Snapshot {
-            graph: g.clone(),
+            graph: Arc::new(g.clone()),
             spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa.clone(), h)],
         };
         let mut buf = Vec::new();
@@ -503,7 +524,7 @@ mod tests {
         buf[8..12].copy_from_slice(&3u32.to_le_bytes());
         let back = read_snapshot(&mut buf.as_slice()).unwrap();
         assert_eq!(back.graph.edges(), g.edges());
-        assert_eq!(back.spaces[0].kappa, kappa);
+        assert_eq!(*back.spaces[0].kappa, kappa);
         assert!(back.spaces[0].hierarchy.is_some());
     }
 
@@ -513,8 +534,10 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
-        let snap =
-            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let snap = Snapshot {
+            graph: Arc::new(g),
+            spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)],
+        };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         for bit in 0..buf.len() * 8 {
@@ -532,7 +555,7 @@ mod tests {
         let g = sample();
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
-        let snap = Snapshot { graph: g, spaces: vec![SpaceSnapshot::new((1, 2), kappa)] };
+        let snap = Snapshot { graph: Arc::new(g), spaces: vec![SpaceSnapshot::new((1, 2), kappa)] };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         buf.push(0);
@@ -546,8 +569,10 @@ mod tests {
         let sp = CoreSpace::new(&g);
         let kappa = peel(&sp).kappa;
         let h = build_hierarchy(&sp, &kappa);
-        let snap =
-            Snapshot { graph: g, spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)] };
+        let snap = Snapshot {
+            graph: Arc::new(g),
+            spaces: vec![SpaceSnapshot::with_hierarchy((1, 2), kappa, h)],
+        };
         let mut buf = Vec::new();
         write_snapshot(&snap, &mut buf).unwrap();
         // Rewrite the version field (little-endian u32 after the 8-byte

@@ -3,8 +3,8 @@
 //! ```text
 //! hdsd-serve [--graph FILE | --snapshot FILE | --synthetic N,M,P,SEED | --demo]
 //!            [--spaces core,truss,34] [--threads N] [--listen ADDR:PORT]
-//!            [--durable DIR] [--fsync always|batch:N|off] [--debug-ops]
-//!            [--metrics-addr ADDR:PORT] [--trace-slow-ms N]
+//!            [--readers N] [--durable DIR] [--fsync always|batch:N|off]
+//!            [--debug-ops] [--metrics-addr ADDR:PORT] [--trace-slow-ms N]
 //!            [--log-format text|json]
 //!
 //!   --graph FILE       SNAP-style edge list to serve
@@ -14,6 +14,10 @@
 //!   --spaces LIST      resident decompositions    (default core,truss)
 //!   --threads N        refresh sweep threads      (default 1)
 //!   --listen ADDR      serve TCP instead of stdin (e.g. 127.0.0.1:7171)
+//!   --readers N        request worker threads for --listen (default 4).
+//!                      Each worker owns an epoch reader; reads from any
+//!                      number of connections run wait-free while updates
+//!                      serialize on the single writer lane.
 //!   --durable DIR      crash-safe serving: WAL + atomic checkpoints in DIR.
 //!                      On restart the newest checkpoint is loaded and the
 //!                      WAL tail replayed; the other input flags only seed
@@ -31,10 +35,20 @@
 //! `hdsd_service::protocol`. `{"op":"shutdown"}` stops the server; under
 //! `--durable`, SIGTERM/SIGINT also stop it gracefully (drain + final
 //! checkpoint), and `kill -9` is recovered from on the next start.
+//!
+//! The TCP front-end is a poll-based (nonblocking, dependency-free)
+//! connection loop: one acceptor/IO thread owns every socket and its
+//! per-connection read/write buffers; complete request lines are handed
+//! to `--readers N` worker threads (each holding its own epoch-reader
+//! `Server` handle, connections pinned round-robin so per-connection
+//! response order is preserved) and responses flow back through a channel
+//! to the IO thread's write buffers. N clients issue concurrent reads
+//! while an update stream churns — readers never block on the writer.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use hdsd_nucleus::{read_snapshot, LocalConfig};
 use hdsd_service::{
@@ -85,6 +99,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut spaces = vec![SpaceSel::Core, SpaceSel::Truss];
     let mut threads = 1usize;
     let mut listen = None;
+    let mut readers = 4usize;
     let mut durable_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut debug_ops = false;
@@ -116,6 +131,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 threads = value(&mut i)?.parse().map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--listen" => listen = Some(value(&mut i)?),
+            "--readers" => {
+                readers = value(&mut i)?.parse().map_err(|e| format!("bad --readers: {e}"))?;
+                if readers == 0 {
+                    return Err("--readers must be at least 1".to_string());
+                }
+            }
             "--durable" => durable_dir = Some(value(&mut i)?),
             "--fsync" => {
                 let v = value(&mut i)?;
@@ -226,7 +247,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     {
-        let s = server.engine_mut().stats();
+        let s = server.engine_stats();
         info!(
             "serve",
             "{} vertices, {} edges; resident: {}",
@@ -246,7 +267,7 @@ fn run(args: &[String]) -> Result<(), String> {
     install_signal_handlers();
     match listen {
         None => serve_stdio(server),
-        Some(addr) => serve_tcp(server, &addr),
+        Some(addr) => serve_tcp(server, &addr, readers),
     }
 }
 
@@ -288,79 +309,258 @@ fn serve_stdio(mut server: Server) -> Result<(), String> {
     Ok(())
 }
 
-fn serve_tcp(server: Server, addr: &str) -> Result<(), String> {
-    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-    info!("serve", "listening"; "addr" => listener.local_addr().map_err(|e| e.to_string())?);
-    // Nonblocking accepts: the loop wakes regularly to observe the stop
-    // flag (shutdown op) and SHUTDOWN (signals) even with no clients.
-    listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
-    let server = Arc::new(Mutex::new(server));
-    let stop = Arc::new(AtomicBool::new(false));
-    loop {
-        if stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(25));
-                continue;
-            }
-            Err(e) => {
-                warn!("serve", "accept failed: {e}");
-                continue;
-            }
-        };
-        let server = Arc::clone(&server);
-        let stop = Arc::clone(&stop);
-        // Workers are detached, not joined: a client idling in a
-        // line-read must not keep the daemon alive after shutdown —
-        // returning from this function exits the process and drops every
-        // open connection.
-        std::thread::spawn(move || {
-            let mut writer = match stream.try_clone() {
-                Ok(w) => w,
-                Err(e) => {
-                    warn!("serve", "clone stream failed: {e}");
-                    return;
-                }
-            };
-            for line in BufReader::new(stream).lines() {
-                let line = match line {
-                    Ok(l) => l,
-                    Err(_) => break,
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst) {
-                    break; // the server is already shutting down
-                }
-                // One request at a time across connections: the engine is
-                // a single mutable resource (updates rewrite the graph).
-                // A panic inside a handler is caught by handle_line, but
-                // if one ever escapes (e.g. a poisoned-lock panic in a
-                // dying thread), the next worker must not die with it:
-                // take the engine back from a poisoned mutex.
-                let h = server
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .handle_line(&line);
-                if writeln!(writer, "{}", h.response).and_then(|_| writer.flush()).is_err() {
+/// A request line routed to a worker, tagged with its connection slot.
+struct Job {
+    conn: usize,
+    line: String,
+}
+
+/// A worker's answer, routed back to the connection's write buffer.
+struct Resp {
+    conn: usize,
+    response: String,
+}
+
+/// One live TCP connection owned by the IO loop.
+struct Conn {
+    stream: std::net::TcpStream,
+    /// Bytes received but not yet terminated by `\n`.
+    read_buf: Vec<u8>,
+    /// Response bytes accepted by the kernel lazily (nonblocking flush).
+    write_buf: Vec<u8>,
+    /// Worker this connection is pinned to (round-robin at accept).
+    /// Pinning keeps per-connection responses in request order without
+    /// any sequencing machinery: an mpsc channel is FIFO per sender, and
+    /// one worker drains its queue in order.
+    worker: usize,
+    /// Requests dispatched to the worker and not yet answered.
+    pending: usize,
+    eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    /// Pull whatever the kernel has; returns complete request lines.
+    /// Sets `eof`/`dead` as a side effect.
+    fn pump_read(&mut self) -> Vec<String> {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    self.eof = true;
                     break;
                 }
-                if h.shutdown {
-                    stop.store(true, Ordering::SeqCst);
+                Ok(n) => self.read_buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        let mut lines = Vec::new();
+        while let Some(pos) = self.read_buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = self.read_buf.drain(..=pos).collect();
+            match std::str::from_utf8(&raw) {
+                Ok(s) if s.trim().is_empty() => {}
+                Ok(s) => lines.push(s.trim_end_matches(['\n', '\r']).to_string()),
+                Err(_) => {
+                    // The protocol is JSON text; a client sending raw
+                    // bytes gets dropped rather than a garbled parse.
+                    self.dead = true;
+                    return lines;
+                }
+            }
+        }
+        lines
+    }
+
+    /// Push buffered response bytes; stops at WouldBlock.
+    fn pump_write(&mut self) {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
                     return;
                 }
             }
-        });
+        }
     }
-    // Signal path (the shutdown op already checkpointed in-band): take
-    // the engine back — poisoned or not — and drain.
-    if SHUTDOWN.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst) {
-        let mut guard = server.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        drain(&mut guard, "shutdown (signal)");
+
+    fn finished(&self) -> bool {
+        self.dead || (self.eof && self.pending == 0 && self.write_buf.is_empty())
+    }
+}
+
+/// Poll-based multi-connection serving: one IO thread owns the sockets,
+/// `readers` worker threads each own a wait-free `Server` handle (shared
+/// epoch cell + writer lane). No epoll and no async runtime — the loop
+/// does nonblocking accept/read/write sweeps with a short idle sleep,
+/// which keeps the binary dependency-free and the shutdown paths
+/// (in-band `shutdown` op, SIGTERM/SIGINT) easy to observe.
+fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    info!(
+        "serve",
+        "listening";
+        "addr" => listener.local_addr().map_err(|e| e.to_string())?,
+        "readers" => readers,
+    );
+    listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (resp_tx, resp_rx) = mpsc::channel::<Resp>();
+    let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(readers);
+    let mut workers = Vec::with_capacity(readers);
+    for w in 0..readers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        job_txs.push(tx);
+        let mut handle = server.handle();
+        let resp_tx = resp_tx.clone();
+        let stop = Arc::clone(&stop);
+        let worker = std::thread::Builder::new()
+            .name(format!("hdsd-reader-{w}"))
+            .spawn(move || {
+                // Drain the queue even during shutdown: every request the
+                // IO loop dispatched gets its response flushed.
+                while let Ok(job) = rx.recv() {
+                    let h = handle.handle_line(&job.line);
+                    if h.shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    if resp_tx.send(Resp { conn: job.conn, response: h.response }).is_err() {
+                        break;
+                    }
+                }
+            })
+            .map_err(|e| format!("spawn reader: {e}"))?;
+        workers.push(worker);
+    }
+    drop(resp_tx); // the IO loop only receives
+
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut next_worker = 0usize;
+    let mut stop_seen: Option<Instant> = None;
+    let mut shutdown_op = false;
+    loop {
+        let mut progressed = false;
+        let stopping = stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst);
+        if let (Some(_), None) = (stopping.then_some(()), stop_seen) {
+            stop_seen = Some(Instant::now());
+            shutdown_op = stop.load(Ordering::SeqCst);
+        }
+
+        // Accept sweep (drains the backlog) — until shutdown begins.
+        if !stopping {
+            loop {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        if let Err(e) = s.set_nonblocking(true) {
+                            warn!("serve", "set_nonblocking on accepted stream failed: {e}");
+                            continue;
+                        }
+                        let conn = Conn {
+                            stream: s,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            worker: next_worker,
+                            pending: 0,
+                            eof: false,
+                            dead: false,
+                        };
+                        next_worker = (next_worker + 1) % readers;
+                        let slot = conns.iter().position(Option::is_none);
+                        match slot {
+                            Some(i) => conns[i] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        warn!("serve", "accept failed: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Read sweep: new requests go to each connection's worker. During
+        // shutdown nothing new is dispatched — in-flight work drains.
+        if !stopping {
+            for (id, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot else { continue };
+                for line in conn.pump_read() {
+                    if job_txs[conn.worker].send(Job { conn: id, line }).is_ok() {
+                        conn.pending += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // Response sweep: worker answers into write buffers.
+        while let Ok(r) = resp_rx.try_recv() {
+            progressed = true;
+            if let Some(Some(conn)) = conns.get_mut(r.conn) {
+                conn.pending = conn.pending.saturating_sub(1);
+                conn.write_buf.extend_from_slice(r.response.as_bytes());
+                conn.write_buf.push(b'\n');
+            }
+        }
+
+        // Write sweep + reap.
+        let mut inflight = 0usize;
+        for slot in conns.iter_mut() {
+            let Some(conn) = slot else { continue };
+            if !conn.write_buf.is_empty() {
+                let before = conn.write_buf.len();
+                conn.pump_write();
+                if conn.write_buf.len() != before {
+                    progressed = true;
+                }
+            }
+            if conn.finished() {
+                *slot = None;
+                progressed = true;
+            } else {
+                inflight += conn.pending + conn.write_buf.len();
+            }
+        }
+
+        if stopping {
+            // Leave once every dispatched request is answered and
+            // flushed, or after a short deadline (a stalled client must
+            // not wedge shutdown — the WAL already holds every
+            // acknowledged batch).
+            let deadline_passed = stop_seen.is_some_and(|t| t.elapsed() > Duration::from_secs(3));
+            if inflight == 0 || deadline_passed {
+                break;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Closing the job channels ends the workers once their queues drain.
+    drop(job_txs);
+    for w in workers {
+        let _ = w.join();
+    }
+    // Signal path only — the in-band shutdown op already checkpointed.
+    if !shutdown_op {
+        drain(&mut server, "shutdown (signal)");
     }
     Ok(())
 }

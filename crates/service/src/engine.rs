@@ -17,7 +17,23 @@
 //!   candidate-lifted resume ([`refresh_resume_of`]) — nothing is rebuilt
 //!   or re-enumerated globally;
 //! * **snapshots** serialize graph + κ + hierarchies for fast restart.
+//!
+//! ## Epoch immutability
+//!
+//! Since PR 8 the resident state lives in an immutable, `Arc`-shared
+//! [`EngineView`]: every read operation is `&self` on the view, and
+//! [`Engine::update`] never mutates the current view — it builds the
+//! *next* view off to the side (reusing the splice/repair delta
+//! machinery plus cheap `Arc` adoption for anything untouched) and swaps
+//! the engine's `Arc` over. The serving layer publishes that new view
+//! through an [`crate::epoch::EpochCell`], so concurrent readers keep
+//! answering from the epoch they pinned — wait-free, bit-stable — while
+//! the writer works. The one piece of interior mutability is the
+//! hierarchy index's `OnceLock`: a monotonic fill-once cache that lets
+//! the *first* region query of an epoch materialize the forest without
+//! `&mut` (every later reader of that epoch sees the identical index).
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use hdsd_graph::{apply_edge_batch, triangle_delta, CsrGraph, TriangleList, VertexId, NO_ID};
@@ -108,32 +124,43 @@ impl Default for EngineConfig {
     }
 }
 
-/// Hierarchy plus the clique → node index used by region queries.
+/// Hierarchy plus the clique → node index used by region queries. Both
+/// halves are `Arc`'d so a snapshot/checkpoint shares them zero-copy and
+/// a repaired forest moves to the next epoch without cloning the nodes.
+#[derive(Clone)]
 struct HierarchyIndex {
-    forest: Hierarchy,
+    forest: Arc<Hierarchy>,
     /// For each r-clique, the node whose `own_cliques` contains it
     /// (`u32::MAX` for cliques in no nucleus).
-    node_of: Vec<u32>,
+    node_of: Arc<Vec<u32>>,
 }
 
 impl HierarchyIndex {
     fn build(space: &CachedSpace, kappa: &[u32]) -> Self {
-        Self::from_forest(build_hierarchy(space, kappa), space.num_cliques())
+        Self::from_forest(Arc::new(build_hierarchy(space, kappa)), space.num_cliques())
     }
 
     /// Wraps an existing forest (freshly built or repaired) with the
     /// clique → node inverted index.
-    fn from_forest(forest: Hierarchy, num_cliques: usize) -> Self {
-        let node_of = forest.clique_to_node(num_cliques);
+    fn from_forest(forest: Arc<Hierarchy>, num_cliques: usize) -> Self {
+        let node_of = Arc::new(forest.clique_to_node(num_cliques));
         HierarchyIndex { forest, node_of }
     }
 }
 
-struct SpaceState {
+/// One space's immutable resident state inside an [`EngineView`]: the
+/// container snapshot and κ vector are `Arc`'d rows shared across epochs
+/// (and into checkpoints), never refreshed in place.
+struct SpaceView {
     sel: SpaceSel,
-    cached: CachedSpace,
-    kappa: Vec<u32>,
-    hierarchy: Option<HierarchyIndex>,
+    cached: Arc<CachedSpace>,
+    kappa: Arc<Vec<u32>>,
+    /// Lazily materialized hierarchy index. `OnceLock` (not `Option`) so
+    /// the first region/nuclei query of an epoch can fill it through
+    /// `&self` — concurrent readers race benignly (first fill wins, all
+    /// see the same index) and the writer checks `get()` at update time
+    /// to decide whether the next epoch inherits a repaired forest.
+    hierarchy: OnceLock<HierarchyIndex>,
     /// Wall time of the cold space materialization (snapshot build) at
     /// startup; 0 when the state was adopted from a snapshot restore.
     build_us: u64,
@@ -142,8 +169,8 @@ struct SpaceState {
     peel_us: u64,
 }
 
-impl SpaceState {
-    fn fresh(sel: SpaceSel, graph: &CsrGraph, triangles: Option<&TriangleList>) -> SpaceState {
+impl SpaceView {
+    fn fresh(sel: SpaceSel, graph: &CsrGraph, triangles: Option<&TriangleList>) -> SpaceView {
         let t_build = Instant::now();
         let cached = {
             span!("space.build");
@@ -168,14 +195,21 @@ impl SpaceState {
         reg.counter(&labeled("peel_bucket_moves_total", &lbl)).add(pr.stats.bucket_moves);
         reg.histogram(&labeled("space_build_micros", &lbl)).record(build_us);
         reg.histogram(&labeled("space_peel_micros", &lbl)).record(peel_us);
-        SpaceState { sel, cached, kappa: pr.kappa, hierarchy: None, build_us, peel_us }
+        SpaceView {
+            sel,
+            cached: Arc::new(cached),
+            kappa: Arc::new(pr.kappa),
+            hierarchy: OnceLock::new(),
+            build_us,
+            peel_us,
+        }
     }
 
-    fn ensure_hierarchy(&mut self) -> &HierarchyIndex {
-        if self.hierarchy.is_none() {
-            self.hierarchy = Some(HierarchyIndex::build(&self.cached, &self.kappa));
-        }
-        self.hierarchy.as_ref().unwrap()
+    /// The resident hierarchy index, materializing it on first use. Safe
+    /// under concurrent readers: `OnceLock` serializes initializers and
+    /// every caller sees the same index for the lifetime of this epoch.
+    fn ensure_hierarchy(&self) -> &HierarchyIndex {
+        self.hierarchy.get_or_init(|| HierarchyIndex::build(&self.cached, &self.kappa))
     }
 }
 
@@ -298,54 +332,39 @@ pub struct EngineStats {
     pub spaces: Vec<SpaceStats>,
 }
 
-/// The long-lived query-serving engine.
-pub struct Engine {
-    graph: CsrGraph,
+/// One immutable epoch of resident serving state: the graph, the shared
+/// triangle substrate, and every configured space's containers, κ vector
+/// and (lazily filled) hierarchy index.
+///
+/// Views are published through an [`crate::epoch::EpochCell`] and shared
+/// by `Arc` across reader threads; **nothing in a view is ever mutated
+/// after publication** (the hierarchy `OnceLock` fills once, monotonic).
+/// Every query method is therefore `&self` and safe to call from any
+/// number of threads concurrently.
+pub struct EngineView {
+    graph: Arc<CsrGraph>,
     /// Maintained triangle substrate, resident whenever a triangle-based
     /// space is configured. Shared by the truss and (3,4) states and
     /// spliced (not rebuilt) on every update.
-    triangles: Option<TriangleList>,
-    states: Vec<SpaceState>,
-    local: LocalConfig,
+    triangles: Option<Arc<TriangleList>>,
+    spaces: Vec<SpaceView>,
     updates_applied: u64,
 }
 
-impl Engine {
-    /// Builds the engine with a full decomposition of every configured
-    /// space. The triangle substrate is enumerated once and shared.
-    pub fn new(graph: CsrGraph, cfg: &EngineConfig) -> Engine {
-        let triangles =
-            cfg.spaces.iter().any(|s| s.needs_triangles()).then(|| TriangleList::build(&graph));
-        let states = cfg
-            .spaces
-            .iter()
-            .map(|&sel| SpaceState::fresh(sel, &graph, triangles.as_ref()))
-            .collect();
-        let engine = Engine { graph, triangles, states, local: cfg.local, updates_applied: 0 };
-        engine.publish_gauges();
-        engine
-    }
-
-    /// The current graph.
+impl EngineView {
+    /// The graph of this epoch.
     pub fn graph(&self) -> &CsrGraph {
         &self.graph
     }
 
     /// Configured spaces.
     pub fn spaces(&self) -> Vec<SpaceSel> {
-        self.states.iter().map(|s| s.sel).collect()
+        self.spaces.iter().map(|s| s.sel).collect()
     }
 
-    fn state(&self, sel: SpaceSel) -> Result<&SpaceState, String> {
-        self.states
+    fn state(&self, sel: SpaceSel) -> Result<&SpaceView, String> {
+        self.spaces
             .iter()
-            .find(|s| s.sel == sel)
-            .ok_or_else(|| format!("space {:?} not resident (enable it at startup)", sel.name()))
-    }
-
-    fn state_mut(&mut self, sel: SpaceSel) -> Result<&mut SpaceState, String> {
-        self.states
-            .iter_mut()
             .find(|s| s.sel == sel)
             .ok_or_else(|| format!("space {:?} not resident (enable it at startup)", sel.name()))
     }
@@ -428,7 +447,7 @@ impl Engine {
         if id >= st.cached.num_cliques() {
             return Err(format!("clique id {id} out of range"));
         }
-        Ok(local_estimate_opts(&st.cached, id, opts))
+        Ok(local_estimate_opts(st.cached.as_ref(), id, opts))
     }
 
     /// Fails when `deadline` (if any) has already passed. Budgeted ops
@@ -445,27 +464,27 @@ impl Engine {
     /// The resident hierarchy forest of a space, building it if absent.
     /// The crash-recovery harness uses this to compare a recovered
     /// engine's forests against an uninterrupted reference.
-    pub fn hierarchy_of(&mut self, sel: SpaceSel) -> Result<&Hierarchy, String> {
-        let st = self.state_mut(sel)?;
+    pub fn hierarchy_of(&self, sel: SpaceSel) -> Result<&Hierarchy, String> {
+        let st = self.state(sel)?;
         Ok(&st.ensure_hierarchy().forest)
     }
 
     /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
-    pub fn nuclei_at(&mut self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
+    pub fn nuclei_at(&self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
         self.nuclei_at_within(sel, k, None)
     }
 
-    /// [`Engine::nuclei_at`] under an optional wall-clock deadline: the
-    /// request fails (instead of blocking the daemon) when the deadline
-    /// passes before or during hierarchy materialization.
+    /// [`EngineView::nuclei_at`] under an optional wall-clock deadline:
+    /// the request fails (instead of blocking the daemon) when the
+    /// deadline passes before or during hierarchy materialization.
     pub fn nuclei_at_within(
-        &mut self,
+        &self,
         sel: SpaceSel,
         k: u32,
         deadline: Option<Instant>,
     ) -> Result<Vec<NucleusSummary>, String> {
         Self::check_deadline(deadline, "before hierarchy lookup")?;
-        let st = self.state_mut(sel)?;
+        let st = self.state(sel)?;
         if st.cached.num_cliques() == 0 {
             // An empty space has an empty forest; answer without
             // materializing (and keeping resident) a trivial index.
@@ -485,29 +504,28 @@ impl Engine {
 
     /// The densest region containing r-clique `id`: the maximal nucleus in
     /// which it first participates (its own node in the hierarchy).
-    pub fn region_of(&mut self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
+    pub fn region_of(&self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
         self.region_of_within(sel, id, None)
     }
 
-    /// [`Engine::region_of`] under an optional wall-clock deadline.
+    /// [`EngineView::region_of`] under an optional wall-clock deadline.
     pub fn region_of_within(
-        &mut self,
+        &self,
         sel: SpaceSel,
         id: usize,
         deadline: Option<Instant>,
     ) -> Result<RegionReport, String> {
         Self::check_deadline(deadline, "before hierarchy lookup")?;
-        if self.state(sel)?.cached.num_cliques() == 0 {
+        let st = self.state(sel)?;
+        if st.cached.num_cliques() == 0 {
             // No cliques to address: stable error, no trivial index built.
             return Err(format!("clique id {id} out of range"));
         }
-        self.state_mut(sel)?.ensure_hierarchy();
-        Self::check_deadline(deadline, "after hierarchy materialization")?;
-        let st = self.state(sel)?;
         if id >= st.cached.num_cliques() {
             return Err(format!("clique id {id} out of range"));
         }
-        let hi = st.hierarchy.as_ref().unwrap();
+        let hi = st.ensure_hierarchy();
+        Self::check_deadline(deadline, "after hierarchy materialization")?;
         let node = hi.node_of[id];
         if node == u32::MAX {
             return Err(format!("clique {id} participates in no s-clique (no nucleus)"));
@@ -517,34 +535,34 @@ impl Engine {
 
     /// A materialized hierarchy node by id (used by the `nuclei` op's
     /// drill-down).
-    pub fn node_region(&mut self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
+    pub fn node_region(&self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
         self.node_region_within(sel, node, None)
     }
 
-    /// [`Engine::node_region`] under an optional wall-clock deadline.
+    /// [`EngineView::node_region`] under an optional wall-clock deadline.
     pub fn node_region_within(
-        &mut self,
+        &self,
         sel: SpaceSel,
         node: u32,
         deadline: Option<Instant>,
     ) -> Result<RegionReport, String> {
         Self::check_deadline(deadline, "before hierarchy lookup")?;
-        if self.state(sel)?.cached.num_cliques() == 0 {
+        let st = self.state(sel)?;
+        if st.cached.num_cliques() == 0 {
             return Err(format!("hierarchy node {node} out of range"));
         }
-        self.state_mut(sel)?.ensure_hierarchy();
+        let hi = st.ensure_hierarchy();
         Self::check_deadline(deadline, "after hierarchy materialization")?;
-        let st = self.state(sel)?;
-        if node as usize >= st.hierarchy.as_ref().unwrap().forest.len() {
+        if node as usize >= hi.forest.len() {
             return Err(format!("hierarchy node {node} out of range"));
         }
         Ok(self.materialize_node(st, node))
     }
 
-    fn materialize_node(&self, st: &SpaceState, node: u32) -> RegionReport {
-        let hi = st.hierarchy.as_ref().unwrap();
-        let vertices = hi.forest.member_vertices(node, &st.cached);
-        let density = hi.forest.node_density(node, &st.cached, &self.graph);
+    fn materialize_node(&self, st: &SpaceView, node: u32) -> RegionReport {
+        let hi = st.hierarchy.get().expect("materialize_node follows ensure_hierarchy");
+        let vertices = hi.forest.member_vertices(node, st.cached.as_ref());
+        let density = hi.forest.node_density(node, st.cached.as_ref(), &self.graph);
         RegionReport {
             node,
             k: hi.forest.nodes[node as usize].k,
@@ -554,55 +572,268 @@ impl Engine {
         }
     }
 
-    /// Applies an edge batch by splicing the CSR, the triangle substrate,
-    /// and every resident space snapshot, then refreshes κ via the
+    /// Serializes this epoch (building any missing hierarchy so the
+    /// snapshot restores with the full serving index — forest plus its
+    /// clique → node lookup — resident, no reconstruction on restart).
+    ///
+    /// Zero-copy: the snapshot **shares** the view's graph, κ vectors and
+    /// forests by `Arc` instead of cloning them — a checkpoint of a
+    /// multi-gigabyte engine allocates a handful of pointers.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let spaces = self
+            .spaces
+            .iter()
+            .map(|st| {
+                let hi = st.ensure_hierarchy();
+                SpaceSnapshot {
+                    rs: st.sel.rs(),
+                    kappa: Arc::clone(&st.kappa),
+                    hierarchy: Some(Arc::clone(&hi.forest)),
+                    node_of: Some(Arc::clone(&hi.node_of)),
+                }
+            })
+            .collect();
+        Snapshot { graph: Arc::clone(&self.graph), spaces }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            vertices: self.graph.num_vertices(),
+            edges: self.graph.num_edges(),
+            updates_applied: self.updates_applied,
+            spaces: self
+                .spaces
+                .iter()
+                .map(|st| SpaceStats {
+                    space: st.sel.name().to_string(),
+                    cliques: st.cached.num_cliques(),
+                    max_kappa: st.kappa.iter().copied().max().unwrap_or(0),
+                    hierarchy_resident: st.hierarchy.get().is_some(),
+                    build_us: st.build_us,
+                    peel_us: st.peel_us,
+                })
+                .collect(),
+        }
+    }
+
+    /// Publishes point-in-time graph size gauges to the global registry.
+    fn publish_gauges(&self) {
+        let reg = Registry::global();
+        reg.gauge("graph_vertices").set(self.graph.num_vertices() as u64);
+        reg.gauge("graph_edges").set(self.graph.num_edges() as u64);
+    }
+}
+
+/// The long-lived query-serving engine: the single writer lane's handle
+/// on the current [`EngineView`] plus the refresh configuration.
+///
+/// Reads delegate to the current view (and are `&self`); [`Engine::update`]
+/// builds an entirely new view and swaps the engine's `Arc` — callers
+/// holding an `Arc<EngineView>` from [`Engine::view`] keep reading the
+/// epoch they hold.
+///
+/// # Examples
+///
+/// ```
+/// use hdsd_service::{Engine, EngineConfig, SpaceSel};
+///
+/// // A triangle: every vertex sits in a 2-core.
+/// let g = hdsd_graph::graph_from_edges([(0, 1), (0, 2), (1, 2)]);
+/// let mut engine = Engine::new(g, &EngineConfig::default());
+/// assert_eq!(engine.kappa_of(SpaceSel::Core, 0), Ok(2));
+///
+/// // Updates build the next epoch; the old view is unchanged.
+/// let old = engine.view();
+/// engine.update(&[(0, 3), (1, 3), (2, 3)], &[]); // close the K4
+/// assert_eq!(old.kappa_of(SpaceSel::Core, 0), Ok(2));
+/// assert_eq!(engine.kappa_of(SpaceSel::Core, 0), Ok(3));
+/// ```
+pub struct Engine {
+    view: Arc<EngineView>,
+    local: LocalConfig,
+}
+
+impl Engine {
+    /// Builds the engine with a full decomposition of every configured
+    /// space. The triangle substrate is enumerated once and shared.
+    pub fn new(graph: CsrGraph, cfg: &EngineConfig) -> Engine {
+        let triangles = cfg
+            .spaces
+            .iter()
+            .any(|s| s.needs_triangles())
+            .then(|| Arc::new(TriangleList::build(&graph)));
+        let spaces = cfg
+            .spaces
+            .iter()
+            .map(|&sel| SpaceView::fresh(sel, &graph, triangles.as_deref()))
+            .collect();
+        let view = EngineView { graph: Arc::new(graph), triangles, spaces, updates_applied: 0 };
+        view.publish_gauges();
+        Engine { view: Arc::new(view), local: cfg.local }
+    }
+
+    /// The current view (epoch) as a shareable handle. The serving layer
+    /// publishes this through an [`crate::epoch::EpochCell`] after every
+    /// update; tests and benches read it directly.
+    pub fn view(&self) -> Arc<EngineView> {
+        Arc::clone(&self.view)
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.view.graph()
+    }
+
+    /// Configured spaces.
+    pub fn spaces(&self) -> Vec<SpaceSel> {
+        self.view.spaces()
+    }
+
+    /// Exact κ of r-clique `id` (a resident-vector read).
+    pub fn kappa_of(&self, sel: SpaceSel, id: usize) -> Result<u32, String> {
+        self.view.kappa_of(sel, id)
+    }
+
+    /// Number of r-cliques in a space.
+    pub fn num_cliques(&self, sel: SpaceSel) -> Result<usize, String> {
+        self.view.num_cliques(sel)
+    }
+
+    /// The full resident κ vector of a space.
+    pub fn kappa_vector(&self, sel: SpaceSel) -> Result<&[u32], String> {
+        self.view.kappa_vector(sel)
+    }
+
+    /// The vertices of r-clique `id`.
+    pub fn clique_vertices(&self, sel: SpaceSel, id: usize) -> Result<Vec<VertexId>, String> {
+        self.view.clique_vertices(sel, id)
+    }
+
+    /// Resolves an r-clique by its vertex set. See [`EngineView::resolve`].
+    pub fn resolve(&self, sel: SpaceSel, vertices: &[VertexId]) -> Result<usize, String> {
+        self.view.resolve(sel, vertices)
+    }
+
+    /// Budgeted local estimate with the Theorem-1 bound interval.
+    pub fn estimate(
+        &self,
+        sel: SpaceSel,
+        id: usize,
+        opts: &QueryOptions,
+    ) -> Result<QueryEstimate, String> {
+        self.view.estimate(sel, id, opts)
+    }
+
+    /// The resident hierarchy forest of a space, building it if absent.
+    pub fn hierarchy_of(&self, sel: SpaceSel) -> Result<&Hierarchy, String> {
+        self.view.hierarchy_of(sel)
+    }
+
+    /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
+    pub fn nuclei_at(&self, sel: SpaceSel, k: u32) -> Result<Vec<NucleusSummary>, String> {
+        self.view.nuclei_at(sel, k)
+    }
+
+    /// [`Engine::nuclei_at`] under an optional wall-clock deadline.
+    pub fn nuclei_at_within(
+        &self,
+        sel: SpaceSel,
+        k: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<NucleusSummary>, String> {
+        self.view.nuclei_at_within(sel, k, deadline)
+    }
+
+    /// The densest region containing r-clique `id`.
+    pub fn region_of(&self, sel: SpaceSel, id: usize) -> Result<RegionReport, String> {
+        self.view.region_of(sel, id)
+    }
+
+    /// [`Engine::region_of`] under an optional wall-clock deadline.
+    pub fn region_of_within(
+        &self,
+        sel: SpaceSel,
+        id: usize,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, String> {
+        self.view.region_of_within(sel, id, deadline)
+    }
+
+    /// A materialized hierarchy node by id.
+    pub fn node_region(&self, sel: SpaceSel, node: u32) -> Result<RegionReport, String> {
+        self.view.node_region(sel, node)
+    }
+
+    /// [`Engine::node_region`] under an optional wall-clock deadline.
+    pub fn node_region_within(
+        &self,
+        sel: SpaceSel,
+        node: u32,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, String> {
+        self.view.node_region_within(sel, node, deadline)
+    }
+
+    /// Applies an edge batch by building the **next epoch off to the
+    /// side**: the CSR, the triangle substrate, and every resident space
+    /// snapshot are spliced into fresh values, κ is refreshed via the
     /// candidate-lifted warm start with stale values carried positionally
-    /// through the id remaps. Resident hierarchies are **repaired** in
-    /// place ([`Hierarchy::repair`]) instead of invalidated — untouched
-    /// subtrees are grafted back and only the perturbed region re-runs the
-    /// union–find, so the next `region`/`nuclei` query no longer pays a
-    /// full forest rebuild. This is a deliberately read-optimized trade:
-    /// forest maintenance (including the cold build the repair degrades to
-    /// when nothing is preservable, `full_rebuild` — routine for the core
-    /// space's shallow forest) is paid here, at update time, keeping every
-    /// subsequent region query rebuild-free. Update-heavy workloads that
-    /// never touch `region`/`nuclei` simply never make a hierarchy
-    /// resident and pay none of it. Everything else scales with the
-    /// perturbation; nothing outside the forests is rebuilt globally.
+    /// through the id remaps, and resident hierarchies are **repaired**
+    /// ([`Hierarchy::repair`]) instead of invalidated. The current view is
+    /// never touched — readers holding it keep answering bit-identically
+    /// — and on return `self.view` is the new epoch, ready to publish.
+    ///
+    /// This is a deliberately read-optimized trade: forest maintenance
+    /// (including the cold build the repair degrades to when nothing is
+    /// preservable, `full_rebuild` — routine for the core space's shallow
+    /// forest) is paid here, at update time, keeping every subsequent
+    /// region query rebuild-free. Update-heavy workloads that never touch
+    /// `region`/`nuclei` simply never make a hierarchy resident and pay
+    /// none of it. Everything else scales with the perturbation; nothing
+    /// outside the forests is rebuilt globally.
+    ///
+    /// A region query racing the update may fill the *old* epoch's
+    /// hierarchy `OnceLock` after this writer checked it; the new epoch
+    /// then simply starts without that forest resident and the next
+    /// region query rebuilds it lazily — stale-read tolerance, never a
+    /// torn forest.
     pub fn update(
         &mut self,
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> UpdateReport {
         let start = Instant::now();
+        let old = &self.view;
         let (new_graph, ed, td) = {
             span!("update.graph_delta");
-            let (new_graph, ed) = apply_edge_batch(&self.graph, insert, remove);
-            let td = self.triangles.as_ref().map(|tl| triangle_delta(tl, &new_graph, &ed));
+            let (new_graph, ed) = apply_edge_batch(&old.graph, insert, remove);
+            let td = old.triangles.as_deref().map(|tl| triangle_delta(tl, &new_graph, &ed));
             (new_graph, ed, td)
         };
         let graph_delta_us = start.elapsed().as_micros() as u64;
         let ins_ends = ed.inserted_endpoints(&new_graph);
-        let rm_ends = ed.removed_endpoints(&self.graph);
+        let rm_ends = ed.removed_endpoints(&old.graph);
 
-        let mut reports = Vec::with_capacity(self.states.len());
+        let mut reports = Vec::with_capacity(old.spaces.len());
+        let mut new_spaces = Vec::with_capacity(old.spaces.len());
         let mut hierarchy_repair_us = 0u64;
-        for st in self.states.iter_mut() {
+        for st in old.spaces.iter() {
             let t_splice = Instant::now();
             let splice_span = hdsd_telemetry::trace::Span::enter("update.splice");
             let sd = match st.sel {
-                SpaceSel::Core => core_space_delta(&new_graph, self.graph.num_vertices()),
+                SpaceSel::Core => core_space_delta(&new_graph, old.graph.num_vertices()),
                 SpaceSel::Truss => truss_space_delta(
                     &st.cached,
-                    self.triangles.as_ref().unwrap(),
+                    old.triangles.as_deref().unwrap(),
                     &new_graph,
                     &ed,
                     td.as_ref().unwrap(),
                 ),
                 SpaceSel::Nucleus34 => nucleus34_space_delta(
                     &st.cached,
-                    &self.graph,
-                    self.triangles.as_ref().unwrap(),
+                    &old.graph,
+                    old.triangles.as_deref().unwrap(),
                     &new_graph,
                     &ed,
                     td.as_ref().unwrap(),
@@ -629,7 +860,10 @@ impl Engine {
             };
             let refresh_us = t_refresh.elapsed().as_micros() as u64;
             let old_num_cliques = st.cached.num_cliques();
-            let hierarchy_repair = st.hierarchy.take().map(|hi| {
+            // The next epoch inherits a repaired forest iff this epoch has
+            // one resident at this instant (see the race note above).
+            let mut next_hierarchy = None;
+            let hierarchy_repair = st.hierarchy.get().map(|hi| {
                 let t_repair = Instant::now();
                 span!("update.repair");
                 let dirty = out.repair_dirty_seed(&stale_of);
@@ -640,7 +874,8 @@ impl Engine {
                     old_num_cliques,
                     &dirty,
                 );
-                st.hierarchy = Some(HierarchyIndex::from_forest(forest, sd.cached.num_cliques()));
+                next_hierarchy =
+                    Some(HierarchyIndex::from_forest(Arc::new(forest), sd.cached.num_cliques()));
                 let repair_us = t_repair.elapsed().as_micros() as u64;
                 hierarchy_repair_us += repair_us;
                 HierarchyRepairReport {
@@ -685,20 +920,36 @@ impl Engine {
                 refresh_us,
                 hierarchy_repair,
             });
-            st.cached = sd.cached;
-            st.kappa = out.result.tau;
+            let hierarchy = OnceLock::new();
+            if let Some(hi) = next_hierarchy {
+                let _ = hierarchy.set(hi);
+            }
+            new_spaces.push(SpaceView {
+                sel: st.sel,
+                cached: Arc::new(sd.cached),
+                kappa: Arc::new(out.result.tau),
+                hierarchy,
+                build_us: st.build_us,
+                peel_us: st.peel_us,
+            });
         }
-        if let Some(td) = td {
-            self.triangles = Some(td.list);
-        }
-        self.graph = new_graph;
-        self.updates_applied += 1;
+        let triangles = match td {
+            Some(td) => Some(Arc::new(td.list)),
+            None => old.triangles.clone(),
+        };
+        let next = EngineView {
+            graph: Arc::new(new_graph),
+            triangles,
+            spaces: new_spaces,
+            updates_applied: old.updates_applied + 1,
+        };
         let wall_us = start.elapsed().as_micros() as u64;
         let reg = Registry::global();
         reg.counter("updates_applied_total").inc();
         reg.histogram("update_wall_micros").record(wall_us);
         reg.histogram("update_graph_delta_micros").record(graph_delta_us);
-        self.publish_gauges();
+        next.publish_gauges();
+        self.view = Arc::new(next);
         UpdateReport {
             inserted: ed.inserted(),
             removed: ed.removed(),
@@ -709,40 +960,20 @@ impl Engine {
         }
     }
 
-    /// Publishes point-in-time graph size gauges to the global registry.
-    fn publish_gauges(&self) {
-        let reg = Registry::global();
-        reg.gauge("graph_vertices").set(self.graph.num_vertices() as u64);
-        reg.gauge("graph_edges").set(self.graph.num_edges() as u64);
-    }
-
-    /// Serializes the engine (building any missing hierarchy so the
-    /// snapshot restores with the full serving index — forest plus its
-    /// clique → node lookup — resident, no reconstruction on restart).
-    pub fn to_snapshot(&mut self) -> Snapshot {
-        let spaces = self
-            .states
-            .iter_mut()
-            .map(|st| {
-                st.ensure_hierarchy();
-                SpaceSnapshot {
-                    rs: st.sel.rs(),
-                    kappa: st.kappa.clone(),
-                    hierarchy: st.hierarchy.as_ref().map(|h| h.forest.clone()),
-                    node_of: st.hierarchy.as_ref().map(|h| h.node_of.clone()),
-                }
-            })
-            .collect();
-        Snapshot { graph: self.graph.clone(), spaces }
+    /// Serializes the current epoch zero-copy. See
+    /// [`EngineView::to_snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        self.view.to_snapshot()
     }
 
     /// Restores an engine from a snapshot: spaces are re-materialized from
     /// the graph (cheap relative to decomposing), κ and hierarchies are
-    /// adopted as-is after a length check.
+    /// adopted as-is — `Arc`-shared with the snapshot, not copied — after
+    /// a length check.
     pub fn from_snapshot(snap: Snapshot, local: LocalConfig) -> Result<Engine, String> {
         let needs_tri = snap.spaces.iter().any(|sp| sp.rs != (1, 2));
-        let triangles = needs_tri.then(|| TriangleList::build(&snap.graph));
-        let mut states = Vec::with_capacity(snap.spaces.len());
+        let triangles = needs_tri.then(|| Arc::new(TriangleList::build(&snap.graph)));
+        let mut spaces = Vec::with_capacity(snap.spaces.len());
         for sp in snap.spaces {
             let sel = match sp.rs {
                 (1, 2) => SpaceSel::Core,
@@ -751,7 +982,7 @@ impl Engine {
                 other => return Err(format!("snapshot contains unknown space {other:?}")),
             };
             let t_build = Instant::now();
-            let cached = sel.build_cached(&snap.graph, triangles.as_ref());
+            let cached = sel.build_cached(&snap.graph, triangles.as_deref());
             let build_us = t_build.elapsed().as_micros() as u64;
             if cached.num_cliques() != sp.kappa.len() {
                 return Err(format!(
@@ -764,46 +995,34 @@ impl Engine {
             // v3 snapshots carry the clique → node index (validated by the
             // reader); adopt it directly and fall back to the derivation
             // scan only when absent.
-            let hierarchy = match (sp.hierarchy, sp.node_of) {
+            let index = match (sp.hierarchy, sp.node_of) {
                 (Some(forest), Some(node_of)) => Some(HierarchyIndex { forest, node_of }),
                 (Some(forest), None) => Some(HierarchyIndex::from_forest(forest, sp.kappa.len())),
                 (None, _) => None,
             };
+            let hierarchy = OnceLock::new();
+            if let Some(hi) = index {
+                let _ = hierarchy.set(hi);
+            }
             // κ is adopted, nothing is peeled: that is the point of
             // restoring from a snapshot, and peel_us = 0 records it.
-            states.push(SpaceState {
+            spaces.push(SpaceView {
                 sel,
-                cached,
+                cached: Arc::new(cached),
                 kappa: sp.kappa,
                 hierarchy,
                 build_us,
                 peel_us: 0,
             });
         }
-        let engine = Engine { graph: snap.graph, triangles, states, local, updates_applied: 0 };
-        engine.publish_gauges();
-        Ok(engine)
+        let view = EngineView { graph: snap.graph, triangles, spaces, updates_applied: 0 };
+        view.publish_gauges();
+        Ok(Engine { view: Arc::new(view), local })
     }
 
     /// Point-in-time statistics.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            vertices: self.graph.num_vertices(),
-            edges: self.graph.num_edges(),
-            updates_applied: self.updates_applied,
-            spaces: self
-                .states
-                .iter()
-                .map(|st| SpaceStats {
-                    space: st.sel.name().to_string(),
-                    cliques: st.cached.num_cliques(),
-                    max_kappa: st.kappa.iter().copied().max().unwrap_or(0),
-                    hierarchy_resident: st.hierarchy.is_some(),
-                    build_us: st.build_us,
-                    peel_us: st.peel_us,
-                })
-                .collect(),
-        }
+        self.view.stats()
     }
 }
 
@@ -878,7 +1097,7 @@ mod tests {
 
     #[test]
     fn region_and_nuclei_come_from_the_resident_hierarchy() {
-        let mut engine = Engine::new(demo_graph(), &full_config());
+        let engine = Engine::new(demo_graph(), &full_config());
         // Vertex 6 has κ=1; its densest region is the whole 1-core.
         let r = engine.region_of(SpaceSel::Core, 6).unwrap();
         assert_eq!(r.k, 1);
@@ -923,15 +1142,15 @@ mod tests {
             assert_eq!(report.spaces.len(), 3);
             let g2 = engine.graph().clone();
             assert_eq!(
-                engine.state(SpaceSel::Core).unwrap().kappa,
+                *engine.view().state(SpaceSel::Core).unwrap().kappa,
                 peel(&CoreSpace::new(&g2)).kappa
             );
             assert_eq!(
-                engine.state(SpaceSel::Truss).unwrap().kappa,
+                *engine.view().state(SpaceSel::Truss).unwrap().kappa,
                 peel(&TrussSpace::precomputed(&g2)).kappa
             );
             assert_eq!(
-                engine.state(SpaceSel::Nucleus34).unwrap().kappa,
+                *engine.view().state(SpaceSel::Nucleus34).unwrap().kappa,
                 peel(&Nucleus34Space::precomputed(&g2)).kappa
             );
             // Region queries still work against the refreshed state.
@@ -970,11 +1189,15 @@ mod tests {
                 );
             }
             for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
-                let st = engine.state(sel).unwrap();
-                let hi = st.hierarchy.as_ref().expect("hierarchy must stay resident");
-                hdsd_nucleus::assert_forest_eq(&hi.forest, &build_hierarchy(&st.cached, &st.kappa));
+                let view = engine.view();
+                let st = view.state(sel).unwrap();
+                let hi = st.hierarchy.get().expect("hierarchy must stay resident");
+                hdsd_nucleus::assert_forest_eq(
+                    &hi.forest,
+                    &build_hierarchy(st.cached.as_ref(), &st.kappa),
+                );
                 // The inverted index matches the repaired forest.
-                assert_eq!(hi.node_of, hi.forest.clique_to_node(st.cached.num_cliques()));
+                assert_eq!(*hi.node_of, hi.forest.clique_to_node(st.cached.num_cliques()));
             }
         }
         assert!(engine.stats().spaces.iter().all(|s| s.hierarchy_resident));
@@ -995,7 +1218,7 @@ mod tests {
     #[test]
     fn empty_graph_queries_return_stable_responses() {
         let g = hdsd_graph::graph_from_edges([]);
-        let mut engine = Engine::new(g, &full_config());
+        let engine = Engine::new(g, &full_config());
         for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
             assert!(engine.nuclei_at(sel, 1).unwrap().is_empty());
             assert!(engine.region_of(sel, 0).unwrap_err().contains("out of range"));
@@ -1008,19 +1231,20 @@ mod tests {
     #[test]
     fn snapshot_restore_adopts_the_persisted_clique_index() {
         let g = hdsd_datasets::holme_kim(70, 4, 0.5, 51);
-        let mut engine = Engine::new(g, &full_config());
+        let engine = Engine::new(g, &full_config());
         let _ = engine.region_of(SpaceSel::Truss, 0).unwrap();
         let snap = engine.to_snapshot();
         for sp in &snap.spaces {
-            let node_of = sp.node_of.as_ref().expect("v3 snapshots carry the index");
+            let node_of = sp.node_of.as_deref().expect("v3 snapshots carry the index");
             assert_eq!(node_of, &sp.hierarchy.as_ref().unwrap().clique_to_node(sp.kappa.len()));
         }
         let back = Engine::from_snapshot(snap, LocalConfig::sequential()).unwrap();
+        let (ev, bv) = (engine.view(), back.view());
         for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
-            let (a, b) = (engine.state(sel).unwrap(), back.state(sel).unwrap());
+            let (a, b) = (ev.state(sel).unwrap(), bv.state(sel).unwrap());
             assert_eq!(
-                a.hierarchy.as_ref().unwrap().node_of,
-                b.hierarchy.as_ref().unwrap().node_of,
+                a.hierarchy.get().unwrap().node_of,
+                b.hierarchy.get().unwrap().node_of,
                 "{}",
                 sel.name()
             );
@@ -1032,7 +1256,7 @@ mod tests {
         // Large enough that every space's build and peel cross the 1 µs
         // timer resolution.
         let g = hdsd_datasets::holme_kim(1500, 6, 0.5, 29);
-        let mut engine = Engine::new(g, &full_config());
+        let engine = Engine::new(g, &full_config());
         let fresh = engine.stats();
         assert!(fresh.spaces.iter().all(|s| s.build_us > 0), "{fresh:?}");
         assert!(fresh.spaces.iter().all(|s| s.peel_us > 0), "{fresh:?}");
@@ -1056,19 +1280,39 @@ mod tests {
         assert_eq!(back.graph().edges(), engine.graph().edges());
         for sel in [SpaceSel::Core, SpaceSel::Truss, SpaceSel::Nucleus34] {
             assert_eq!(
-                back.state(sel).unwrap().kappa,
-                engine.state(sel).unwrap().kappa,
+                back.view().state(sel).unwrap().kappa,
+                engine.view().state(sel).unwrap().kappa,
                 "{}",
                 sel.name()
             );
             // Hierarchies were serialized resident.
-            assert!(back.state(sel).unwrap().hierarchy.is_some());
+            assert!(back.view().state(sel).unwrap().hierarchy.get().is_some());
         }
         // And the restored engine keeps serving + updating.
         let r = back.region_of(SpaceSel::Core, 0).unwrap();
         assert_eq!(r.vertices, engine.region_of(SpaceSel::Core, 0).unwrap().vertices);
         back.update(&[(2, 60)], &[]);
         let g2 = back.graph().clone();
-        assert_eq!(back.state(SpaceSel::Core).unwrap().kappa, peel(&CoreSpace::new(&g2)).kappa);
+        assert_eq!(
+            *back.view().state(SpaceSel::Core).unwrap().kappa,
+            peel(&CoreSpace::new(&g2)).kappa
+        );
+    }
+
+    #[test]
+    fn old_views_survive_updates_bit_identically() {
+        let g = hdsd_datasets::holme_kim(80, 4, 0.5, 13);
+        let mut engine = Engine::new(g, &full_config());
+        let old = engine.view();
+        let old_kappa: Vec<u32> = old.kappa_vector(SpaceSel::Truss).unwrap().to_vec();
+        let old_edges = old.graph().num_edges();
+        engine.update(&[(0, 40), (1, 41)], &[]);
+        engine.update(&[(2, 42)], &[]);
+        // The pinned view still answers from its own epoch.
+        assert_eq!(old.kappa_vector(SpaceSel::Truss).unwrap(), &old_kappa[..]);
+        assert_eq!(old.graph().num_edges(), old_edges);
+        assert_eq!(old.stats().updates_applied, 0);
+        assert_eq!(engine.stats().updates_applied, 2);
+        assert_ne!(engine.graph().num_edges(), old_edges);
     }
 }

@@ -14,8 +14,16 @@
 //!   of recomputing, exactly;
 //! * [`hdsd_nucleus::Snapshot`]s restart the engine without decomposing.
 //!
+//! Serving state is published in **epochs** ([`epoch`]): every update
+//! builds the next immutable [`engine::EngineView`] off to the side and
+//! publishes it through an [`EpochCell`] with one atomic swap, so any
+//! number of reader threads answer wait-free from the epoch they pinned
+//! while the single writer lane works.
+//!
 //! The `hdsd-serve` binary speaks a line-delimited JSON protocol
-//! ([`protocol`]) over stdin/stdout or TCP, with per-request telemetry.
+//! ([`protocol`]) over stdin/stdout or TCP — a poll-based multi-
+//! connection loop with `--readers N` worker threads — with per-request
+//! telemetry.
 //!
 //! Serving is crash-safe when opened over a durability directory
 //! ([`recovery`]): update batches are appended to a checksummed
@@ -25,15 +33,17 @@
 //! tail is detected and dropped, never partially applied.
 
 pub mod engine;
+pub mod epoch;
 pub mod json;
 pub mod protocol;
 pub mod recovery;
 pub mod wal;
 
 pub use engine::{
-    Engine, EngineConfig, EngineStats, HierarchyRepairReport, NucleusSummary, RegionReport,
-    SpaceRefresh, SpaceSel, SpaceStats, UpdateReport,
+    Engine, EngineConfig, EngineStats, EngineView, HierarchyRepairReport, NucleusSummary,
+    RegionReport, SpaceRefresh, SpaceSel, SpaceStats, UpdateReport,
 };
+pub use epoch::{EpochCell, EpochReader};
 pub use json::Json;
 pub use protocol::{Handled, Server};
 pub use recovery::{

@@ -17,7 +17,22 @@
 //! Ops: `stats`, `kappa`, `estimate`, `nuclei`, `region`, `node`,
 //! `insert`, `remove`, `update`, `save`, `checkpoint`, `wal_stats`,
 //! `metrics`, `slow_log`, `shutdown` (plus `debug_panic` when debug ops
-//! are enabled).
+//! are enabled). The normative op-by-op specification (schemas, error
+//! shapes, semantics) lives in `docs/PROTOCOL.md`, whose examples are
+//! replayed against a live engine by `tests/protocol_doc_examples.rs`.
+//!
+//! ## Epochs: the read/write split
+//!
+//! A [`Server`] is a cheap **handle**; [`Server::handle`] mints siblings
+//! sharing one engine. Read ops (`stats`, `kappa`, `estimate`, `nuclei`,
+//! `region`, `node`, `save`, `metrics`, `slow_log`) pin the handle's
+//! current epoch ([`crate::epoch::EpochReader`]) and answer from that
+//! immutable view — wait-free, any number of threads, never blocked by a
+//! refresh. Mutating ops (`insert`/`remove`/`update`, `checkpoint`,
+//! `shutdown`) serialize on the single writer lane, build the next epoch
+//! off to the side, and publish it *before* acking, so a synchronous
+//! client always reads its own writes. `update`-family responses and
+//! `stats` carry the `epoch` field (the published / pinned epoch id).
 //!
 //! ## Timing fields on the wire
 //!
@@ -68,33 +83,76 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use hdsd_graph::VertexId;
 use hdsd_nucleus::QueryOptions;
-use hdsd_telemetry::{counter_add, labeled, trace, Histogram, MetricSnapshot, Registry};
+use hdsd_telemetry::{counter_add, labeled, trace, Gauge, Histogram, MetricSnapshot, Registry};
 
-use crate::engine::{Engine, RegionReport, SpaceSel};
+use crate::engine::{Engine, EngineView, RegionReport, SpaceSel};
+use crate::epoch::{EpochCell, EpochReader};
 use crate::json::{obj, Json};
 use crate::recovery::Durability;
 use crate::wal::FailPoints;
 
-/// Stateful request handler wrapping an [`Engine`], optionally backed by
-/// a durability directory (WAL + checkpoints).
-pub struct Server {
+/// Sentinel for "slow tracing disabled" in [`Shared::trace_slow_us`].
+const TRACE_DISABLED: u64 = u64::MAX;
+
+/// The single writer lane: the engine plus its durability state, behind
+/// one mutex. Every mutating op (`insert`/`remove`/`update`,
+/// `checkpoint`, `shutdown`) locks it, appends to the WAL *first*, builds
+/// the next epoch through [`Engine::update`], and publishes it; read ops
+/// never touch this lock.
+struct WriterLane {
     engine: Engine,
     durability: Option<Durability>,
-    debug_ops: bool,
+}
+
+/// State shared by every [`Server`] handle of one serving process.
+struct Shared {
+    /// The epoch publication point: readers pin it, the writer lane
+    /// publishes into it after every applied batch.
+    cell: Arc<EpochCell<EngineView>>,
+    writer: Mutex<WriterLane>,
+    debug_ops: AtomicBool,
     started: Instant,
-    requests: u64,
-    failed: u64,
+    requests: AtomicU64,
+    failed: AtomicU64,
     /// Requests slower than this (µs) get their span tree attached and
-    /// are pushed to the slow-query log. `None` disables slow tracing.
-    trace_slow_us: Option<u64>,
+    /// are pushed to the slow-query log; [`TRACE_DISABLED`] turns slow
+    /// tracing off.
+    trace_slow_us: AtomicU64,
+    /// Whether this server runs over a durability directory (immutable
+    /// for the process lifetime, so `stats` can answer without locking).
+    durable: bool,
+    /// Mirrors of the WAL's generation / record count, refreshed by the
+    /// writer lane after every durable op so the read-lane `stats` op
+    /// reports them without taking the writer lock.
+    wal_generation: AtomicU64,
+    wal_seq: AtomicU64,
+}
+
+/// Stateful request handler wrapping an [`Engine`], optionally backed by
+/// a durability directory (WAL + checkpoints).
+///
+/// A `Server` is a **handle**: [`Server::handle`] mints siblings that
+/// share the engine, durability state, and request counters but own
+/// their own epoch reader — one handle per connection-serving thread.
+/// Read ops pin the handle's epoch and run wait-free; write ops
+/// serialize on the shared writer lane and publish the next epoch.
+pub struct Server {
+    shared: Arc<Shared>,
+    /// This handle's pinned-epoch reader (the wait-free read path).
+    reader: EpochReader<EngineView>,
     /// Cached per-op latency histogram handles (op labels are a small
     /// closed set, so each registry lookup happens once per op).
     op_hist: HashMap<&'static str, Arc<Histogram>>,
+    /// Cached registry handles for the epoch metadata metrics.
+    epoch_gauge: Arc<Gauge>,
+    lag_gauge: Arc<Gauge>,
+    publish_hist: Arc<Histogram>,
 }
 
 /// Renders a caught panic payload as a response error string.
@@ -118,56 +176,113 @@ pub struct Handled {
 impl Server {
     /// Wraps an engine (no durability: updates live only in memory).
     pub fn new(engine: Engine) -> Server {
-        Server {
-            engine,
-            durability: None,
-            debug_ops: false,
-            started: Instant::now(),
-            requests: 0,
-            failed: 0,
-            trace_slow_us: None,
-            op_hist: HashMap::new(),
-        }
+        Self::build(engine, None)
     }
 
     /// Wraps a recovered engine together with its durability state: every
     /// accepted update batch is WAL-logged before it is applied.
     pub fn with_durability(engine: Engine, durability: Durability) -> Server {
-        Server { durability: Some(durability), ..Server::new(engine) }
+        Self::build(engine, Some(durability))
+    }
+
+    fn build(engine: Engine, durability: Option<Durability>) -> Server {
+        let cell = Arc::new(EpochCell::new(engine.view()));
+        let durable = durability.is_some();
+        let (wal_generation, wal_seq) = durability
+            .as_ref()
+            .map(|d| {
+                let w = d.wal_stats();
+                (w.generation, w.records)
+            })
+            .unwrap_or((0, 0));
+        let shared = Arc::new(Shared {
+            cell,
+            writer: Mutex::new(WriterLane { engine, durability }),
+            debug_ops: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            trace_slow_us: AtomicU64::new(TRACE_DISABLED),
+            durable,
+            wal_generation: AtomicU64::new(wal_generation),
+            wal_seq: AtomicU64::new(wal_seq),
+        });
+        Self::from_shared(shared)
+    }
+
+    fn from_shared(shared: Arc<Shared>) -> Server {
+        let reader = shared.cell.reader();
+        let reg = Registry::global();
+        Server {
+            reader,
+            op_hist: HashMap::new(),
+            epoch_gauge: reg.gauge("epoch_id"),
+            lag_gauge: reg.gauge("reader_epoch_lag"),
+            publish_hist: reg.histogram("epoch_publish_micros"),
+            shared,
+        }
+    }
+
+    /// Mints a sibling handle sharing this server's engine, durability
+    /// lane, and counters, with its own epoch reader — one per
+    /// connection-serving thread.
+    pub fn handle(&self) -> Server {
+        Self::from_shared(Arc::clone(&self.shared))
     }
 
     /// Enables the `debug_panic` op (fault drills and tests only).
     pub fn enable_debug_ops(&mut self) {
-        self.debug_ops = true;
+        self.shared.debug_ops.store(true, Ordering::Relaxed);
     }
 
     /// Arms slow-request tracing: requests slower than `us` microseconds
     /// return their span tree and land in the slow-query log. Also flips
-    /// the process-wide span-recording switch.
+    /// the process-wide span-recording switch. Applies to every handle of
+    /// this server.
     pub fn set_trace_slow_us(&mut self, us: Option<u64>) {
-        self.trace_slow_us = us;
+        self.shared.trace_slow_us.store(us.unwrap_or(TRACE_DISABLED), Ordering::Relaxed);
         trace::set_enabled(us.is_some());
     }
 
     /// Whether this server runs over a durability directory.
     pub fn is_durable(&self) -> bool {
-        self.durability.is_some()
+        self.shared.durable
+    }
+
+    /// The writer lane, with poisoning ignored: a panic mid-request is
+    /// already contained by `handle_line`'s catch, and the lane's engine
+    /// swaps views atomically (a poisoned lock never holds a torn epoch).
+    fn write_lane(&self) -> MutexGuard<'_, WriterLane> {
+        self.shared.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Refreshes the lock-free WAL stats mirror after a durable op.
+    fn refresh_wal_mirror(&self, lane: &WriterLane) {
+        if let Some(d) = lane.durability.as_ref() {
+            let w = d.wal_stats();
+            self.shared.wal_generation.store(w.generation, Ordering::Relaxed);
+            self.shared.wal_seq.store(w.records, Ordering::Relaxed);
+        }
     }
 
     /// Flushes pending WAL appends and takes an atomic checkpoint — the
     /// graceful-shutdown path (signal handlers, EOF). No-op without
     /// durability.
     pub fn drain_and_checkpoint(&mut self) -> Result<(), String> {
-        if let Some(d) = self.durability.as_mut() {
+        let mut lane = self.write_lane();
+        let lane = &mut *lane;
+        if let Some(d) = lane.durability.as_mut() {
             d.sync().map_err(|e| format!("WAL sync: {e}"))?;
-            d.checkpoint(&mut self.engine).map_err(|e| format!("checkpoint: {e}"))?;
+            d.checkpoint(&lane.engine).map_err(|e| format!("checkpoint: {e}"))?;
         }
+        self.refresh_wal_mirror(lane);
         Ok(())
     }
 
-    /// The wrapped engine (for tests and benches).
-    pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+    /// Point-in-time statistics of the engine's current epoch (startup
+    /// banners, tests).
+    pub fn engine_stats(&mut self) -> crate::engine::EngineStats {
+        self.reader.pin().0.stats()
     }
 
     /// Canonical metric label for a request's op: known ops map to
@@ -211,9 +326,9 @@ impl Server {
     /// latency histogram.
     pub fn handle_line(&mut self, line: &str) -> Handled {
         let start = Instant::now();
-        self.requests += 1;
-        let request_id = self.requests;
-        let tracing = self.trace_slow_us.is_some() && trace::enabled();
+        let request_id = self.shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let slow_us = self.shared.trace_slow_us.load(Ordering::Relaxed);
+        let tracing = slow_us != TRACE_DISABLED && trace::enabled();
         if tracing {
             trace::begin();
         }
@@ -244,13 +359,13 @@ impl Server {
         }
         counter_add!("requests_total", 1);
         if failed {
-            self.failed += 1;
+            self.shared.failed.fetch_add(1, Ordering::Relaxed);
             counter_add!("requests_failed_total", 1);
         }
         self.op_histogram(op).record(micros);
         if tracing {
             let tr = trace::take();
-            if self.trace_slow_us.is_some_and(|limit| micros >= limit) {
+            if micros >= slow_us {
                 if let Json::Obj(members) = &mut response {
                     members.push(("trace".to_string(), trace_json(&tr)));
                 }
@@ -265,36 +380,47 @@ impl Server {
             .get("op")
             .and_then(Json::as_str)
             .ok_or_else(|| "missing string field \"op\"".to_string())?;
-        let fields = match op {
-            "stats" => self.stats(),
-            "kappa" => self.kappa(req)?,
-            "estimate" => self.estimate(req)?,
-            "nuclei" => self.nuclei(req)?,
-            "region" => self.region(req)?,
-            "node" => self.node(req)?,
-            "insert" => self.update(Some(req), None)?,
-            "remove" => self.update(None, Some(req))?,
-            "update" => self.update(Some(req), Some(req))?,
-            "save" => self.save(req)?,
-            "checkpoint" => self.checkpoint_op()?,
-            "wal_stats" => self.wal_stats_op()?,
-            "metrics" => obj([("metrics", metrics_json(Registry::global()))]),
-            "slow_log" => slow_log_json(),
-            "debug_panic" if self.debug_ops => panic!("debug_panic op fired"),
+        // Write-lane ops: serialize on the writer mutex, publish an epoch.
+        match op {
+            "insert" => return Ok((self.update(Some(req), None)?, false)),
+            "remove" => return Ok((self.update(None, Some(req))?, false)),
+            "update" => return Ok((self.update(Some(req), Some(req))?, false)),
+            "checkpoint" => return Ok((self.checkpoint_op()?, false)),
+            "wal_stats" => return Ok((self.wal_stats_op()?, false)),
             "shutdown" => {
                 let mut fields = vec![("bye".to_string(), true.into())];
-                if self.durability.is_some() {
+                if self.shared.durable {
                     self.drain_and_checkpoint()?;
                     fields.push(("checkpointed".to_string(), true.into()));
                 }
                 return Ok((Json::Obj(fields), true));
+            }
+            _ => {}
+        }
+        // Read-lane ops: pin this handle's epoch and answer from it —
+        // wait-free with respect to the writer and every other reader.
+        self.lag_gauge.set(self.reader.lag());
+        let (view, epoch) = self.reader.pin();
+        let view = Arc::clone(view);
+        let fields = match op {
+            "stats" => self.stats(&view, epoch),
+            "kappa" => Self::kappa(&view, req)?,
+            "estimate" => Self::estimate(&view, req)?,
+            "nuclei" => Self::nuclei(&view, req)?,
+            "region" => Self::region(&view, req)?,
+            "node" => Self::node(&view, req)?,
+            "save" => Self::save(&view, req)?,
+            "metrics" => obj([("metrics", metrics_json(Registry::global()))]),
+            "slow_log" => slow_log_json(),
+            "debug_panic" if self.shared.debug_ops.load(Ordering::Relaxed) => {
+                panic!("debug_panic op fired")
             }
             other => return Err(format!("unknown op {other:?}")),
         };
         Ok((fields, false))
     }
 
-    fn space_of(&self, req: &Json) -> Result<SpaceSel, String> {
+    fn space_of(req: &Json) -> Result<SpaceSel, String> {
         let name = req
             .get("space")
             .and_then(Json::as_str)
@@ -303,8 +429,9 @@ impl Server {
     }
 
     /// Resolves the addressed clique: `"id"` directly, or `"vertices"`
-    /// (vertex / edge endpoints / triangle) through the engine's index.
-    fn clique_of(&mut self, req: &Json, sel: SpaceSel) -> Result<usize, String> {
+    /// (vertex / edge endpoints / triangle) through the pinned view's
+    /// resident substrate.
+    fn clique_of(view: &EngineView, req: &Json, sel: SpaceSel) -> Result<usize, String> {
         if let Some(id) = req.get("id") {
             return id.as_usize().ok_or_else(|| "\"id\" must be a non-negative integer".into());
         }
@@ -313,25 +440,29 @@ impl Server {
             let verts: Option<Vec<VertexId>> =
                 vs.iter().map(|v| v.as_u64().map(|x| x as VertexId)).collect();
             let verts = verts.ok_or("\"vertices\" must contain non-negative integers")?;
-            return self.engine.resolve(sel, &verts);
+            return view.resolve(sel, &verts);
         }
         Err("request needs \"id\" or \"vertices\"".to_string())
     }
 
-    fn stats(&self) -> Json {
-        let s = self.engine.stats();
+    fn stats(&self, view: &EngineView, epoch: u64) -> Json {
+        let s = view.stats();
         let mut members = vec![
             ("vertices".to_string(), s.vertices.into()),
             ("edges".to_string(), s.edges.into()),
             ("updates_applied".to_string(), s.updates_applied.into()),
-            ("requests_total".to_string(), self.requests.into()),
-            ("requests_failed".to_string(), self.failed.into()),
-            ("uptime_seconds".to_string(), self.started.elapsed().as_secs().into()),
+            ("epoch".to_string(), epoch.into()),
+            ("requests_total".to_string(), self.shared.requests.load(Ordering::Relaxed).into()),
+            ("requests_failed".to_string(), self.shared.failed.load(Ordering::Relaxed).into()),
+            ("uptime_seconds".to_string(), self.shared.started.elapsed().as_secs().into()),
         ];
-        if let Some(d) = &self.durability {
-            let w = d.wal_stats();
-            members.push(("wal_generation".to_string(), w.generation.into()));
-            members.push(("wal_seq".to_string(), w.records.into()));
+        if self.shared.durable {
+            members.push((
+                "wal_generation".to_string(),
+                self.shared.wal_generation.load(Ordering::Relaxed).into(),
+            ));
+            members
+                .push(("wal_seq".to_string(), self.shared.wal_seq.load(Ordering::Relaxed).into()));
         }
         members.push((
             "spaces".to_string(),
@@ -352,11 +483,11 @@ impl Server {
         Json::Obj(members)
     }
 
-    fn kappa(&mut self, req: &Json) -> Result<Json, String> {
-        let sel = self.space_of(req)?;
-        let id = self.clique_of(req, sel)?;
-        let kappa = self.engine.kappa_of(sel, id)?;
-        let vertices = self.engine.clique_vertices(sel, id)?;
+    fn kappa(view: &EngineView, req: &Json) -> Result<Json, String> {
+        let sel = Self::space_of(req)?;
+        let id = Self::clique_of(view, req, sel)?;
+        let kappa = view.kappa_of(sel, id)?;
+        let vertices = view.clique_vertices(sel, id)?;
         Ok(obj([
             ("space", sel.name().into()),
             ("id", id.into()),
@@ -372,16 +503,16 @@ impl Server {
             .map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
-    fn estimate(&mut self, req: &Json) -> Result<Json, String> {
-        let sel = self.space_of(req)?;
-        let id = self.clique_of(req, sel)?;
+    fn estimate(view: &EngineView, req: &Json) -> Result<Json, String> {
+        let sel = Self::space_of(req)?;
+        let id = Self::clique_of(view, req, sel)?;
         let opts = QueryOptions {
             iterations: req.get("iterations").and_then(Json::as_usize).unwrap_or(3),
             budget: req.get("budget").and_then(Json::as_usize),
             lower_bound: req.get("lower_bound").and_then(Json::as_bool).unwrap_or(true),
             deadline: Self::deadline_of(req),
         };
-        let est = self.engine.estimate(sel, id, &opts)?;
+        let est = view.estimate(sel, id, &opts)?;
         Ok(obj([
             ("space", sel.name().into()),
             ("id", id.into()),
@@ -395,14 +526,14 @@ impl Server {
         ]))
     }
 
-    fn nuclei(&mut self, req: &Json) -> Result<Json, String> {
-        let sel = self.space_of(req)?;
+    fn nuclei(view: &EngineView, req: &Json) -> Result<Json, String> {
+        let sel = Self::space_of(req)?;
         let k = req
             .get("k")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"k\"".to_string())? as u32;
         let limit = req.get("limit").and_then(Json::as_usize).unwrap_or(32);
-        let nuclei = self.engine.nuclei_at_within(sel, k, Self::deadline_of(req))?;
+        let nuclei = view.nuclei_at_within(sel, k, Self::deadline_of(req))?;
         let total = nuclei.len();
         Ok(obj([
             ("space", sel.name().into()),
@@ -435,22 +566,22 @@ impl Server {
         ])
     }
 
-    fn region(&mut self, req: &Json) -> Result<Json, String> {
-        let sel = self.space_of(req)?;
-        let id = self.clique_of(req, sel)?;
+    fn region(view: &EngineView, req: &Json) -> Result<Json, String> {
+        let sel = Self::space_of(req)?;
+        let id = Self::clique_of(view, req, sel)?;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = self.engine.region_of_within(sel, id, Self::deadline_of(req))?;
+        let r = view.region_of_within(sel, id, Self::deadline_of(req))?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
-    fn node(&mut self, req: &Json) -> Result<Json, String> {
-        let sel = self.space_of(req)?;
+    fn node(view: &EngineView, req: &Json) -> Result<Json, String> {
+        let sel = Self::space_of(req)?;
         let node = req
             .get("node")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"node\"".to_string())? as u32;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = self.engine.node_region_within(sel, node, Self::deadline_of(req))?;
+        let r = view.node_region_within(sel, node, Self::deadline_of(req))?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
@@ -499,18 +630,29 @@ impl Server {
         if insert.is_empty() && remove.is_empty() {
             return Err("empty update: provide \"insert\"/\"remove\" (or \"edges\")".to_string());
         }
-        self.validate_batch(&insert, &remove)?;
+        // Writer lane: one mutating request at a time. Readers keep
+        // answering from their pinned epochs for the whole duration.
+        let mut lane = self.write_lane();
+        let lane = &mut *lane;
+        Self::validate_batch(&lane.engine, &insert, &remove)?;
         // Durable path: the batch reaches the log (synced per policy)
         // before the engine sees it. If the append fails, nothing was
         // applied and the client is told so in those words.
-        let wal_seq = match self.durability.as_mut() {
+        let wal_seq = match lane.durability.as_mut() {
             Some(d) => Some(
                 d.append(&insert, &remove)
                     .map_err(|e| format!("WAL append failed; update NOT applied: {e}"))?,
             ),
             None => None,
         };
-        let report = self.engine.update(&insert, &remove);
+        let t_publish = Instant::now();
+        let report = lane.engine.update(&insert, &remove);
+        // Publish before acking so this client (and anyone it tells)
+        // observes its own write on the very next read.
+        let epoch = self.shared.cell.publish(lane.engine.view());
+        self.publish_hist.record(t_publish.elapsed().as_micros() as u64);
+        self.epoch_gauge.set(epoch);
+        self.refresh_wal_mirror(lane);
         let mut fields = obj([
             ("inserted", report.inserted.into()),
             ("removed", report.removed.into()),
@@ -551,8 +693,11 @@ impl Server {
                     .collect(),
             ),
         ]);
-        if let (Some(seq), Json::Obj(members)) = (wal_seq, &mut fields) {
-            members.push(("wal_seq".to_string(), seq.into()));
+        if let Json::Obj(members) = &mut fields {
+            if let Some(seq) = wal_seq {
+                members.push(("wal_seq".to_string(), seq.into()));
+            }
+            members.push(("epoch".to_string(), epoch.into()));
         }
         Ok(fields)
     }
@@ -563,13 +708,13 @@ impl Server {
     /// (a garbage id would otherwise allocate per-vertex arrays to match
     /// it). Errors name the offending edge; nothing is partially applied.
     fn validate_batch(
-        &self,
+        engine: &Engine,
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> Result<(), String> {
         /// New vertex ids a single insert batch may introduce.
         const MAX_VERTEX_GROWTH: u64 = 1 << 20;
-        let n = self.engine.stats().vertices as u64;
+        let n = engine.graph().num_vertices() as u64;
         let cap = n + MAX_VERTEX_GROWTH;
         let mut seen = std::collections::HashSet::new();
         for (label, edges, limit) in [("insert", insert, cap), ("remove", remove, n)] {
@@ -606,12 +751,15 @@ impl Server {
         Ok(())
     }
 
-    fn save(&mut self, req: &Json) -> Result<Json, String> {
+    /// `save` is a **read-lane** op since PR 8: the snapshot shares the
+    /// pinned epoch's rows by `Arc` (zero-copy) and serializes them while
+    /// updates keep flowing — the file is a consistent image of one epoch.
+    fn save(view: &EngineView, req: &Json) -> Result<Json, String> {
         let path = req
             .get("path")
             .and_then(Json::as_str)
             .ok_or_else(|| "missing string field \"path\"".to_string())?;
-        let snap = self.engine.to_snapshot();
+        let snap = view.to_snapshot();
         crate::recovery::write_snapshot_atomic(
             &snap,
             std::path::Path::new(path),
@@ -622,11 +770,14 @@ impl Server {
     }
 
     fn checkpoint_op(&mut self) -> Result<Json, String> {
-        let d = self
+        let mut lane = self.write_lane();
+        let lane = &mut *lane;
+        let d = lane
             .durability
             .as_mut()
             .ok_or_else(|| "durability disabled (start with --durable DIR)".to_string())?;
-        let ck = d.checkpoint(&mut self.engine).map_err(|e| format!("checkpoint: {e}"))?;
+        let ck = d.checkpoint(&lane.engine).map_err(|e| format!("checkpoint: {e}"))?;
+        self.refresh_wal_mirror(lane);
         Ok(obj([
             ("path", ck.path.display().to_string().into()),
             ("spaces", ck.spaces.into()),
@@ -637,12 +788,14 @@ impl Server {
     }
 
     fn wal_stats_op(&self) -> Result<Json, String> {
-        let d = self
+        let lane = self.write_lane();
+        let d = lane
             .durability
             .as_ref()
             .ok_or_else(|| "durability disabled (start with --durable DIR)".to_string())?;
         let s = d.wal_stats();
         let r = d.recovery();
+        let checkpoints = d.checkpoints_taken();
         Ok(obj([
             ("path", s.path.display().to_string().into()),
             ("generation", s.generation.into()),
@@ -650,7 +803,7 @@ impl Server {
             ("bytes", s.bytes.into()),
             ("pending_sync", s.pending_sync.into()),
             ("policy", s.policy.into()),
-            ("checkpoints", d.checkpoints_taken().into()),
+            ("checkpoints", checkpoints.into()),
             (
                 "recovery",
                 obj([
@@ -1221,6 +1374,27 @@ mod tests {
         let v = ok(&mut s, r#"{"op":"stats"}"#);
         assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("requests_failed").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn sibling_handles_serve_the_published_epoch() {
+        let mut a = demo_server();
+        let mut b = a.handle();
+        let v = ok(&mut b, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3), "epoch 0: vertex 0 sits in a K4");
+        // Writing through handle a publishes epoch 1...
+        let v = ok(&mut a, r#"{"op":"update","insert":[[0,4],[1,4]],"remove":[]}"#);
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        // ...and sibling b observes it on its next pin, no sync call:
+        // {0,1,2,3,4} is now a K5.
+        let v = ok(&mut b, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(4));
+        // Request accounting and the epoch counter are shared state, not
+        // per-handle: all four requests land in one stats view.
+        let v = ok(&mut b, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("requests_failed").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -263,8 +263,10 @@ impl Durability {
 
     /// Takes an atomic checkpoint of `engine` and rotates the WAL. On
     /// any error the WAL keeps its records — nothing acknowledged is
-    /// dropped until the snapshot is safely in place.
-    pub fn checkpoint(&mut self, engine: &mut Engine) -> io::Result<CheckpointReport> {
+    /// dropped until the snapshot is safely in place. Reads the engine's
+    /// current epoch zero-copy (`&Engine`): checkpointing never blocks or
+    /// mutates serving state beyond the WAL rotation.
+    pub fn checkpoint(&mut self, engine: &Engine) -> io::Result<CheckpointReport> {
         let t_ckpt = Instant::now();
         hdsd_telemetry::span!("ckpt.checkpoint");
         self.wal.sync("ckpt.wal.sync")?;
@@ -395,7 +397,7 @@ mod tests {
             Durability::open(cfg(&dir), LocalConfig::sequential(), fresh_engine).unwrap();
         dur.append(&[(0, 30)], &[]).unwrap();
         engine.update(&[(0, 30)], &[]);
-        let ck = dur.checkpoint(&mut engine).unwrap();
+        let ck = dur.checkpoint(&engine).unwrap();
         assert!(ck.wal_bytes_truncated > 0);
         dur.append(&[(1, 31)], &[]).unwrap();
         engine.update(&[(1, 31)], &[]);

@@ -28,6 +28,13 @@
 //! crash window between "checkpoint renamed into place" and "WAL
 //! truncated" safe — recovery may replay those batches twice.
 //!
+//! **Ordering against epoch publication** (see [`crate::epoch`]): the
+//! append happens on the writer lane *before* the next
+//! [`crate::EngineView`] is built, and the response is only written after
+//! that view is published. So a batch visible to any reader is always in
+//! the WAL, and recovery replays the log into epoch 0 of the restarted
+//! process — readers re-pin from there.
+//!
 //! Fault injection: every filesystem side effect consults a [`FailPoints`]
 //! hook first. In production the hook is [`FailPoints::none`] and
 //! compiles down to an `Option` check; under the crash harness it can

@@ -161,7 +161,7 @@ fn run_trial(stream: &Stream, reference: &mut Engine, point: &'static str, trial
         engine.update(ins, rm);
         if j == c && ckpt_path {
             armed.store(true, Ordering::SeqCst);
-            let err = dur.checkpoint(&mut engine).expect_err("armed checkpoint must crash");
+            let err = dur.checkpoint(&engine).expect_err("armed checkpoint must crash");
             assert!(is_injected_crash(&err), "{point}: {err}");
             crashed = true;
             break;

@@ -112,11 +112,49 @@ def extract_telemetry(doc):
     return metrics, hard_failures
 
 
+def extract_concurrent(doc):
+    """Requirements of the epoch-published concurrent serving bench.
+
+    All checks are core-aware and computed from the fresh document alone
+    (hard failures, not baseline-relative): max-thread lookup throughput
+    under a churning writer must scale to at least min(4.0, 0.6 * cores)
+    of single-thread, and read p99 during refresh must stay within 2x of
+    quiescent — the latter only gated on >= 2 cores, where a reader can
+    actually overlap the writer instead of timesharing with it. A reader
+    observing a non-monotone epoch is a correctness failure.
+
+    The baseline-relative metrics are capped at 1.0 ("requirement met
+    with headroom") so the soft gate is portable across machines with
+    different core counts; the raw scaling is reported ungated."""
+    hard_failures = []
+    cores = float(doc.get("cores", 1))
+    required = min(4.0, 0.6 * cores)
+    scaling = float(doc.get("scaling_max_vs_1", 0.0))
+    if not doc.get("reads_monotone", False):
+        hard_failures.append("concurrent: a reader observed a non-monotone epoch")
+    if scaling < required:
+        hard_failures.append(
+            f"concurrent: {scaling:.2f}x max-thread scaling under churn is below the "
+            f"{required:.2f}x floor for {cores:.0f} cores"
+        )
+    metrics = {"concurrent_scaling_requirement_met": min(scaling / max(required, 1e-9), 1.0)}
+    p99 = doc.get("p99", {})
+    ratio = float(p99.get("ratio", float("inf")))
+    if cores >= 2:
+        if ratio > 2.0:
+            hard_failures.append(
+                f"concurrent: read p99 during refresh is {ratio:.2f}x quiescent (bound 2.0x)"
+            )
+        metrics["concurrent_p99_requirement_met"] = min(2.0 / max(ratio, 1e-9), 1.0)
+    return metrics, hard_failures
+
+
 EXTRACTORS = {
     "frontier": extract_frontier,
     "service": extract_service,
     "peel": extract_peel,
     "telemetry": extract_telemetry,
+    "concurrent": extract_concurrent,
 }
 
 
@@ -205,6 +243,12 @@ def selftest():
             {"name": "disabled_span", "ns_per_op": 1.5, "ceiling_ns": 50.0},
         ]
     }
+    concurrent = {
+        "cores": 8,
+        "scaling_max_vs_1": 5.1,
+        "p99": {"quiescent_us": 0.5, "refresh_us": 0.8, "ratio": 1.6},
+        "reads_monotone": True,
+    }
     checks = []
     checks.append(("identical frontier passes", compare("frontier", frontier, frontier, 0.1) == []))
     checks.append(("identical service passes", compare("service", service, service, 0.1) == []))
@@ -263,6 +307,28 @@ def selftest():
 
     missing = {"refreshes": []}
     checks.append(("missing metrics fail", compare("service", service, missing, 0.1) != []))
+
+    checks.append(
+        ("identical concurrent passes", compare("concurrent", concurrent, concurrent, 0.1) == [])
+    )
+    flat = json.loads(json.dumps(concurrent))
+    flat["scaling_max_vs_1"] = 1.1  # 8 cores demand min(4.0, 4.8) = 4.0x
+    checks.append(("flat scaling curve fails", compare("concurrent", concurrent, flat, 0.1) != []))
+    stalled = json.loads(json.dumps(concurrent))
+    stalled["p99"]["ratio"] = 7.5  # readers blocked behind the writer
+    checks.append(("refresh-stalled p99 fails", compare("concurrent", concurrent, stalled, 0.1) != []))
+    single_core = json.loads(json.dumps(concurrent))
+    single_core["cores"] = 1
+    single_core["scaling_max_vs_1"] = 0.9  # >= min(4.0, 0.6) floor
+    single_core["p99"]["ratio"] = 7.5  # timesharing, not a stall: not gated
+    checks.append(
+        ("single-core p99 is not gated", compare("concurrent", single_core, single_core, 0.1) == [])
+    )
+    regressed_epoch = json.loads(json.dumps(concurrent))
+    regressed_epoch["reads_monotone"] = False
+    checks.append(
+        ("non-monotone epoch fails", compare("concurrent", concurrent, regressed_epoch, 0.1) != [])
+    )
 
     ok = True
     for name, passed in checks:
