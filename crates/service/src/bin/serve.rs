@@ -285,14 +285,36 @@ fn drain(server: &mut Server, why: &str) {
 }
 
 fn serve_stdio(mut server: Server) -> Result<(), String> {
-    let stdin = std::io::stdin();
+    // Blocking stdin reads are not reliably interrupted by SIGTERM (libc
+    // installs handlers with SA_RESTART), so a dedicated thread owns the
+    // blocking reads and the serving loop polls SHUTDOWN between lines
+    // delivered over a channel. The thread may still be parked in read(2)
+    // when the loop exits; process exit reclaims it.
+    let (line_tx, line_rx) = mpsc::channel::<std::io::Result<String>>();
+    std::thread::Builder::new()
+        .name("hdsd-stdin".to_string())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let failed = line.is_err();
+                if line_tx.send(line).is_err() || failed {
+                    break;
+                }
+            }
+        })
+        .map_err(|e| format!("spawn stdin reader: {e}"))?;
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
+    loop {
         if SHUTDOWN.load(Ordering::SeqCst) {
             break;
         }
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let line = match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => line.map_err(|e| format!("stdin: {e}"))?,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -309,21 +331,45 @@ fn serve_stdio(mut server: Server) -> Result<(), String> {
     Ok(())
 }
 
-/// A request line routed to a worker, tagged with its connection slot.
+/// A request line may not exceed this many bytes. A connection whose
+/// read buffer holds this much without a newline is dropped — otherwise
+/// a client streaming a newline-free line grows the buffer without
+/// bound.
+const MAX_LINE_BYTES: usize = 1024 * 1024;
+
+/// Stop reading new requests from a connection whose unflushed response
+/// bytes exceed this high-water mark. A client that pipelines requests
+/// while never reading responses stalls (its kernel socket buffers fill,
+/// then its reads stop, then its writes block) instead of growing
+/// `write_buf` without bound.
+const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+/// A request line routed to a worker, tagged with its connection slot
+/// and that slot's generation at dispatch time.
 struct Job {
     conn: usize,
+    gen: u64,
     line: String,
 }
 
 /// A worker's answer, routed back to the connection's write buffer.
 struct Resp {
     conn: usize,
+    gen: u64,
     response: String,
 }
 
 /// One live TCP connection owned by the IO loop.
 struct Conn {
     stream: std::net::TcpStream,
+    /// Unique id for this connection's tenancy of its slot. Slots are
+    /// reused after a connection dies — possibly with responses still in
+    /// flight from the workers — so every `Job`/`Resp` carries the
+    /// generation and the response sweep drops answers whose generation
+    /// no longer matches the slot's occupant. Without this, a late
+    /// response for a reaped connection would be delivered to whichever
+    /// client was accepted into the recycled slot.
+    gen: u64,
     /// Bytes received but not yet terminated by `\n`.
     read_buf: Vec<u8>,
     /// Response bytes accepted by the kernel lazily (nonblocking flush).
@@ -345,6 +391,12 @@ impl Conn {
     fn pump_read(&mut self) -> Vec<String> {
         let mut tmp = [0u8; 16 * 1024];
         loop {
+            // Bound how much one sweep buffers: a flooding client leaves
+            // its surplus in the kernel socket buffer until the next
+            // sweep, so `read_buf` stays O(MAX_LINE_BYTES).
+            if self.read_buf.len() > MAX_LINE_BYTES {
+                break;
+            }
             match self.stream.read(&mut tmp) {
                 Ok(0) => {
                     self.eof = true;
@@ -372,6 +424,11 @@ impl Conn {
                     return lines;
                 }
             }
+        }
+        if self.read_buf.len() > MAX_LINE_BYTES {
+            // Everything newline-terminated was extracted above, so this
+            // residue is one oversized partial line.
+            self.dead = true;
         }
         lines
     }
@@ -438,7 +495,10 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                     if h.shutdown {
                         stop.store(true, Ordering::SeqCst);
                     }
-                    if resp_tx.send(Resp { conn: job.conn, response: h.response }).is_err() {
+                    if resp_tx
+                        .send(Resp { conn: job.conn, gen: job.gen, response: h.response })
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -450,6 +510,7 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
 
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut next_worker = 0usize;
+    let mut next_gen = 0u64;
     let mut stop_seen: Option<Instant> = None;
     let mut shutdown_op = false;
     loop {
@@ -471,6 +532,7 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                         }
                         let conn = Conn {
                             stream: s,
+                            gen: next_gen,
                             read_buf: Vec::new(),
                             write_buf: Vec::new(),
                             worker: next_worker,
@@ -478,6 +540,7 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                             eof: false,
                             dead: false,
                         };
+                        next_gen += 1;
                         next_worker = (next_worker + 1) % readers;
                         let slot = conns.iter().position(Option::is_none);
                         match slot {
@@ -500,8 +563,14 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
         if !stopping {
             for (id, slot) in conns.iter_mut().enumerate() {
                 let Some(conn) = slot else { continue };
+                // Backpressure: a client that pipelines without reading
+                // responses gets no further reads until its write buffer
+                // drains below the high-water mark.
+                if conn.write_buf.len() >= WRITE_HIGH_WATER {
+                    continue;
+                }
                 for line in conn.pump_read() {
-                    if job_txs[conn.worker].send(Job { conn: id, line }).is_ok() {
+                    if job_txs[conn.worker].send(Job { conn: id, gen: conn.gen, line }).is_ok() {
                         conn.pending += 1;
                         progressed = true;
                     }
@@ -509,10 +578,16 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
             }
         }
 
-        // Response sweep: worker answers into write buffers.
+        // Response sweep: worker answers into write buffers. A response
+        // whose generation doesn't match the slot's current occupant
+        // belongs to a connection that was reaped while the request was
+        // in flight — dropped, never delivered to the slot's new tenant.
         while let Ok(r) = resp_rx.try_recv() {
             progressed = true;
             if let Some(Some(conn)) = conns.get_mut(r.conn) {
+                if conn.gen != r.gen {
+                    continue;
+                }
                 conn.pending = conn.pending.saturating_sub(1);
                 conn.write_buf.extend_from_slice(r.response.as_bytes());
                 conn.write_buf.push(b'\n');

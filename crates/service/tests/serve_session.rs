@@ -209,6 +209,177 @@ fn tcp_mode_serves_requests() {
     let _ = child.wait();
 }
 
+/// Spawn a `--listen` daemon and connect, retrying until the listener
+/// is up. Returns the child and a connected stream.
+fn spawn_tcp(extra_args: &[&str]) -> (Child, String) {
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut args = extra_args.to_vec();
+    args.extend_from_slice(&["--listen", &addr]);
+    let child = Command::new(BIN)
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hdsd-serve --listen");
+    (child, addr)
+}
+
+fn connect(addr: &str) -> std::net::TcpStream {
+    for _ in 0..100 {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    panic!("connect to hdsd-serve at {addr}");
+}
+
+/// A connection that dies with responses still in flight frees its slot;
+/// the next client reuses the slot index. Late responses for the dead
+/// connection must be dropped, never delivered to the slot's new tenant
+/// (generation-tag regression test).
+#[test]
+fn reused_slot_does_not_receive_stale_responses() {
+    // A non-trivial graph so the doomed client's request takes long
+    // enough to still be in flight when the second client is served.
+    let (mut child, addr) = spawn_tcp(&["--synthetic", "5000,8,0.5,7", "--spaces", "core,truss"]);
+
+    // Client A: one slow request (an update whose refresh sweep takes a
+    // long time in a debug build), then invalid UTF-8 — the server marks
+    // A dead in the same sweep it dispatches the update, so A's slot is
+    // reaped and recycled while the response is still in flight.
+    let mut a = connect(&addr);
+    let mut burst = Vec::new();
+    let inserts: Vec<String> = (0..50).map(|i| format!("[{i},{}]", 2500 + i)).collect();
+    burst.extend_from_slice(
+        format!("{{\"op\":\"update\",\"insert\":[{}]}}\n", inserts.join(",")).as_bytes(),
+    );
+    burst.extend_from_slice(b"\xff\xfe\xff\n");
+    a.write_all(&burst).unwrap();
+    a.flush().unwrap();
+
+    // Give the IO loop time to dispatch the update and reap A, so B is
+    // accepted into A's recycled slot while the update still runs.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let b = connect(&addr);
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_reader = BufReader::new(b);
+    writeln!(b_writer, r#"{{"op":"stats"}}"#).unwrap();
+    b_writer.flush().unwrap();
+
+    // B's first — and only — response line must be its own stats answer,
+    // not one of A's region answers.
+    let mut first = String::new();
+    b_reader.read_line(&mut first).unwrap();
+    let v = Json::parse(first.trim()).unwrap_or_else(|e| panic!("bad response {first:?}: {e}"));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert!(v.get("vertices").is_some(), "B received a response that is not its stats: {v}");
+
+    // No stale response may trickle into B afterwards either — the
+    // window is generous so A's update completes inside it.
+    b_reader.get_ref().set_read_timeout(Some(std::time::Duration::from_millis(2500))).unwrap();
+    let mut extra = String::new();
+    match b_reader.read_line(&mut extra) {
+        Ok(0) => panic!("server closed B's healthy connection"),
+        Ok(_) => panic!("B received an unrequested response: {extra:?}"),
+        Err(_) => {} // timeout: nothing further arrived — correct
+    }
+
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// A newline-free line longer than the server's cap gets the connection
+/// dropped instead of growing `read_buf` without bound — and the server
+/// keeps serving other clients.
+#[test]
+fn oversized_request_line_is_rejected() {
+    let (mut child, addr) = spawn_tcp(&["--demo"]);
+
+    let mut flood = connect(&addr);
+    // 2 MiB with no newline: past the 1 MiB cap the server kills the
+    // connection, so some tail of this write may fail with a reset —
+    // that is the expected outcome, not a test error.
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut wrote_all = true;
+    for _ in 0..32 {
+        if flood.write_all(&chunk).is_err() {
+            wrote_all = false;
+            break;
+        }
+    }
+    let _ = flood.flush();
+    // The server must hang up: EOF or a reset, never a response.
+    flood.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    match std::io::Read::read(&mut flood, &mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!(
+            "server answered an unterminated over-long line with {n} bytes (wrote_all={wrote_all})"
+        ),
+    }
+
+    // The daemon itself is unharmed: a fresh connection is served.
+    let healthy = connect(&addr);
+    let mut writer = healthy.try_clone().unwrap();
+    let mut reader = BufReader::new(healthy);
+    writeln!(writer, r#"{{"op":"kappa","space":"core","id":0}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let v = Json::parse(reply.trim()).unwrap();
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3), "{v}");
+
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// SIGTERM must drain and exit the stdio loop even while it is blocked
+/// waiting for the next stdin line (no request traffic at all).
+#[cfg(unix)]
+#[test]
+fn sigterm_interrupts_idle_stdin_loop() {
+    let dir = std::env::temp_dir().join(format!("hdsd_serve_stdin_term_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().unwrap().to_string();
+
+    let mut s = Serve::spawn(&["--demo", "--durable", &dir_str]);
+    let v = s.ok(r#"{"op":"update","insert":[[0,4],[1,4]]}"#);
+    assert_eq!(v.get("wal_seq").unwrap().as_u64(), Some(1), "{v}");
+
+    // stdin stays open: the daemon is parked in a blocking line read.
+    let status = Command::new("kill")
+        .args(["-TERM", &s.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    let mut exited = false;
+    for _ in 0..200 {
+        if s.child.try_wait().unwrap().is_some() {
+            exited = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(exited, "stdio daemon ignored SIGTERM while blocked on stdin");
+    drop(s);
+
+    // The exit was a graceful drain: the update is in the checkpoint.
+    let mut s2 = Serve::spawn(&["--demo", "--durable", &dir_str]);
+    let v = s2.ok(r#"{"op":"wal_stats"}"#);
+    let rec = v.get("recovery").unwrap();
+    assert_eq!(rec.get("replayed").and_then(Json::as_u64), Some(0), "{v}");
+    let v = s2.ok(r#"{"op":"kappa","space":"core","id":4}"#);
+    assert_eq!(v.get("kappa").unwrap().as_u64(), Some(4), "update lost despite graceful SIGTERM");
+    s2.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn panicking_request_is_survived_over_the_wire() {
     let mut s = Serve::spawn(&["--demo", "--debug-ops"]);
