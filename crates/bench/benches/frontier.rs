@@ -8,7 +8,9 @@
 //!   recomputation counts come from `SchedulerStats`, so the numbers are
 //!   exact, not sampled;
 //! * **memory layout**: flat container cache vs the callback walk;
-//! * **parallel drain**: dynamic vs static chunk hand-out over the frontier.
+//! * **parallel drain**: the barrier-free continuous frontier drain vs a
+//!   barriered parallel flag scan (dynamic chunk hand-out) — the ablation
+//!   showing what removing the per-sweep barrier buys.
 //!
 //! Everything is written to `BENCH_frontier.json` at the workspace root
 //! (one self-contained JSON document, no dependencies) so the perf
@@ -83,6 +85,10 @@ fn run_one<S: CliqueSpace>(
         threads,
         policy: if threads <= 1 {
             "sequential"
+        } else if mode == SweepMode::Frontier {
+            // The parallel frontier is the barrier-free continuous drain;
+            // chunk hand-out policy does not apply to it.
+            "drain"
         } else {
             match policy {
                 Policy::Dynamic => "dynamic",
@@ -107,11 +113,11 @@ fn bench_space<S: CliqueSpace>(space: &S, records: &mut Vec<RunRecord>) {
     }
     // Cache ablation (frontier, sequential, no cache).
     records.push(run_one(space, &exact, SweepMode::Frontier, false, 1, Policy::Dynamic));
-    // Parallel frontier drain: dynamic vs static hand-out.
+    // Parallel: the barrier-free continuous drain vs the barriered flag
+    // scan with dynamic hand-out (the what-does-the-barrier-cost ablation).
     let threads = hdsd_parallel::default_threads().clamp(2, 8);
-    for policy in [Policy::Dynamic, Policy::Static] {
-        records.push(run_one(space, &exact, SweepMode::Frontier, true, threads, policy));
-    }
+    records.push(run_one(space, &exact, SweepMode::Frontier, true, threads, Policy::Dynamic));
+    records.push(run_one(space, &exact, SweepMode::FlagScan, true, threads, Policy::Dynamic));
 }
 
 fn json_escape(s: &str) -> String {

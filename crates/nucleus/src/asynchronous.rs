@@ -14,11 +14,13 @@
 //! awake set is *scheduled* is a separate choice ([`crate::SweepMode`]):
 //!
 //! * [`SweepMode::Frontier`] (default) keeps the awake r-cliques in an
-//!   explicit dedup-on-insert worklist ([`hdsd_parallel::FrontierQueue`]).
-//!   Each sweep drains the worklist snapshot — sorted back into the
-//!   requested processing order — so per-sweep cost is `O(|frontier|)`,
-//!   not `O(n)`. Late, nearly-converged sweeps touch only the handful of
-//!   r-cliques that can still change.
+//!   explicit dedup-on-insert worklist, so per-sweep cost is
+//!   `O(|frontier|)`, not `O(n)`. Late, nearly-converged sweeps touch only
+//!   the handful of r-cliques that can still change. Sequentially the
+//!   worklist is a plain epoch queue drained in permutation order; in
+//!   parallel it is a lock-free MPMC ring ([`hdsd_parallel::ConcurrentWorklist`])
+//!   drained **continuously** — no epoch snapshot, no sort, no barrier
+//!   (see "Parallel variant" below).
 //! * [`SweepMode::FlagScan`] is the paper's literal formulation: walk the
 //!   full permutation every sweep and test the wake flag per r-clique. It
 //!   recomputes the same r-cliques as `Frontier` but pays `O(n)` idle flag
@@ -47,14 +49,21 @@
 //! mix of old and new values, which the paper argues (and Theorem 1's
 //! monotone, lower-bounded descent guarantees) still converges to the same
 //! fixed point — in the worst case it degenerates to the synchronous
-//! schedule. Frontier sweeps drain the worklist snapshot with dynamic chunk
-//! hand-out (the paper's `schedule(dynamic)` ablation applies unchanged).
-//! A final full verification sweep certifies the fixed point, so results
-//! are exact regardless of races.
+//! schedule. Under [`SweepMode::Frontier`] the workers free-run against a
+//! lock-free worklist with **no per-epoch barrier**: an update pushes the
+//! woken neighbors straight back into the ring and any idle worker picks
+//! them up within the same round, which is exactly the asynchrony the
+//! companion paper (arXiv:1704.00386) proves harmless. Round termination
+//! is exact quiescence counting ([`hdsd_parallel::QuiescenceCounter`]),
+//! not an empty-queue check. The scan modes keep their dynamic/static
+//! chunk hand-out (the paper's `schedule(dynamic)` ablation, now doubling
+//! as the barrier ablation). A final full verification round certifies
+//! the fixed point, so results are exact regardless of races.
 
 use hdsd_hindex::HBuffer;
 use hdsd_parallel::{
-    parallel_for_chunks_with, AtomicBitset, AtomicU32Vec, FrontierQueue, SchedulerStats,
+    parallel_for_chunks_with, AtomicBitset, AtomicU32Vec, ConcurrentWorklist, QuiescenceCounter,
+    SchedulerStats,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -228,46 +237,57 @@ fn drive<A: SweepAccess>(
     }
 }
 
-/// The concurrent frontier worklist plus the bookkeeping that keeps epochs
-/// honoring the requested processing order: each sweep drains the queue
-/// into a snapshot and sorts it by permutation rank, so `Order` means the
-/// same thing it does under a full scan.
-struct EpochFrontier {
-    queue: FrontierQueue,
-    rank: Vec<u32>,
-    snapshot: Vec<u32>,
+/// The continuous-drain frontier of the parallel And: a lock-free MPMC
+/// worklist ([`ConcurrentWorklist`]) drained by free-running workers with
+/// **no per-epoch barrier, snapshot, or sort** — an updating worker pushes
+/// woken neighbors straight back into the ring and any idle worker picks
+/// them up immediately. The companion paper's asynchrony argument
+/// (arXiv:1704.00386) makes this safe: τ reads may be stale, but `U` is
+/// monotone and lower-bounded, so every schedule descends to the same
+/// fixed point; the round only ends when [`QuiescenceCounter`] proves every
+/// issued item (seeds and wakes alike) was retired.
+///
+/// Ids are seeded in permutation-rank order, so the first round starts in
+/// the requested processing order; after that the drain order is whatever
+/// the interleaving produces (exactness never depends on it — the
+/// convergence protocol's certification round recomputes everything).
+struct DrainFrontier {
+    worklist: ConcurrentWorklist,
+    quiesce: QuiescenceCounter,
 }
 
-impl EpochFrontier {
+impl DrainFrontier {
     /// Builds the worklist with every r-clique scheduled (line 4 of
     /// Algorithm 3: all start awake), or only `awake` when given (the
     /// incremental warm-start path).
     fn seeded(perm: &[u32], awake: Option<&[u32]>) -> Self {
-        let queue = FrontierQueue::new(perm.len());
-        let mut rank = vec![0u32; perm.len()];
-        for (k, &i) in perm.iter().enumerate() {
-            rank[i as usize] = k as u32;
-        }
+        let f = DrainFrontier {
+            worklist: ConcurrentWorklist::new(perm.len()),
+            quiesce: QuiescenceCounter::new(),
+        };
         for &i in awake.unwrap_or(perm) {
-            queue.push(i);
+            f.issue_push(i);
         }
-        EpochFrontier { queue, rank, snapshot: Vec::with_capacity(perm.len()) }
+        f
     }
 
-    /// Moves the scheduled ids into this sweep's snapshot, ordered by
-    /// permutation rank. Ids keep their scheduled bit until a worker
-    /// [`FrontierQueue::unmark`]s them right before recomputation.
-    fn begin_sweep(&mut self) {
-        self.snapshot.clear();
-        self.queue.drain_into(&mut self.snapshot);
-        let rank = &self.rank;
-        self.snapshot.sort_unstable_by_key(|&i| rank[i as usize]);
+    /// Issues then publishes `id`, rolling the issue back when the dedup
+    /// bit says it is already scheduled (issue-before-publish keeps the
+    /// quiescence invariant `retired ≤ issued` exact).
+    #[inline]
+    fn issue_push(&self, id: u32) {
+        self.quiesce.issue(1);
+        if !self.worklist.push(id) {
+            self.quiesce.retire(1);
+        }
     }
 
-    /// Schedules every r-clique again (the certification sweep).
+    /// Schedules every r-clique again (the certification round). Runs
+    /// between rounds, when the drain is quiescent: the ring is empty and
+    /// every dedup bit is clear, so each push publishes.
     fn reschedule_all(&self, perm: &[u32]) {
         for &i in perm {
-            self.queue.push(i);
+            self.issue_push(i);
         }
     }
 }
@@ -476,8 +496,8 @@ fn and_parallel<A: SweepAccess>(
     let n = access.len();
     let tau = AtomicU32Vec::from_vec(tau_init.unwrap_or_else(|| access.initial()));
 
-    let mut frontier =
-        if mode == SweepMode::Frontier { Some(EpochFrontier::seeded(perm, awake)) } else { None };
+    let frontier =
+        if mode == SweepMode::Frontier { Some(DrainFrontier::seeded(perm, awake)) } else { None };
     // Wake flags, FlagScan only; Frontier/FullScan never touch them.
     let active =
         AtomicBitset::new(if mode == SweepMode::FlagScan { n } else { 0 }, awake.is_none());
@@ -508,37 +528,83 @@ fn and_parallel<A: SweepAccess>(
         let updates_ref = &updates;
         let processed_ref = &processed;
 
-        // Both paths hand out chunks through the shared scheduler, so the
-        // dynamic-vs-static policy ablation applies to frontier sweeps too;
-        // the frontier path chunks the drained snapshot instead of 0..n.
-        let sweep_stats = match &mut frontier {
+        // The frontier path is a barrier-free continuous drain; the scan
+        // paths hand out chunks through the shared scheduler, so the
+        // dynamic-vs-static policy ablation applies to them unchanged.
+        let sweep_stats = match &frontier {
             Some(f) => {
-                f.begin_sweep();
-                let EpochFrontier { queue, snapshot, .. } = &*f;
-                let work: &[u32] = snapshot;
-                parallel_for_chunks_with(work.len(), cfg.parallel, HBuffer::new, |buf, range| {
-                    let mut local_updates = 0usize;
-                    for k in range.clone() {
-                        let iu = work[k];
-                        let i = iu as usize;
-                        queue.unmark(iu);
-                        let old = tau_ref.get(i);
-                        let new = access
-                            .recompute(i, old, |o| tau_ref.get(o), buf, cfg.preserve_check)
-                            .min(old);
-                        if new != old {
-                            tau_ref.set(i, new);
-                            local_updates += 1;
-                            access.wake(i, |o| {
-                                queue.push(o as u32);
-                            });
-                        }
+                let worklist = &f.worklist;
+                let quiesce = &f.quiesce;
+                let threads = cfg.parallel.threads.max(1);
+                let mut per_worker = vec![0usize; threads];
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            s.spawn(move || {
+                                let mut buf = HBuffer::new();
+                                let mut claims = 0usize;
+                                let mut local_updates = 0usize;
+                                let mut local_processed = 0usize;
+                                let mut idle = 0u32;
+                                loop {
+                                    let Some(iu) = worklist.pop() else {
+                                        // Empty is not done: a peer may be
+                                        // mid-item about to wake neighbors.
+                                        // Only quiescence (all issued work
+                                        // retired) ends the round.
+                                        if quiesce.quiescent() {
+                                            break;
+                                        }
+                                        idle += 1;
+                                        if idle > 4 {
+                                            // Oversubscribed hosts: give
+                                            // the worker holding the tail
+                                            // of the drain the core.
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::hint::spin_loop();
+                                        }
+                                        continue;
+                                    };
+                                    idle = 0;
+                                    claims += 1;
+                                    let i = iu as usize;
+                                    // Unmark before recomputing: a
+                                    // concurrent neighbor update re-issues
+                                    // us (the paper's line 17).
+                                    worklist.unmark(iu);
+                                    local_processed += 1;
+                                    let old = tau_ref.get(i);
+                                    let new = access
+                                        .recompute(
+                                            i,
+                                            old,
+                                            |o| tau_ref.get(o),
+                                            &mut buf,
+                                            cfg.preserve_check,
+                                        )
+                                        .min(old);
+                                    if new != old {
+                                        tau_ref.set(i, new);
+                                        local_updates += 1;
+                                        access.wake(i, |o| f.issue_push(o as u32));
+                                    }
+                                    // Retire only after the item's own
+                                    // issues are published.
+                                    quiesce.retire(1);
+                                }
+                                (claims, local_updates, local_processed)
+                            })
+                        })
+                        .collect();
+                    for (w, h) in handles.into_iter().enumerate() {
+                        let (claims, lu, lp) = h.join().expect("And drain worker panicked");
+                        per_worker[w] = claims;
+                        updates_ref.fetch_add(lu, Ordering::Relaxed);
+                        processed_ref.fetch_add(lp, Ordering::Relaxed);
                     }
-                    if local_updates > 0 {
-                        updates_ref.fetch_add(local_updates, Ordering::Relaxed);
-                    }
-                    processed_ref.fetch_add(range.len(), Ordering::Relaxed);
-                })
+                });
+                SchedulerStats::from_chunks(per_worker)
             }
             None => {
                 let active_ref = &active;

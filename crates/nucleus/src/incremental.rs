@@ -662,8 +662,14 @@ impl<K: SpaceKind> Incremental<K> {
         let substrate = K::init_substrate(&graph);
         let cached = K::build_cached(&graph, &substrate);
         // The snapshot's container rows are already flat: peel them with
-        // the monomorphized engine instead of re-walking the callbacks.
-        let kappa = crate::peel::peel_flat(cached.flat()).kappa;
+        // the monomorphized engine instead of re-walking the callbacks —
+        // through the barrier-free drain when the config asks for threads
+        // (κ is bit-identical either way).
+        let kappa = if cfg.parallel.threads > 1 {
+            crate::peel::peel_parallel_flat(cached.flat(), cfg.parallel).kappa
+        } else {
+            crate::peel::peel_flat(cached.flat()).kappa
+        };
         Incremental { graph, substrate, cached, kappa, cfg, _kind: PhantomData }
     }
 

@@ -81,8 +81,8 @@ pub use incremental::{
 };
 pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{
-    peel, peel_flat, peel_parallel, peel_parallel_flat, peel_parallel_walk, peel_walk, PeelEngine,
-    PeelResult, PeelStats,
+    peel, peel_flat, peel_parallel, peel_parallel_flat, peel_parallel_flat_with,
+    peel_parallel_with, peel_walk, DrainStats, PeelEngine, PeelResult, PeelStats,
 };
 pub use query::{
     estimate_core_numbers, estimate_truss_numbers, local_estimate, local_estimate_opts,

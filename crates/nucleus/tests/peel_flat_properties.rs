@@ -7,8 +7,8 @@
 //! same κ. Runs under the nightly slow-props budget (`PROPTEST_CASES`).
 
 use hdsd_nucleus::{
-    peel, peel_flat, peel_parallel_flat, peel_parallel_walk, peel_walk, CliqueSpace, CoreSpace,
-    FlatContainers, GenericSpace, Nucleus34Space, PeelEngine, TrussSpace,
+    peel, peel_flat, peel_parallel_flat, peel_walk, CliqueSpace, CoreSpace, FlatContainers,
+    GenericSpace, Nucleus34Space, PeelEngine, TrussSpace,
 };
 use hdsd_parallel::ParallelConfig;
 use proptest::prelude::*;
@@ -42,10 +42,12 @@ fn check_space<S: CliqueSpace>(space: &S, engine: &mut PeelEngine) {
     assert!(ks.windows(2).all(|w| w[0] <= w[1]), "{}: order not κ-sorted", space.name());
     assert_eq!(walk.max_kappa, walk.kappa.iter().copied().max().unwrap_or(0));
 
-    // Parallel engines (walk and flat) agree on κ.
+    // The barrier-free parallel drain reproduces κ and the closed-form
+    // work counters bit-for-bit.
     let cfg = ParallelConfig::with_threads(3).chunk(4);
-    assert_eq!(peel_parallel_flat(&flat, cfg).kappa, walk.kappa, "{}", space.name());
-    assert_eq!(peel_parallel_walk(space, cfg).kappa, walk.kappa, "{}", space.name());
+    let par = peel_parallel_flat(&flat, cfg);
+    assert_eq!(par.kappa, walk.kappa, "{}", space.name());
+    assert_eq!(par.stats, walk.stats, "{}: parallel counters diverged", space.name());
 }
 
 proptest! {

@@ -15,8 +15,10 @@
 pub mod scheduling;
 
 pub use scheduling::{
-    parallel_for_chunks, parallel_for_chunks_collect, parallel_for_chunks_with, FrontierQueue,
-    Policy, SchedulerStats,
+    parallel_for_chunks, parallel_for_chunks_collect, parallel_for_chunks_with, ChunkCursor,
+    ConcurrentWorklist, DrainControl, DrainEvent, DrainHooks, DrainQueue, FrontierQueue, MpmcRing,
+    PhaseGate, Policy, QuiescenceCounter, ScheduleJitter, SchedulerStats, WorkerControl,
+    WorkerJitter,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};

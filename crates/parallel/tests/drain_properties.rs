@@ -1,0 +1,224 @@
+//! Property tests for the barrier-free drain primitives: the chunk-claim
+//! cursor, the push-once MPMC drain queue, the dedup worklist ring, and
+//! quiescence-counting termination. Each property hammers the primitive
+//! from several real threads with randomized sizes, worker counts, and
+//! chunk shapes (including the degenerate shapes the unit tests pin:
+//! empty input, a single item, more workers than chunks) and asserts the
+//! exactly-once / no-loss / termination invariants hold under whatever
+//! interleaving the scheduler produced. Runs at `PROPTEST_CASES=500` in
+//! the nightly slow-props job.
+//!
+//! Bodies live in plain functions (the `proptest!` block only forwards)
+//! so the macro input stays within its recursion budget.
+
+use hdsd_parallel::{ChunkCursor, ConcurrentWorklist, DrainQueue, QuiescenceCounter};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+/// Every index in `0..limit` is claimed exactly once, no matter how many
+/// workers race on the cursor or how ragged the chunks are.
+fn check_cursor_partitions(limit: usize, workers: usize, chunk: usize) {
+    let cursor = ChunkCursor::new(limit);
+    let hits: Vec<AtomicU32> = (0..limit).map(|_| AtomicU32::new(0)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                while let Some(r) = cursor.claim(chunk) {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} claim count");
+    }
+    assert!(cursor.claim(chunk).is_none(), "exhausted cursor must stay exhausted");
+}
+
+/// Concurrent pushers and claimers: every pushed id is drained exactly
+/// once, with its pushing worker faithfully recorded.
+fn check_drain_queue_exactly_once(n: u32, pushers: u32, claimers: usize, take: usize) {
+    let q = DrainQueue::new(n as usize);
+    let abort = AtomicBool::new(false);
+    let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let drained = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..pushers {
+            let q = &q;
+            s.spawn(move || {
+                // Pusher w owns the ids ≡ w (mod pushers): push-once.
+                let mut id = w;
+                while id < n {
+                    q.push(id, w);
+                    id += pushers;
+                }
+            });
+        }
+        for _ in 0..claimers {
+            let q = &q;
+            let abort = &abort;
+            let seen = &seen;
+            let drained = &drained;
+            s.spawn(move || loop {
+                if let Some(slots) = q.claim(take) {
+                    for slot in slots {
+                        let (id, owner) = q.read(slot, abort).expect("abort never raised");
+                        let prev = seen[id as usize].swap(owner, Ordering::Relaxed);
+                        assert_eq!(prev, u32::MAX, "id {id} drained twice");
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if drained.load(Ordering::Relaxed) == n as usize {
+                    break;
+                } else {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+    assert_eq!(q.claimed(), n as usize);
+    for id in 0..n {
+        assert_eq!(
+            seen[id as usize].load(Ordering::Relaxed),
+            id % pushers,
+            "id {id} has the wrong recorded pusher"
+        );
+    }
+}
+
+/// The dedup worklist never yields an id twice between unmarks, never
+/// loses one, and re-admits ids after unmark — under racing re-pushers.
+fn check_worklist_conservation(universe: usize, workers: usize, rounds: usize) {
+    let wl = ConcurrentWorklist::new(universe);
+    let pushed = AtomicUsize::new(0);
+    let popped = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let wl = &wl;
+            let pushed = &pushed;
+            let popped = &popped;
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    for id in 0..universe as u32 {
+                        if wl.push(id) {
+                            pushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Drain whatever is visible right now; unmark so later
+                    // rounds (ours or a peer's) can re-admit.
+                    while let Some(id) = wl.pop() {
+                        wl.unmark(id);
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    // Sequential epilogue: drain whatever the last unmarks re-admitted.
+    while let Some(id) = wl.pop() {
+        wl.unmark(id);
+        popped.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(popped.load(Ordering::Relaxed), pushed.load(Ordering::Relaxed));
+    assert!(wl.pop().is_none());
+}
+
+/// Quiescence counting terminates exactly: workers that spawn follow-on
+/// work (a bounded cascade) all exit, every enqueued item is processed,
+/// and nothing is stranded — even with more workers than items, including
+/// zero items.
+fn check_quiescence_cascade(seed_items: u32, workers: usize, fanout: u32, depth: u32) {
+    // Item encoding: id + depth·LEVEL, so each depth level owns a disjoint
+    // id band (dedup collisions only happen within a level, which is
+    // exactly the rollback path under test).
+    const LEVEL: u32 = 1024;
+    let wl = ConcurrentWorklist::new((LEVEL * 4) as usize);
+    let quiesce = QuiescenceCounter::new();
+    let next_id = AtomicU32::new(seed_items);
+    let enqueued = AtomicUsize::new(0);
+    for id in 0..seed_items {
+        quiesce.issue(1);
+        assert!(wl.push(id + depth * LEVEL));
+        enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+    let processed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let wl = &wl;
+            let quiesce = &quiesce;
+            let next_id = &next_id;
+            let processed = &processed;
+            let enqueued = &enqueued;
+            s.spawn(move || loop {
+                let Some(item) = wl.pop() else {
+                    if quiesce.quiescent() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                };
+                wl.unmark(item);
+                processed.fetch_add(1, Ordering::Relaxed);
+                let d = item / LEVEL;
+                if d > 0 {
+                    for _ in 0..fanout {
+                        let id = next_id.fetch_add(1, Ordering::Relaxed) % LEVEL;
+                        quiesce.issue(1);
+                        if wl.push(id + (d - 1) * LEVEL) {
+                            enqueued.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            quiesce.retire(1); // dedup rejected: roll back
+                        }
+                    }
+                }
+                quiesce.retire(1);
+            });
+        }
+    });
+    assert!(quiesce.quiescent(), "all issued work must be retired at join");
+    assert_eq!(processed.load(Ordering::Relaxed), enqueued.load(Ordering::Relaxed));
+    assert!(wl.pop().is_none(), "no work may be stranded in the ring");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chunk_cursor_partitions_exactly_once(
+        limit in 0usize..400,
+        workers in 1usize..9,
+        chunk in 1usize..33,
+    ) {
+        check_cursor_partitions(limit, workers, chunk);
+    }
+
+    #[test]
+    fn drain_queue_delivers_each_push_exactly_once(
+        n in 0u32..300,
+        pushers in 1u32..5,
+        claimers in 1usize..5,
+        take in 1usize..17,
+    ) {
+        check_drain_queue_exactly_once(n, pushers, claimers, take);
+    }
+
+    #[test]
+    fn worklist_pops_equal_successful_pushes(
+        universe in 1usize..200,
+        workers in 1usize..6,
+        rounds in 1usize..4,
+    ) {
+        check_worklist_conservation(universe, workers, rounds);
+    }
+
+    #[test]
+    fn quiescence_terminates_cascading_drains(
+        seed_items in 0u32..40,
+        workers in 1usize..9,
+        fanout in 0u32..3,
+        depth in 0u32..4,
+    ) {
+        check_quiescence_cascade(seed_items, workers, fanout, depth);
+    }
+}
