@@ -65,10 +65,16 @@ use hdsd_parallel::{
     parallel_for_chunks_with, AtomicBitset, AtomicU32Vec, ConcurrentWorklist, QuiescenceCounter,
     SchedulerStats,
 };
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::convergence::{ConvergenceResult, IterationEvent, LocalConfig, SweepMode};
 use crate::space::{CliqueSpace, FlatAccess, FlatContainers, SweepAccess, WalkAccess};
+
+/// How many frontier pops a parallel And worker processes between
+/// cancellation probes — the per-worker overshoot bound for the drain.
+pub const AND_CANCEL_POP_BATCH: u32 = 64;
 
 /// Processing order for the asynchronous sweep.
 #[derive(Clone, Debug, Default)]
@@ -150,7 +156,8 @@ pub fn and_with_options<S: CliqueSpace>(
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     let mode = if notification { cfg.sweep_mode } else { SweepMode::FullScan };
-    dispatch(space, cfg, order, mode, None, None, observer)
+    dispatch(space, cfg, order, mode, None, None, &CancelToken::none(), observer)
+        .expect("an unarmed token never cancels")
 }
 
 /// And starting from a caller-provided τ instead of the S-degrees.
@@ -174,7 +181,17 @@ pub fn and_resume<S: CliqueSpace>(
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
     assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
-    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), None, observer)
+    dispatch(
+        space,
+        cfg,
+        order,
+        cfg.sweep_mode,
+        Some(tau_init),
+        None,
+        &CancelToken::none(),
+        observer,
+    )
+    .expect("an unarmed token never cancels")
 }
 
 /// [`and_resume`] with only `awake` initially scheduled instead of the
@@ -195,14 +212,35 @@ pub fn and_resume_awake<S: CliqueSpace>(
     awake: &[u32],
     observer: &mut dyn FnMut(IterationEvent<'_>),
 ) -> ConvergenceResult {
+    and_resume_awake_within(space, cfg, order, tau_init, awake, &CancelToken::none(), observer)
+        .expect("an unarmed token never cancels")
+}
+
+/// [`and_resume_awake`] with cooperative cancellation: the sequential
+/// driver probes the token once per sweep, the parallel frontier every
+/// [`AND_CANCEL_POP_BATCH`] pops per worker (the scan modes once per
+/// sweep), so a tripped token abandons the iteration with bounded
+/// overshoot instead of running to convergence. On `Err` all partial τ
+/// progress is discarded — callers that want exactness re-run; callers
+/// that arrived here already hold a valid upper bound (τ only descends).
+pub fn and_resume_awake_within<S: CliqueSpace>(
+    space: &S,
+    cfg: &LocalConfig,
+    order: &Order,
+    tau_init: Vec<u32>,
+    awake: &[u32],
+    cancel: &CancelToken,
+    observer: &mut dyn FnMut(IterationEvent<'_>),
+) -> Result<ConvergenceResult, Cancelled> {
     assert_eq!(tau_init.len(), space.num_cliques(), "tau_init length mismatch");
-    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), Some(awake), observer)
+    dispatch(space, cfg, order, cfg.sweep_mode, Some(tau_init), Some(awake), cancel, observer)
 }
 
 /// Resolves the access layer (flat cache vs callback walk) and the
 /// sequential/parallel driver, then runs the sweeps. The drivers are
 /// monomorphized over [`SweepAccess`], so the hot per-container loop has no
 /// dynamic dispatch either way.
+#[allow(clippy::too_many_arguments)]
 fn dispatch<S: CliqueSpace>(
     space: &S,
     cfg: &LocalConfig,
@@ -210,17 +248,19 @@ fn dispatch<S: CliqueSpace>(
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
     awake: Option<&[u32]>,
+    cancel: &CancelToken,
     observer: &mut dyn FnMut(IterationEvent<'_>),
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, Cancelled> {
     let perm = order.permutation(space);
     let flat =
         cfg.container_cache_budget.and_then(|budget| FlatContainers::build_within(space, budget));
     match &flat {
-        Some(f) => drive(&FlatAccess(f), cfg, &perm, mode, tau_init, awake, observer),
-        None => drive(&WalkAccess(space), cfg, &perm, mode, tau_init, awake, observer),
+        Some(f) => drive(&FlatAccess(f), cfg, &perm, mode, tau_init, awake, cancel, observer),
+        None => drive(&WalkAccess(space), cfg, &perm, mode, tau_init, awake, cancel, observer),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive<A: SweepAccess>(
     access: &A,
     cfg: &LocalConfig,
@@ -228,12 +268,13 @@ fn drive<A: SweepAccess>(
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
     awake: Option<&[u32]>,
+    cancel: &CancelToken,
     observer: &mut dyn FnMut(IterationEvent<'_>),
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, Cancelled> {
     if cfg.parallel.threads <= 1 {
-        and_sequential(access, cfg, perm, mode, tau_init, awake, observer)
+        and_sequential(access, cfg, perm, mode, tau_init, awake, cancel, observer)
     } else {
-        and_parallel(access, cfg, perm, mode, tau_init, awake, observer)
+        and_parallel(access, cfg, perm, mode, tau_init, awake, cancel, observer)
     }
 }
 
@@ -357,6 +398,7 @@ impl SeqFrontier {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn and_sequential<A: SweepAccess>(
     access: &A,
     cfg: &LocalConfig,
@@ -364,8 +406,10 @@ fn and_sequential<A: SweepAccess>(
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
     awake: Option<&[u32]>,
+    cancel: &CancelToken,
     observer: &mut dyn FnMut(IterationEvent<'_>),
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, Cancelled> {
+    let armed = cancel.is_armed();
     let n = access.len();
     let mut tau = tau_init.unwrap_or_else(|| access.initial());
     let mut buf = HBuffer::new();
@@ -395,6 +439,9 @@ fn and_sequential<A: SweepAccess>(
         if n == 0 {
             converged = true;
             break;
+        }
+        if armed {
+            cancel.check("and sweep")?;
         }
         let mut updates = 0usize;
         let mut processed = 0usize;
@@ -481,9 +528,17 @@ fn and_sequential<A: SweepAccess>(
         }
     }
 
-    ConvergenceResult { tau, sweeps, converged, updates_per_iter, processed_per_iter, scheduler }
+    Ok(ConvergenceResult {
+        tau,
+        sweeps,
+        converged,
+        updates_per_iter,
+        processed_per_iter,
+        scheduler,
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn and_parallel<A: SweepAccess>(
     access: &A,
     cfg: &LocalConfig,
@@ -491,8 +546,13 @@ fn and_parallel<A: SweepAccess>(
     mode: SweepMode,
     tau_init: Option<Vec<u32>>,
     awake: Option<&[u32]>,
+    cancel: &CancelToken,
     observer: &mut dyn FnMut(IterationEvent<'_>),
-) -> ConvergenceResult {
+) -> Result<ConvergenceResult, Cancelled> {
+    let armed = cancel.is_armed();
+    // First cancellation observed inside a frontier drain; the observer
+    // also raises `abort` so every free-running peer exits its pop loop.
+    let cancel_info: Mutex<Option<Cancelled>> = Mutex::new(None);
     let n = access.len();
     let tau = AtomicU32Vec::from_vec(tau_init.unwrap_or_else(|| access.initial()));
 
@@ -521,6 +581,9 @@ fn and_parallel<A: SweepAccess>(
             converged = true;
             break;
         }
+        if armed {
+            cancel.check("and sweep")?;
+        }
         let updates = AtomicUsize::new(0);
         let processed = AtomicUsize::new(0);
         let skipped = AtomicU64::new(0);
@@ -535,6 +598,9 @@ fn and_parallel<A: SweepAccess>(
             Some(f) => {
                 let worklist = &f.worklist;
                 let quiesce = &f.quiesce;
+                let abort = AtomicBool::new(false);
+                let abort_ref = &abort;
+                let cancel_info_ref = &cancel_info;
                 let threads = cfg.parallel.threads.max(1);
                 let mut per_worker = vec![0usize; threads];
                 std::thread::scope(|s| {
@@ -546,7 +612,17 @@ fn and_parallel<A: SweepAccess>(
                                 let mut local_updates = 0usize;
                                 let mut local_processed = 0usize;
                                 let mut idle = 0u32;
+                                let mut since_check = 0u32;
                                 loop {
+                                    // Quiescence cannot be reached once a
+                                    // peer aborts with unretired items, so
+                                    // the abort flag is the drain's second
+                                    // exit — checked every iteration,
+                                    // including the idle spin (which loops
+                                    // back here via `continue`).
+                                    if armed && abort_ref.load(Ordering::Relaxed) {
+                                        break;
+                                    }
                                     let Some(iu) = worklist.pop() else {
                                         // Empty is not done: a peer may be
                                         // mid-item about to wake neighbors.
@@ -568,6 +644,24 @@ fn and_parallel<A: SweepAccess>(
                                     };
                                     idle = 0;
                                     claims += 1;
+                                    since_check += 1;
+                                    if armed && since_check >= AND_CANCEL_POP_BATCH {
+                                        since_check = 0;
+                                        if let Err(c) = cancel.check("and frontier") {
+                                            let mut slot =
+                                                cancel_info_ref.lock().expect("cancel slot");
+                                            if slot.is_none() {
+                                                *slot = Some(c);
+                                            }
+                                            drop(slot);
+                                            abort_ref.store(true, Ordering::Relaxed);
+                                            // The popped item is still
+                                            // processed below — a worker
+                                            // never abandons a held item,
+                                            // bounding overshoot to the
+                                            // pop batch plus this one.
+                                        }
+                                    }
                                     let i = iu as usize;
                                     // Unmark before recomputing: a
                                     // concurrent neighbor update re-issues
@@ -650,6 +744,9 @@ fn and_parallel<A: SweepAccess>(
             }
         };
 
+        if let Some(c) = cancel_info.lock().expect("cancel slot").take() {
+            return Err(c);
+        }
         scheduler.merge(&sweep_stats);
         sweeps += 1;
         let u = updates.load(Ordering::Relaxed);
@@ -696,14 +793,14 @@ fn and_parallel<A: SweepAccess>(
         }
     }
 
-    ConvergenceResult {
+    Ok(ConvergenceResult {
         tau: tau.into_vec(),
         sweeps,
         converged,
         updates_per_iter,
         processed_per_iter,
         scheduler,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -892,6 +989,66 @@ mod tests {
         for (i, (&a, &k)) in r.tau.iter().zip(&exact).enumerate() {
             assert!(a >= k, "τ[{i}]");
         }
+    }
+
+    #[test]
+    fn cancelled_and_aborts_sequential_and_parallel() {
+        let g = hdsd_datasets::holme_kim(800, 5, 0.5, 41);
+        let sp = CoreSpace::new(&g);
+        let n = sp.num_cliques();
+        let tau: Vec<u32> = (0..n).map(|i| sp.degree(i)).collect();
+        let awake: Vec<u32> = (0..n as u32).collect();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        for threads in [1usize, 4] {
+            let cfg = if threads == 1 {
+                LocalConfig::sequential()
+            } else {
+                LocalConfig::with_threads(threads)
+            };
+            // An expired deadline trips at the first sweep boundary.
+            let err = and_resume_awake_within(
+                &sp,
+                &cfg,
+                &Order::Natural,
+                tau.clone(),
+                &awake,
+                &CancelToken::with_deadline(Some(past)),
+                &mut |_| {},
+            )
+            .unwrap_err();
+            assert_eq!(err.message(), "deadline exceeded (and sweep)", "threads={threads}");
+            // A generous deadline is invisible: exact κ as ever.
+            let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+            let ok = and_resume_awake_within(
+                &sp,
+                &cfg,
+                &Order::Natural,
+                tau.clone(),
+                &awake,
+                &CancelToken::with_deadline(Some(far)),
+                &mut |_| {},
+            )
+            .expect("generous deadline");
+            assert_eq!(ok.tau, peel(&sp).kappa, "threads={threads}");
+        }
+        // A flag raised mid-run stops the parallel frontier drain between
+        // pop batches (stage is either the sweep boundary or the frontier,
+        // depending on where the trip lands).
+        let err = and_resume_awake_within(
+            &sp,
+            &LocalConfig::with_threads(4),
+            &Order::Natural,
+            tau.clone(),
+            &awake,
+            &CancelToken::tripping_after_checks(2),
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert!(
+            err.stage == "and sweep" || err.stage == "and frontier",
+            "unexpected stage {:?}",
+            err.stage
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub use repair::{repair_hierarchy, RepairStats};
 
 use hdsd_graph::{density, induced_subgraph, CsrGraph, VertexId};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::space::CliqueSpace;
 
 /// One nucleus in the hierarchy.
@@ -181,13 +182,33 @@ pub struct NucleusDensity {
 /// # Panics
 /// Panics when `kappa.len() != space.num_cliques()`.
 pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
+    build_hierarchy_within(space, kappa, &CancelToken::none())
+        .expect("an unarmed token never cancels")
+}
+
+/// [`build_hierarchy`] with cooperative cancellation: the token is
+/// checked every [`HIERARCHY_CANCEL_CHUNK`] materialized s-cliques and
+/// once per union–find threshold batch, so a tripped deadline aborts the
+/// build with bounded overshoot instead of running to completion.
+///
+/// # Panics
+/// Panics when `kappa.len() != space.num_cliques()`.
+pub fn build_hierarchy_within<S: CliqueSpace>(
+    space: &S,
+    kappa: &[u32],
+    cancel: &CancelToken,
+) -> Result<Hierarchy, Cancelled> {
     let n = space.num_cliques();
     assert_eq!(kappa.len(), n, "kappa length must match clique count");
+    let armed = cancel.is_armed();
 
     // Materialize each s-clique once (from its minimum-id member), with
     // weight w(S) = min κ over members.
     let mut scliques: Vec<(u32, Vec<u32>)> = Vec::new();
     for i in 0..n {
+        if armed && i % HIERARCHY_CANCEL_CHUNK == 0 {
+            cancel.check("hierarchy s-clique scan")?;
+        }
         space.for_each_container(i, |others| {
             if others.iter().any(|&o| o < i) {
                 return;
@@ -201,9 +222,13 @@ pub fn build_hierarchy<S: CliqueSpace>(space: &S, kappa: &[u32]) -> Hierarchy {
     }
 
     let mut fb = ForestBuilder::fresh(n);
-    fb.union_find_pass(scliques, kappa);
-    fb.finalize((space.r(), space.s()))
+    fb.union_find_pass_within(scliques, kappa, cancel)?;
+    Ok(fb.finalize((space.r(), space.s())))
 }
+
+/// r-cliques scanned between cancellation checks during hierarchy
+/// materialization.
+pub const HIERARCHY_CANCEL_CHUNK: usize = 4096;
 
 /// The threshold-descending union–find state shared by [`build_hierarchy`]
 /// (which starts from an empty forest) and [`repair_hierarchy`] (which
@@ -276,7 +301,21 @@ impl ForestBuilder {
     /// Processes `scliques` (weight, member cliques) in descending weight
     /// order, creating/merging nodes and assigning each clique activated at
     /// its own κ to its component's node at that threshold.
-    pub(crate) fn union_find_pass(&mut self, mut scliques: Vec<(u32, Vec<u32>)>, kappa: &[u32]) {
+    pub(crate) fn union_find_pass(&mut self, scliques: Vec<(u32, Vec<u32>)>, kappa: &[u32]) {
+        self.union_find_pass_within(scliques, kappa, &CancelToken::none())
+            .expect("an unarmed token never cancels");
+    }
+
+    /// [`Self::union_find_pass`] with a cancellation check at the top of
+    /// every threshold batch — the natural unit of this pass, so a
+    /// tripped token overshoots by at most one batch.
+    pub(crate) fn union_find_pass_within(
+        &mut self,
+        mut scliques: Vec<(u32, Vec<u32>)>,
+        kappa: &[u32],
+        cancel: &CancelToken,
+    ) -> Result<(), Cancelled> {
+        let armed = cancel.is_armed();
         scliques.sort_unstable_by_key(|sc| std::cmp::Reverse(sc.0));
         let (nodes, parent) = (&mut self.nodes, &mut self.parent);
         let (node_of, activated) = (&mut self.node_of, &mut self.activated);
@@ -284,6 +323,9 @@ impl ForestBuilder {
 
         let mut idx = 0usize;
         while idx < scliques.len() {
+            if armed {
+                cancel.check("hierarchy union-find")?;
+            }
             let k = scliques[idx].0;
             let mut end = idx;
             while end < scliques.len() && scliques[end].0 == k {
@@ -343,6 +385,7 @@ impl ForestBuilder {
             }
             idx = end;
         }
+        Ok(())
     }
 
     /// Compacts tombstones, recomputes roots and sizes, and assembles the

@@ -50,7 +50,8 @@ use std::marker::PhantomData;
 
 use hdsd_graph::{CsrDelta, CsrGraph, GraphBuilder, TriangleList, VertexId};
 
-use crate::asynchronous::{and_resume_awake, Order};
+use crate::asynchronous::{and_resume_awake_within, Order};
+use crate::cancel::{CancelToken, Cancelled};
 use crate::convergence::{ConvergenceResult, LocalConfig};
 use crate::delta::SpaceDelta;
 use crate::space::{CachedSpace, CliqueSpace, CoreSpace, Nucleus34Space, TrussSpace};
@@ -610,8 +611,36 @@ pub fn refresh_resume_of<S: CliqueSpace>(
     inserted: u32,
     cfg: &LocalConfig,
 ) -> RefreshOutcome {
+    refresh_resume_of_within(
+        stale_of,
+        new_space,
+        inserted_ends,
+        removed_ends,
+        inserted,
+        cfg,
+        &CancelToken::none(),
+    )
+    .expect("an unarmed token never cancels")
+}
+
+/// [`refresh_resume_of`] with cooperative cancellation threaded into the
+/// underlying And resume ([`crate::and_resume_awake_within`]). The warm
+/// start itself (candidate traversal + τ sort) is not cancellable — it is
+/// linear in the batch's neighborhood, not in the graph — so a trip lands
+/// at the first sweep boundary. On `Err` nothing has been published;
+/// callers keep serving the stale decomposition.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_resume_of_within<S: CliqueSpace>(
+    stale_of: &[Option<u32>],
+    new_space: &S,
+    inserted_ends: &[VertexId],
+    removed_ends: &[VertexId],
+    inserted: u32,
+    cfg: &LocalConfig,
+    cancel: &CancelToken,
+) -> Result<RefreshOutcome, Cancelled> {
     let warm = warm_tau_init_of(stale_of, new_space, inserted_ends, removed_ends, inserted);
-    resume_from(warm, new_space, cfg)
+    resume_from_within(warm, new_space, cfg, cancel)
 }
 
 fn resume_from<S: CliqueSpace>(
@@ -619,13 +648,35 @@ fn resume_from<S: CliqueSpace>(
     new_space: &S,
     cfg: &LocalConfig,
 ) -> RefreshOutcome {
+    resume_from_within(warm, new_space, cfg, &CancelToken::none())
+        .expect("an unarmed token never cancels")
+}
+
+fn resume_from_within<S: CliqueSpace>(
+    warm: WarmStart,
+    new_space: &S,
+    cfg: &LocalConfig,
+    cancel: &CancelToken,
+) -> Result<RefreshOutcome, Cancelled> {
     hdsd_telemetry::span!("refresh.resume");
     let mut order: Vec<u32> = (0..warm.tau.len() as u32).collect();
     order.sort_unstable_by_key(|&i| warm.tau[i as usize]);
-    let result =
-        and_resume_awake(new_space, cfg, &Order::Custom(order), warm.tau, &warm.awake, &mut |_| {});
+    let result = and_resume_awake_within(
+        new_space,
+        cfg,
+        &Order::Custom(order),
+        warm.tau,
+        &warm.awake,
+        cancel,
+        &mut |_| {},
+    )?;
     debug_assert!(result.converged);
-    RefreshOutcome { result, awake: warm.awake.len(), lifted: warm.lifted, perturbed: warm.awake }
+    Ok(RefreshOutcome {
+        result,
+        awake: warm.awake.len(),
+        lifted: warm.lifted,
+        perturbed: warm.awake,
+    })
 }
 
 /// Dynamically maintained decomposition of one space kind.

@@ -43,6 +43,7 @@
 
 pub mod api;
 pub mod asynchronous;
+pub mod cancel;
 pub mod convergence;
 pub mod delta;
 pub mod export;
@@ -60,8 +61,10 @@ pub use api::{
     maximum_truss_of, nucleus34_numbers, truss_numbers,
 };
 pub use asynchronous::{
-    and, and_resume, and_resume_awake, and_with_options, and_without_notification, Order,
+    and, and_resume, and_resume_awake, and_resume_awake_within, and_with_options,
+    and_without_notification, Order,
 };
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use convergence::{
     ConvergenceResult, IterationEvent, LocalConfig, SweepMode, DEFAULT_CONTAINER_CACHE_BUDGET,
 };
@@ -71,18 +74,20 @@ pub use export::{
     SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
 pub use hierarchy::{
-    assert_forest_eq, build_hierarchy, repair_hierarchy, Hierarchy, HierarchyNode, RepairStats,
+    assert_forest_eq, build_hierarchy, build_hierarchy_within, repair_hierarchy, Hierarchy,
+    HierarchyNode, RepairStats,
 };
 pub use incremental::{
-    clique_key, rebuild_graph, refresh_resume, refresh_resume_of, stale_kappa_map, warm_tau_init,
-    warm_tau_init_local, warm_tau_init_of, BatchOutcome, CliqueKey, CoreKind, Incremental,
-    IncrementalCore, KeyHasher, Nucleus34Kind, RefreshOutcome, SpaceKind, StaleMap, TrussKind,
-    WarmStart,
+    clique_key, rebuild_graph, refresh_resume, refresh_resume_of, refresh_resume_of_within,
+    stale_kappa_map, warm_tau_init, warm_tau_init_local, warm_tau_init_of, BatchOutcome, CliqueKey,
+    CoreKind, Incremental, IncrementalCore, KeyHasher, Nucleus34Kind, RefreshOutcome, SpaceKind,
+    StaleMap, TrussKind, WarmStart,
 };
 pub use levels::{degree_levels, DegreeLevels};
 pub use peel::{
     peel, peel_flat, peel_parallel, peel_parallel_flat, peel_parallel_flat_with,
-    peel_parallel_with, peel_walk, DrainStats, PeelEngine, PeelResult, PeelStats,
+    peel_parallel_flat_within, peel_parallel_with, peel_walk, peel_within, DrainStats,
+    PeelCancelled, PeelEngine, PeelResult, PeelStats, PEEL_CANCEL_CHUNK,
 };
 pub use query::{
     estimate_core_numbers, estimate_truss_numbers, local_estimate, local_estimate_opts,

@@ -54,8 +54,31 @@ use hdsd_parallel::{
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::convergence::DEFAULT_CONTAINER_CACHE_BUDGET;
 use crate::space::{CliqueSpace, FlatContainers};
+
+/// Items processed between cancellation checks in the sequential bucket
+/// queue — the "one chunk" the mid-peel overshoot bound is stated in.
+pub const PEEL_CANCEL_CHUNK: usize = 1024;
+
+/// A peel aborted by a tripped [`CancelToken`]: the trip itself plus how
+/// many items had already been peeled, so tests can pin the overshoot to
+/// at most one [`PEEL_CANCEL_CHUNK`] (sequential) or one claim chunk
+/// (parallel drain) past the trip point.
+#[derive(Clone, Debug)]
+pub struct PeelCancelled {
+    /// Why and where the token tripped.
+    pub cancelled: Cancelled,
+    /// Items fully peeled before the abort.
+    pub processed: usize,
+}
+
+impl From<PeelCancelled> for String {
+    fn from(p: PeelCancelled) -> String {
+        p.cancelled.message()
+    }
+}
 
 /// Deterministic work counters of one peeling run.
 ///
@@ -148,6 +171,25 @@ pub fn peel<S: CliqueSpace>(space: &S) -> PeelResult {
     peel_walk(space)
 }
 
+/// [`peel`] with cooperative cancellation: the token is checked every
+/// [`PEEL_CANCEL_CHUNK`] peeled items, so a tripped deadline aborts the
+/// run within one chunk instead of completing the full decomposition.
+/// Spaces without flat rows fall back to the (uncancellable) walk only
+/// when a cache cannot be built — the serving engine always has rows.
+pub fn peel_within<S: CliqueSpace>(
+    space: &S,
+    cancel: &CancelToken,
+) -> Result<PeelResult, PeelCancelled> {
+    if let Some(flat) = space.as_flat() {
+        return PeelEngine::new().peel_within(flat, cancel);
+    }
+    if let Some(flat) = FlatContainers::build_within(space, DEFAULT_CONTAINER_CACHE_BUDGET) {
+        return PeelEngine::new().peel_within(&flat, cancel);
+    }
+    cancel.check("peel walk").map_err(|c| PeelCancelled { cancelled: c, processed: 0 })?;
+    Ok(peel_walk(space))
+}
+
 /// Exact sequential peeling over a flat container cache (the hot engine;
 /// see [`PeelEngine`] for the reusable-buffer form).
 pub fn peel_flat(flat: &FlatContainers) -> PeelResult {
@@ -185,11 +227,21 @@ impl PeelEngine {
 
     /// Peels `flat` exactly, reusing this engine's scratch buffers.
     pub fn peel(&mut self, flat: &FlatContainers) -> PeelResult {
+        self.peel_within(flat, &CancelToken::none()).expect("an unarmed token never cancels")
+    }
+
+    /// [`Self::peel`] with a cancellation check every
+    /// [`PEEL_CANCEL_CHUNK`] peeled items.
+    pub fn peel_within(
+        &mut self,
+        flat: &FlatContainers,
+        cancel: &CancelToken,
+    ) -> Result<PeelResult, PeelCancelled> {
         match flat.group() {
-            1 => self.run::<1>(flat),
-            2 => self.run::<2>(flat),
-            3 => self.run::<3>(flat),
-            _ => self.run::<0>(flat), // 0 = dynamic width
+            1 => self.run::<1>(flat, cancel),
+            2 => self.run::<2>(flat, cancel),
+            3 => self.run::<3>(flat, cancel),
+            _ => self.run::<0>(flat, cancel), // 0 = dynamic width
         }
     }
 
@@ -208,11 +260,16 @@ impl PeelEngine {
 
     /// The bucket-queue peel with the container arity monomorphized
     /// (`G == 0` reads the width at runtime — the generic-space fallback).
-    fn run<const G: usize>(&mut self, flat: &FlatContainers) -> PeelResult {
+    fn run<const G: usize>(
+        &mut self,
+        flat: &FlatContainers,
+        cancel: &CancelToken,
+    ) -> Result<PeelResult, PeelCancelled> {
         let n = flat.num_cliques();
         if n == 0 {
-            return PeelResult::empty();
+            return Ok(PeelResult::empty());
         }
+        let armed = cancel.is_armed();
         debug_assert!(G == 0 || flat.group() == G, "arity dispatch mismatch");
         let group = if G > 0 { G } else { flat.group().max(1) };
         let mut stats = PeelStats::default();
@@ -247,6 +304,11 @@ impl PeelEngine {
         let mut max_kappa = 0u32;
 
         for i in 0..n {
+            if armed && i % PEEL_CANCEL_CHUNK == 0 {
+                if let Err(c) = cancel.check("peel drain") {
+                    return Err(PeelCancelled { cancelled: c, processed: i });
+                }
+            }
             let v = self.item_at[i] as usize;
             let kv = self.deg[v];
             kappa[v] = kv;
@@ -286,7 +348,7 @@ impl PeelEngine {
             }
         }
 
-        PeelResult { kappa, order, max_kappa, stats, drain: None }
+        Ok(PeelResult { kappa, order, max_kappa, stats, drain: None })
     }
 }
 
@@ -407,20 +469,35 @@ pub fn peel_parallel_flat_with(
     cfg: ParallelConfig,
     ctl: &DrainControl,
 ) -> PeelResult {
+    peel_parallel_flat_within(flat, cfg, ctl, &CancelToken::none())
+        .expect("an unarmed token never cancels")
+}
+
+/// [`peel_parallel_flat_with`] with cooperative cancellation: every
+/// worker checks the token before each chunk claim (scan cursor and
+/// drain queue alike), so a tripped token stops the whole team within
+/// one in-flight chunk per worker — the first observer poisons the phase
+/// gate and the rest unwind through the existing panic-containment exits.
+pub fn peel_parallel_flat_within(
+    flat: &FlatContainers,
+    cfg: ParallelConfig,
+    ctl: &DrainControl,
+    cancel: &CancelToken,
+) -> Result<PeelResult, PeelCancelled> {
     hdsd_telemetry::span!("peel.parallel");
     let result = match flat.group() {
-        1 => drain_peel::<1>(flat, cfg, ctl),
-        2 => drain_peel::<2>(flat, cfg, ctl),
-        3 => drain_peel::<3>(flat, cfg, ctl),
-        _ => drain_peel::<0>(flat, cfg, ctl),
-    };
+        1 => drain_peel::<1>(flat, cfg, ctl, cancel),
+        2 => drain_peel::<2>(flat, cfg, ctl, cancel),
+        3 => drain_peel::<3>(flat, cfg, ctl, cancel),
+        _ => drain_peel::<0>(flat, cfg, ctl, cancel),
+    }?;
     if let Some(d) = &result.drain {
         hdsd_telemetry::counter_add!("peel_parallel_chunks_claimed_total", d.chunks_claimed);
         hdsd_telemetry::counter_add!("peel_parallel_steals_total", d.steals);
         hdsd_telemetry::counter_add!("peel_parallel_stale_retries_total", d.stale_retries);
         hdsd_telemetry::counter_add!("peel_parallel_epilogue_items_total", d.epilogue_items);
     }
-    result
+    Ok(result)
 }
 
 /// Everything the drain workers share, borrowed across the single
@@ -451,6 +528,38 @@ struct DrainShared<'a> {
     threshold: AtomicU32,
     /// Raised by the leader when the peel is complete.
     done: AtomicBool,
+    /// Request-scoped cancellation, probed before every chunk claim.
+    cancel: &'a CancelToken,
+    /// Cached [`CancelToken::is_armed`] so the common uncancellable path
+    /// pays a single bool test per claim.
+    cancel_armed: bool,
+    /// First observed trip; the observer also poisons the gate so every
+    /// other worker unwinds through the existing containment exits.
+    first_cancel: Mutex<Option<Cancelled>>,
+}
+
+impl DrainShared<'_> {
+    /// Worker-side cancellation probe, called before each chunk claim.
+    /// On trip: records the first `Cancelled`, poisons the gate, returns
+    /// true so the caller can exit. A claimed chunk is never abandoned —
+    /// overshoot is bounded to one in-flight chunk per worker.
+    fn cancel_tripped(&self) -> bool {
+        if !self.cancel_armed {
+            return false;
+        }
+        match self.cancel.check("peel drain") {
+            Ok(()) => false,
+            Err(c) => {
+                let mut slot = self.first_cancel.lock().expect("cancel slot");
+                if slot.is_none() {
+                    *slot = Some(c);
+                }
+                drop(slot);
+                self.gate.poison();
+                true
+            }
+        }
+    }
 }
 
 /// Alive-count floor below which the leader finishes sequentially: with
@@ -463,12 +572,13 @@ fn drain_peel<const G: usize>(
     flat: &FlatContainers,
     cfg: ParallelConfig,
     ctl: &DrainControl,
-) -> PeelResult {
+    cancel: &CancelToken,
+) -> Result<PeelResult, PeelCancelled> {
     debug_assert!(G == 0 || flat.group() == G, "arity dispatch mismatch");
     let group = if G > 0 { G } else { flat.group().max(1) };
     let n = flat.num_cliques();
     if n == 0 {
-        return PeelResult::empty();
+        return Ok(PeelResult::empty());
     }
     let threads = cfg.threads.max(1).min(n);
 
@@ -479,10 +589,10 @@ fn drain_peel<const G: usize>(
     // output — κ, the canonical (κ, id) order, the closed-form counters —
     // is schedule-independent, so delegating is bit-identical and faster.
     if threads == 1 || n <= epilogue_floor(n) {
-        let mut r = PeelEngine::new().peel(flat);
+        let mut r = PeelEngine::new().peel_within(flat, cancel)?;
         (r.order, r.max_kappa) = canonical_order(&r.kappa);
         r.drain = Some(DrainStats { epilogue_items: n as u64, ..DrainStats::default() });
-        return r;
+        return Ok(r);
     }
 
     // Canonical container ids power the exactly-once kill claims. For
@@ -503,6 +613,9 @@ fn drain_peel<const G: usize>(
         slots: (0..threads).map(|_| Mutex::new((u32::MAX, Vec::new()))).collect(),
         threshold: AtomicU32::new(0),
         done: AtomicBool::new(false),
+        cancel,
+        cancel_armed: cancel.is_armed(),
+        first_cancel: Mutex::new(None),
     };
 
     let mut drain = DrainStats::default();
@@ -541,6 +654,14 @@ fn drain_peel<const G: usize>(
         }
     }
 
+    // A tripped token leaves the drain state partially peeled; report how
+    // far it got (κ entries fixed) so callers can bound the overshoot.
+    if let Some(c) = shared.first_cancel.lock().expect("cancel slot").take() {
+        let processed =
+            shared.kappa.iter().filter(|k| k.load(Ordering::Relaxed) != u32::MAX).count();
+        return Err(PeelCancelled { cancelled: c, processed });
+    }
+
     // Closed-form PeelStats: every counter of the sequential flat engine
     // is schedule-independent, so the parallel run reports bit-identical
     // values. Each r-clique's full row is scanned exactly once when it is
@@ -561,7 +682,7 @@ fn drain_peel<const G: usize>(
     };
 
     let (order, max_kappa) = canonical_order(&kappa);
-    PeelResult { kappa, order, max_kappa, stats, drain: Some(drain) }
+    Ok(PeelResult { kappa, order, max_kappa, stats, drain: Some(drain) })
 }
 
 /// Canonical order: ids counting-sorted by (κ, id) — deterministic under
@@ -605,6 +726,9 @@ fn drain_worker<const G: usize>(
         let mut my_min = u32::MAX;
         let mut my_cands: Vec<u32> = Vec::new();
         loop {
+            if shared.cancel_tripped() {
+                return local;
+            }
             let chunk = ctl.chunk(scan_chunk);
             let Some(r) = shared.scan.claim(chunk) else { break };
             ctl.on(DrainEvent::Claim);
@@ -644,7 +768,11 @@ fn drain_worker<const G: usize>(
             let alive = shared.flat.num_cliques() - shared.queue.pushed();
             if alive <= floor {
                 // Contended tail: cheaper to finish inline than to keep
-                // paying claim traffic for a handful of items.
+                // paying claim traffic for a handful of items. Probe the
+                // token first so a trip never pays for the whole tail.
+                if shared.cancel_tripped() {
+                    break;
+                }
                 local.epilogue_items += sequential_drain::<G>(shared) as u64;
                 shared.done.store(true, Ordering::Relaxed);
                 shared.gate.advance();
@@ -676,6 +804,9 @@ fn drain_worker<const G: usize>(
 
         // -- DRAIN: continuous chunked claims, no barrier until quiescent.
         loop {
+            if shared.cancel_tripped() {
+                return local;
+            }
             let chunk = ctl.chunk(drain_chunk);
             match shared.queue.claim(chunk) {
                 Some(r) => {
@@ -1148,5 +1279,72 @@ mod tests {
         let r = peel(&sp);
         assert_eq!(r.kappa, vec![1, 1, 0, 0, 0]);
         assert_eq!(peel_flat(&FlatContainers::build(&sp)).kappa, r.kappa);
+    }
+
+    #[test]
+    fn sequential_cancel_overshoot_is_exactly_one_chunk() {
+        // 3000 items, checks at i = 0, 1024, 2048: a token tripping on its
+        // third check stops with exactly (3-1)·PEEL_CANCEL_CHUNK processed.
+        let g = hdsd_datasets::holme_kim(3000, 4, 0.5, 7);
+        let sp = CoreSpace::new(&g);
+        let flat = FlatContainers::build(&sp);
+        let err = PeelEngine::new()
+            .peel_within(&flat, &CancelToken::tripping_after_checks(3))
+            .unwrap_err();
+        assert_eq!(err.processed, 2 * PEEL_CANCEL_CHUNK);
+        assert_eq!(err.cancelled.stage, "peel drain");
+        // An expired deadline trips on the very first check: zero processed,
+        // and the wire message keeps the pinned shape.
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = PeelEngine::new()
+            .peel_within(&flat, &CancelToken::with_deadline(Some(past)))
+            .unwrap_err();
+        assert_eq!(err.processed, 0);
+        assert_eq!(String::from(err), "deadline exceeded (peel drain)");
+        // A generous token changes nothing about the result.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let ok = PeelEngine::new()
+            .peel_within(&flat, &CancelToken::with_deadline(Some(far)))
+            .expect("generous deadline");
+        assert_eq!(ok.kappa, peel(&sp).kappa);
+    }
+
+    #[test]
+    fn parallel_cancel_aborts_with_partial_progress() {
+        let g = hdsd_datasets::holme_kim(3000, 4, 0.5, 19);
+        let sp = CoreSpace::new(&g);
+        let flat = FlatContainers::build(&sp);
+        let n = flat.num_cliques();
+        let cfg = ParallelConfig::with_threads(4).chunk(4);
+        // Tripped flag: every worker exits before claiming a chunk.
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let err = peel_parallel_flat_within(
+            &flat,
+            cfg,
+            &DrainControl::default(),
+            &CancelToken::with_flag(flag),
+        )
+        .unwrap_err();
+        assert!(err.processed < n, "trip before any claim peels nothing: {}", err.processed);
+        assert_eq!(String::from(err), "request cancelled (peel drain)");
+        // Mid-drain trip: bounded partial progress, never the full peel.
+        let err = peel_parallel_flat_within(
+            &flat,
+            cfg,
+            &DrainControl::default(),
+            &CancelToken::tripping_after_checks(40),
+        )
+        .unwrap_err();
+        assert!(err.processed < n, "cancelled drain must not finish: {}", err.processed);
+        // A generous token is bit-identical to the uncancellable drain.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let ok = peel_parallel_flat_within(
+            &flat,
+            cfg,
+            &DrainControl::default(),
+            &CancelToken::with_deadline(Some(far)),
+        )
+        .expect("generous deadline");
+        assert_eq!(ok.kappa, peel(&sp).kappa);
     }
 }

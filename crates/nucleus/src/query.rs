@@ -158,8 +158,16 @@ pub fn local_estimate_opts<S: CliqueSpace>(
 
     // The certificate is strictly optional work; past the deadline it is
     // skipped (0 is always a valid lower bound) and the cut is reported.
+    // A deadline tripping *inside* the descent also yields 0: intermediate
+    // descent values are not yet certificates, only the fixpoint is.
     let lower = if opts.lower_bound && !past_deadline() {
-        ball_lower_bound(space, q, &dist)
+        match ball_lower_bound(space, q, &dist, opts.deadline) {
+            Some(l) => l,
+            None => {
+                truncated = true;
+                0
+            }
+        }
     } else {
         if opts.lower_bound {
             truncated = true;
@@ -182,7 +190,16 @@ pub fn local_estimate_opts<S: CliqueSpace>(
 /// thresholds, `κ(q)` in the full graph is at least this value — a local,
 /// certificate-style lower bound in the spirit of Andersen's local dense
 /// subgraph algorithms.
-fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u32>) -> u32 {
+///
+/// Returns `None` when the deadline trips mid-descent: the intermediate
+/// values are not valid lower bounds (the certificate argument only holds
+/// at the fixpoint), so the caller must fall back to 0 and report the cut.
+fn ball_lower_bound<S: CliqueSpace>(
+    space: &S,
+    q: usize,
+    dist: &HashMap<usize, u32>,
+    deadline: Option<std::time::Instant>,
+) -> Option<u32> {
     // Materialize the induced sub-hypergraph once — dense ids, flat CSR
     // of the inside-ball containers — so the fixpoint descent below is a
     // contiguous array scan instead of re-running container walks and
@@ -191,10 +208,14 @@ fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u
     let members: Vec<usize> = dist.keys().copied().collect();
     let index: HashMap<usize, u32> =
         members.iter().enumerate().map(|(d, &i)| (i, d as u32)).collect();
+    let past_deadline = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
     let mut offsets = vec![0usize; members.len() + 1];
     let mut flat: Vec<u32> = Vec::new();
     let mut group = 0usize;
     for (d, &i) in members.iter().enumerate() {
+        if d % 1024 == 0 && past_deadline() {
+            return None;
+        }
         space.for_each_container(i, |others| {
             if others.iter().all(|o| index.contains_key(o)) {
                 group = others.len();
@@ -206,7 +227,7 @@ fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u
         offsets[d + 1] = flat.len();
     }
     if group == 0 {
-        return 0; // no container lies fully inside the ball
+        return Some(0); // no container lies fully inside the ball
     }
 
     // In-place descent to the fixpoint (values only decrease; the h-index
@@ -216,6 +237,11 @@ fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u
         (0..members.len()).map(|d| ((offsets[d + 1] - offsets[d]) / group) as u32).collect();
     let mut buf = HBuffer::new();
     loop {
+        // One check per descent iteration: each pass is a bounded array
+        // scan, so the overshoot past the deadline is at most one pass.
+        if past_deadline() {
+            return None;
+        }
         let mut changed = false;
         for d in 0..members.len() {
             let old = tau[d];
@@ -240,7 +266,7 @@ fn ball_lower_bound<S: CliqueSpace>(space: &S, q: usize, dist: &HashMap<usize, u
             break;
         }
     }
-    tau[index[&q] as usize]
+    Some(tau[index[&q] as usize])
 }
 
 /// `update_one` against a map-backed τ lookup.

@@ -5,7 +5,8 @@
 //!            [--spaces core,truss,34] [--threads N] [--listen ADDR:PORT]
 //!            [--readers N] [--durable DIR] [--fsync always|batch:N|off]
 //!            [--debug-ops] [--metrics-addr ADDR:PORT] [--trace-slow-ms N]
-//!            [--log-format text|json]
+//!            [--log-format text|json] [--max-inflight N]
+//!            [--brownout off|auto|0|1|2]
 //!
 //!   --graph FILE       SNAP-style edge list to serve
 //!   --snapshot FILE    binary snapshot (fast restart: graph + κ + hierarchy)
@@ -29,6 +30,16 @@
 //!   --trace-slow-ms N  trace every request; responses slower than N ms
 //!                      carry their span tree and enter the slow-query log
 //!   --log-format F     stderr log format: text (default) or json
+//!   --max-inflight N   global in-flight request budget for --listen
+//!                      (default 256, 0 = unlimited). When full, expensive
+//!                      ops are shed with {"ok":false,"error":"overloaded",
+//!                      "retry_after_ms":N}; cheap ops keep queueing up to
+//!                      a small multiple of the budget. Per connection, at
+//!                      most 32 requests are in flight — beyond that the
+//!                      server stops reading that socket (TCP backpressure)
+//!   --brownout MODE    degradation controller: auto (default) follows
+//!                      queue pressure and recent p99, off never degrades,
+//!                      0|1|2 pins a tier (see docs/PROTOCOL.md)
 //! ```
 //!
 //! Protocol: one JSON request per line, one JSON response per line — see
@@ -50,9 +61,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use hdsd_nucleus::{read_snapshot, LocalConfig};
+use hdsd_nucleus::{read_snapshot, CancelToken, LocalConfig};
+use hdsd_service::overload::{is_expensive_op, is_shed_exempt_op};
 use hdsd_service::{
-    Durability, DurableConfig, Engine, EngineConfig, FailPoints, FsyncPolicy, Server, SpaceSel,
+    Admission, BrownoutMode, Durability, DurableConfig, Engine, EngineConfig, FailPoints,
+    FsyncPolicy, OverloadState, Server, SpaceSel,
 };
 use hdsd_telemetry::{error, info, log, warn};
 
@@ -105,6 +118,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut debug_ops = false;
     let mut metrics_addr: Option<String> = None;
     let mut trace_slow_ms: Option<u64> = None;
+    let mut max_inflight = 256u64;
+    let mut brownout = BrownoutMode::Auto;
 
     let mut i = 0;
     while i < args.len() {
@@ -154,6 +169,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 let f = log::parse_format(&v)
                     .ok_or_else(|| format!("bad --log-format {v:?} (text|json)"))?;
                 log::set_format(f);
+            }
+            "--max-inflight" => {
+                max_inflight =
+                    value(&mut i)?.parse().map_err(|e| format!("bad --max-inflight: {e}"))?;
+            }
+            "--brownout" => {
+                let v = value(&mut i)?;
+                brownout = BrownoutMode::parse(&v)
+                    .ok_or_else(|| format!("bad --brownout {v:?} (off|auto|0|1|2)"))?;
             }
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of src/bin/serve.rs");
@@ -240,6 +264,12 @@ fn run(args: &[String]) -> Result<(), String> {
         server.enable_debug_ops();
     }
     server.set_trace_slow_us(trace_slow_ms.map(|ms| ms.saturating_mul(1000)));
+    {
+        let overload = server.overload();
+        overload.set_max_inflight(max_inflight);
+        overload.set_mode(brownout);
+        overload.recompute_tier();
+    }
     if let Some(addr) = metrics_addr {
         let bound = hdsd_telemetry::prometheus::serve_http(&addr)
             .map_err(|e| format!("bind --metrics-addr {addr}: {e}"))?;
@@ -344,12 +374,27 @@ const MAX_LINE_BYTES: usize = 1024 * 1024;
 /// `write_buf` without bound.
 const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
 
+/// Per-connection in-flight quota: once this many requests from one
+/// connection are dispatched and unanswered, the IO loop stops reading
+/// that socket — plain TCP backpressure on the one flooding client,
+/// invisible to everyone else.
+const PER_CONN_QUOTA: usize = 32;
+
 /// A request line routed to a worker, tagged with its connection slot
 /// and that slot's generation at dispatch time.
 struct Job {
     conn: usize,
     gen: u64,
     line: String,
+    /// The connection's cancel flag, raised when it is reaped: a worker
+    /// drops a not-yet-started job for a dead client at dequeue, and a
+    /// running kernel aborts at its next chunk boundary.
+    cancel: Arc<AtomicBool>,
+    /// `Some(retry_after_ms)` when admission shed this request: the
+    /// worker answers the pre-rendered `overloaded` error without
+    /// touching the engine. Shed verdicts ride the same queue as real
+    /// jobs so per-connection response order is preserved.
+    shed: Option<u64>,
 }
 
 /// A worker's answer, routed back to the connection's write buffer.
@@ -381,14 +426,20 @@ struct Conn {
     worker: usize,
     /// Requests dispatched to the worker and not yet answered.
     pending: usize,
+    /// Raised when this connection is reaped; every dispatched job
+    /// carries a clone, so in-flight work for a dead client stops
+    /// instead of running to completion.
+    cancel: Arc<AtomicBool>,
     eof: bool,
     dead: bool,
 }
 
 impl Conn {
-    /// Pull whatever the kernel has; returns complete request lines.
-    /// Sets `eof`/`dead` as a side effect.
-    fn pump_read(&mut self) -> Vec<String> {
+    /// Pull whatever the kernel has; returns up to `max_lines` complete
+    /// request lines (the per-connection quota — the surplus stays in
+    /// `read_buf` for the next sweep). Sets `eof`/`dead` as a side
+    /// effect.
+    fn pump_read(&mut self, max_lines: usize) -> Vec<String> {
         let mut tmp = [0u8; 16 * 1024];
         loop {
             // Bound how much one sweep buffers: a flooding client leaves
@@ -412,7 +463,8 @@ impl Conn {
             }
         }
         let mut lines = Vec::new();
-        while let Some(pos) = self.read_buf.iter().position(|&b| b == b'\n') {
+        while lines.len() < max_lines {
+            let Some(pos) = self.read_buf.iter().position(|&b| b == b'\n') else { break };
             let raw: Vec<u8> = self.read_buf.drain(..=pos).collect();
             match std::str::from_utf8(&raw) {
                 Ok(s) if s.trim().is_empty() => {}
@@ -425,9 +477,10 @@ impl Conn {
                 }
             }
         }
-        if self.read_buf.len() > MAX_LINE_BYTES {
-            // Everything newline-terminated was extracted above, so this
-            // residue is one oversized partial line.
+        if self.read_buf.len() > MAX_LINE_BYTES && !self.read_buf.contains(&b'\n') {
+            // Quota-deferred complete lines are fine (drained next
+            // sweep); an oversized newline-free residue is one request
+            // line over the limit.
             self.dead = true;
         }
         lines
@@ -476,6 +529,7 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
     listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
 
     let stop = Arc::new(AtomicBool::new(false));
+    let overload: Arc<OverloadState> = server.overload();
     let (resp_tx, resp_rx) = mpsc::channel::<Resp>();
     let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(readers);
     let mut workers = Vec::with_capacity(readers);
@@ -485,13 +539,40 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
         let mut handle = server.handle();
         let resp_tx = resp_tx.clone();
         let stop = Arc::clone(&stop);
+        let overload = Arc::clone(&overload);
         let worker = std::thread::Builder::new()
             .name(format!("hdsd-reader-{w}"))
             .spawn(move || {
                 // Drain the queue even during shutdown: every request the
                 // IO loop dispatched gets its response flushed.
                 while let Ok(job) = rx.recv() {
-                    let h = handle.handle_line(&job.line);
+                    // Shed verdict: answer the structured error without
+                    // touching the engine. It rode the queue only so the
+                    // connection's response order is preserved; it was
+                    // never admitted, so no overload accounting here.
+                    if let Some(retry_after_ms) = job.shed {
+                        let response = format!(
+                            "{{\"ok\":false,\"error\":\"overloaded\",\
+                             \"retry_after_ms\":{retry_after_ms},\"micros\":0}}"
+                        );
+                        if resp_tx.send(Resp { conn: job.conn, gen: job.gen, response }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    overload.job_dequeued();
+                    // Dead connection: the IO loop raised the flag when it
+                    // reaped the slot. Drop the job instead of burning a
+                    // worker on an answer nobody will read (the response
+                    // would be discarded by the generation check anyway).
+                    if job.cancel.load(Ordering::Relaxed) {
+                        overload.on_cancelled();
+                        overload.job_done();
+                        continue;
+                    }
+                    let token = CancelToken::with_flag(Arc::clone(&job.cancel));
+                    let h = handle.handle_line_under(&job.line, &token);
+                    overload.job_done();
                     if h.shutdown {
                         stop.store(true, Ordering::SeqCst);
                     }
@@ -513,8 +594,15 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
     let mut next_gen = 0u64;
     let mut stop_seen: Option<Instant> = None;
     let mut shutdown_op = false;
+    let mut last_tick = Instant::now();
     loop {
         let mut progressed = false;
+        // Brownout controller tick: re-evaluate the degradation tier from
+        // queue pressure and the recent p99 about 10×/s.
+        if last_tick.elapsed() >= Duration::from_millis(100) {
+            overload.recompute_tier();
+            last_tick = Instant::now();
+        }
         let stopping = stop.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst);
         if let (Some(_), None) = (stopping.then_some(()), stop_seen) {
             stop_seen = Some(Instant::now());
@@ -537,6 +625,7 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                             write_buf: Vec::new(),
                             worker: next_worker,
                             pending: 0,
+                            cancel: Arc::new(AtomicBool::new(false)),
                             eof: false,
                             dead: false,
                         };
@@ -569,8 +658,29 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                 if conn.write_buf.len() >= WRITE_HIGH_WATER {
                     continue;
                 }
-                for line in conn.pump_read() {
-                    if job_txs[conn.worker].send(Job { conn: id, gen: conn.gen, line }).is_ok() {
+                // Per-connection quota: leave the surplus in the socket.
+                let budget = PER_CONN_QUOTA.saturating_sub(conn.pending);
+                if budget == 0 {
+                    continue;
+                }
+                for line in conn.pump_read(budget) {
+                    // Admission control. A shed verdict still rides the
+                    // worker queue (as a no-work job) so the connection's
+                    // responses stay in request order.
+                    let shed = match overload
+                        .try_admit(is_expensive_op(&line), is_shed_exempt_op(&line))
+                    {
+                        Admission::Admit => None,
+                        Admission::Shed { retry_after_ms } => Some(retry_after_ms),
+                    };
+                    let job = Job {
+                        conn: id,
+                        gen: conn.gen,
+                        line,
+                        cancel: Arc::clone(&conn.cancel),
+                        shed,
+                    };
+                    if job_txs[conn.worker].send(job).is_ok() {
                         conn.pending += 1;
                         progressed = true;
                     }
@@ -606,6 +716,10 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
                 }
             }
             if conn.finished() {
+                // Cancel this client's in-flight work: queued jobs are
+                // dropped at dequeue, a running kernel aborts at its next
+                // chunk boundary.
+                conn.cancel.store(true, Ordering::Relaxed);
                 *slot = None;
                 progressed = true;
             } else {
@@ -620,6 +734,14 @@ fn serve_tcp(mut server: Server, addr: &str, readers: usize) -> Result<(), Strin
             // acknowledged batch).
             let deadline_passed = stop_seen.is_some_and(|t| t.elapsed() > Duration::from_secs(3));
             if inflight == 0 || deadline_passed {
+                if deadline_passed {
+                    // Abandoning the stragglers: raise every cancel flag
+                    // so queued jobs are dropped and running kernels
+                    // abort, letting the workers drain quickly.
+                    for conn in conns.iter().flatten() {
+                        conn.cancel.store(true, Ordering::Relaxed);
+                    }
+                }
                 break;
             }
         }

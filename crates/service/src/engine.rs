@@ -14,7 +14,7 @@
 //! * **edge batches** splice the CSR, the shared triangle substrate and
 //!   every space snapshot ([`hdsd_graph::delta`],
 //!   [`hdsd_nucleus::delta`]), then refresh κ with the warm-started,
-//!   candidate-lifted resume ([`refresh_resume_of`]) — nothing is rebuilt
+//!   candidate-lifted resume ([`refresh_resume_of_within`]) — nothing is rebuilt
 //!   or re-enumerated globally;
 //! * **snapshots** serialize graph + κ + hierarchies for fast restart.
 //!
@@ -39,9 +39,10 @@ use std::time::Instant;
 use hdsd_graph::{apply_edge_batch, triangle_delta, CsrGraph, TriangleList, VertexId, NO_ID};
 use hdsd_nucleus::hierarchy::NucleusDensity;
 use hdsd_nucleus::{
-    build_hierarchy, core_space_delta, local_estimate_opts, nucleus34_space_delta, peel,
-    refresh_resume_of, truss_space_delta, CachedSpace, CliqueSpace, CoreSpace, Hierarchy,
-    LocalConfig, Nucleus34Space, QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, TrussSpace,
+    build_hierarchy, build_hierarchy_within, core_space_delta, local_estimate_opts,
+    nucleus34_space_delta, peel, refresh_resume_of_within, truss_space_delta, CachedSpace,
+    CancelToken, Cancelled, CliqueSpace, CoreSpace, Hierarchy, LocalConfig, Nucleus34Space,
+    QueryEstimate, QueryOptions, Snapshot, SpaceSnapshot, TrussSpace,
 };
 use hdsd_telemetry::{labeled, span, Registry};
 
@@ -140,6 +141,17 @@ impl HierarchyIndex {
         Self::from_forest(Arc::new(build_hierarchy(space, kappa)), space.num_cliques())
     }
 
+    /// [`HierarchyIndex::build`] under a cancellation token: the s-clique
+    /// scan and union–find passes abort at their chunk boundaries.
+    fn build_within(
+        space: &CachedSpace,
+        kappa: &[u32],
+        cancel: &CancelToken,
+    ) -> Result<Self, Cancelled> {
+        let forest = build_hierarchy_within(space, kappa, cancel)?;
+        Ok(Self::from_forest(Arc::new(forest), space.num_cliques()))
+    }
+
     /// Wraps an existing forest (freshly built or repaired) with the
     /// clique → node inverted index.
     fn from_forest(forest: Arc<Hierarchy>, num_cliques: usize) -> Self {
@@ -210,6 +222,20 @@ impl SpaceView {
     /// every caller sees the same index for the lifetime of this epoch.
     fn ensure_hierarchy(&self) -> &HierarchyIndex {
         self.hierarchy.get_or_init(|| HierarchyIndex::build(&self.cached, &self.kappa))
+    }
+
+    /// [`SpaceView::ensure_hierarchy`] under a cancellation token. The
+    /// cancellable build runs *outside* the `OnceLock` initializer (an
+    /// initializer cannot fail), so two racing cold builds may both do the
+    /// work and one result is discarded — the same benign race the
+    /// fill-once cache already tolerates between readers. A cancelled
+    /// build leaves the lock empty: the next query simply retries.
+    fn ensure_hierarchy_under(&self, cancel: &CancelToken) -> Result<&HierarchyIndex, Cancelled> {
+        if let Some(hi) = self.hierarchy.get() {
+            return Ok(hi);
+        }
+        let built = HierarchyIndex::build_within(&self.cached, &self.kappa, cancel)?;
+        Ok(self.hierarchy.get_or_init(|| built))
     }
 }
 
@@ -450,23 +476,20 @@ impl EngineView {
         Ok(local_estimate_opts(st.cached.as_ref(), id, opts))
     }
 
-    /// Fails when `deadline` (if any) has already passed. Budgeted ops
-    /// call this around their expensive stages (hierarchy materialization,
-    /// region extraction) so a request-scoped `deadline_ms` bounds them
-    /// the same way `budget` bounds estimates.
-    fn check_deadline(deadline: Option<Instant>, stage: &str) -> Result<(), String> {
-        match deadline {
-            Some(d) if Instant::now() >= d => Err(format!("deadline exceeded ({stage})")),
-            _ => Ok(()),
-        }
-    }
-
     /// The resident hierarchy forest of a space, building it if absent.
     /// The crash-recovery harness uses this to compare a recovered
     /// engine's forests against an uninterrupted reference.
     pub fn hierarchy_of(&self, sel: SpaceSel) -> Result<&Hierarchy, String> {
         let st = self.state(sel)?;
         Ok(&st.ensure_hierarchy().forest)
+    }
+
+    /// Whether the space's hierarchy index is already materialized in
+    /// this epoch. Exact region answers are a tree walk when it is; when
+    /// it is not, the first region query pays the full build — the cost
+    /// the brownout controller avoids under load.
+    pub fn hierarchy_resident(&self, sel: SpaceSel) -> Result<bool, String> {
+        Ok(self.state(sel)?.hierarchy.get().is_some())
     }
 
     /// The maximal k-(r,s) nuclei at threshold `k`, largest first.
@@ -483,15 +506,31 @@ impl EngineView {
         k: u32,
         deadline: Option<Instant>,
     ) -> Result<Vec<NucleusSummary>, String> {
-        Self::check_deadline(deadline, "before hierarchy lookup")?;
+        self.nuclei_at_under(sel, k, &CancelToken::with_deadline(deadline))
+    }
+
+    /// [`EngineView::nuclei_at`] under a full cancellation token: beyond
+    /// the deadline, a raised flag (client disconnect, load shed) aborts
+    /// the hierarchy build mid-materialization at its chunk boundaries.
+    pub fn nuclei_at_under(
+        &self,
+        sel: SpaceSel,
+        k: u32,
+        cancel: &CancelToken,
+    ) -> Result<Vec<NucleusSummary>, String> {
+        if cancel.is_armed() {
+            cancel.check("before hierarchy lookup")?;
+        }
         let st = self.state(sel)?;
         if st.cached.num_cliques() == 0 {
             // An empty space has an empty forest; answer without
             // materializing (and keeping resident) a trivial index.
             return Ok(Vec::new());
         }
-        let hi = st.ensure_hierarchy();
-        Self::check_deadline(deadline, "after hierarchy materialization")?;
+        let hi = st.ensure_hierarchy_under(cancel)?;
+        if cancel.is_armed() {
+            cancel.check("after hierarchy materialization")?;
+        }
         let mut out: Vec<NucleusSummary> = hi
             .forest
             .nuclei_at(k)
@@ -515,7 +554,19 @@ impl EngineView {
         id: usize,
         deadline: Option<Instant>,
     ) -> Result<RegionReport, String> {
-        Self::check_deadline(deadline, "before hierarchy lookup")?;
+        self.region_of_under(sel, id, &CancelToken::with_deadline(deadline))
+    }
+
+    /// [`EngineView::region_of`] under a full cancellation token.
+    pub fn region_of_under(
+        &self,
+        sel: SpaceSel,
+        id: usize,
+        cancel: &CancelToken,
+    ) -> Result<RegionReport, String> {
+        if cancel.is_armed() {
+            cancel.check("before hierarchy lookup")?;
+        }
         let st = self.state(sel)?;
         if st.cached.num_cliques() == 0 {
             // No cliques to address: stable error, no trivial index built.
@@ -524,8 +575,10 @@ impl EngineView {
         if id >= st.cached.num_cliques() {
             return Err(format!("clique id {id} out of range"));
         }
-        let hi = st.ensure_hierarchy();
-        Self::check_deadline(deadline, "after hierarchy materialization")?;
+        let hi = st.ensure_hierarchy_under(cancel)?;
+        if cancel.is_armed() {
+            cancel.check("after hierarchy materialization")?;
+        }
         let node = hi.node_of[id];
         if node == u32::MAX {
             return Err(format!("clique {id} participates in no s-clique (no nucleus)"));
@@ -546,13 +599,27 @@ impl EngineView {
         node: u32,
         deadline: Option<Instant>,
     ) -> Result<RegionReport, String> {
-        Self::check_deadline(deadline, "before hierarchy lookup")?;
+        self.node_region_under(sel, node, &CancelToken::with_deadline(deadline))
+    }
+
+    /// [`EngineView::node_region`] under a full cancellation token.
+    pub fn node_region_under(
+        &self,
+        sel: SpaceSel,
+        node: u32,
+        cancel: &CancelToken,
+    ) -> Result<RegionReport, String> {
+        if cancel.is_armed() {
+            cancel.check("before hierarchy lookup")?;
+        }
         let st = self.state(sel)?;
         if st.cached.num_cliques() == 0 {
             return Err(format!("hierarchy node {node} out of range"));
         }
-        let hi = st.ensure_hierarchy();
-        Self::check_deadline(deadline, "after hierarchy materialization")?;
+        let hi = st.ensure_hierarchy_under(cancel)?;
+        if cancel.is_armed() {
+            cancel.check("after hierarchy materialization")?;
+        }
         if node as usize >= hi.forest.len() {
             return Err(format!("hierarchy node {node} out of range"));
         }
@@ -803,6 +870,30 @@ impl Engine {
         insert: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> UpdateReport {
+        self.update_within(insert, remove, &CancelToken::none())
+            .expect("an unarmed token never cancels")
+    }
+
+    /// [`Engine::update`] under a cancellation token, threaded into every
+    /// space's warm κ refresh (the dominant cost). Because the next epoch
+    /// is built entirely off to the side, a mid-update trip is trivially
+    /// sound: the partial next view is dropped, `self.view` still points
+    /// at the old epoch, and readers never observe anything in between.
+    ///
+    /// Durability note: callers that append to a WAL **before** applying
+    /// must only pass tokens that cannot trip here (or re-apply on
+    /// restart) — an update cancelled after its WAL append would replay on
+    /// recovery. The protocol layer therefore checks deadlines before the
+    /// WAL append and hands this method an unarmed token for durable ops.
+    pub fn update_within(
+        &mut self,
+        insert: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+        cancel: &CancelToken,
+    ) -> Result<UpdateReport, Cancelled> {
+        if cancel.is_armed() {
+            cancel.check("before update")?;
+        }
         let start = Instant::now();
         let old = &self.view;
         let (new_graph, ed, td) = {
@@ -849,14 +940,15 @@ impl Engine {
                 .collect();
             let out = {
                 span!("update.refresh");
-                refresh_resume_of(
+                refresh_resume_of_within(
                     &stale_of,
                     &sd.cached,
                     &ins_ends,
                     &rm_ends,
                     ed.inserted(),
                     &self.local,
-                )
+                    cancel,
+                )?
             };
             let refresh_us = t_refresh.elapsed().as_micros() as u64;
             let old_num_cliques = st.cached.num_cliques();
@@ -950,14 +1042,14 @@ impl Engine {
         reg.histogram("update_graph_delta_micros").record(graph_delta_us);
         next.publish_gauges();
         self.view = Arc::new(next);
-        UpdateReport {
+        Ok(UpdateReport {
             inserted: ed.inserted(),
             removed: ed.removed(),
             graph_delta_us,
             spaces: reports,
             hierarchy_repair_us,
             wall_us,
-        }
+        })
     }
 
     /// Serializes the current epoch zero-copy. See

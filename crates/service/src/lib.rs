@@ -35,6 +35,7 @@
 pub mod engine;
 pub mod epoch;
 pub mod json;
+pub mod overload;
 pub mod protocol;
 pub mod recovery;
 pub mod wal;
@@ -45,6 +46,7 @@ pub use engine::{
 };
 pub use epoch::{EpochCell, EpochReader};
 pub use json::Json;
+pub use overload::{Admission, BrownoutMode, OverloadSnapshot, OverloadState};
 pub use protocol::{Handled, Server};
 pub use recovery::{
     write_snapshot_atomic, CheckpointReport, Durability, DurableConfig, RecoveryReport,

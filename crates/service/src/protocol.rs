@@ -16,10 +16,11 @@
 //!
 //! Ops: `stats`, `kappa`, `estimate`, `nuclei`, `region`, `node`,
 //! `insert`, `remove`, `update`, `save`, `checkpoint`, `wal_stats`,
-//! `metrics`, `slow_log`, `shutdown` (plus `debug_panic` when debug ops
-//! are enabled). The normative op-by-op specification (schemas, error
-//! shapes, semantics) lives in `docs/PROTOCOL.md`, whose examples are
-//! replayed against a live engine by `tests/protocol_doc_examples.rs`.
+//! `metrics`, `slow_log`, `shutdown` (plus `debug_panic` and
+//! `debug_stall` when debug ops are enabled). The normative op-by-op
+//! specification (schemas, error shapes, semantics) lives in
+//! `docs/PROTOCOL.md`, whose examples are replayed against a live
+//! engine by `tests/protocol_doc_examples.rs`.
 //!
 //! ## Epochs: the read/write split
 //!
@@ -42,9 +43,11 @@
 //! `_us` suffix (`build_us`, `splice_us`); the protocol layer is the only
 //! place the rename happens, and `timing_keys_are_micros_only` pins the
 //! complete set of emitted timing keys so a new field cannot drift into a
-//! third convention (`_ms`, `_seconds`, bare names) unnoticed. The only
-//! non-microsecond time on the wire is the `stats` op's `uptime_seconds`,
-//! named with its unit for the same reason.
+//! third convention (`_ms`, `_seconds`, bare names) unnoticed. The
+//! sanctioned exceptions: the `stats` op's `uptime_seconds` (named with
+//! its unit for the same reason) and `retry_after_ms` on `overloaded`
+//! errors — a client back-off *hint* derived from queue depth, not a
+//! measured duration.
 //!
 //! ## Telemetry
 //!
@@ -69,13 +72,25 @@
 //! `save` writes a point-in-time snapshot to an arbitrary path with the
 //! same temp-file + rename + fsync discipline.
 //!
-//! ## Deadlines
+//! ## Deadlines, cancellation, and overload
 //!
-//! `estimate`, `region`, `node`, and `nuclei` requests may carry
-//! `"deadline_ms": N`. Estimates degrade gracefully (exploration stops and
-//! the response is marked `"truncated":true`); hierarchy-backed ops answer
-//! a clean `deadline exceeded` error instead of blocking the connection on
-//! an expensive materialization.
+//! Any read or update op may carry `"deadline_ms": N`. The deadline is
+//! carried as a [`CancelToken`] into the nucleus kernels and checked at
+//! chunk boundaries (peel drain, And frontier sweeps, hierarchy
+//! union-find batches), so work aborts *mid-computation* with bounded
+//! overshoot and answers `deadline exceeded (<stage>)`, naming the stage
+//! that stopped. Estimates degrade gracefully instead (exploration stops,
+//! `"truncated":true`). The TCP front-end threads each connection's
+//! disconnect flag through the same token, so work for a dead client
+//! stops at its next chunk (`request cancelled (<stage>)`, counted in
+//! `requests_cancelled_total`). Durable updates check the deadline only
+//! *before* the WAL append — a logged batch is always applied.
+//!
+//! Under load, the dispatch loop sheds requests with
+//! `{"ok":false,"error":"overloaded","retry_after_ms":N}` and a brownout
+//! controller ([`crate::overload`]) degrades exact `kappa`/`region`
+//! answers to budgeted Theorem-1 estimates marked `"degraded":true` —
+//! see the "Overload & degradation" section of `docs/PROTOCOL.md`.
 //!
 //! Every request is additionally hardened: a panicking handler is caught
 //! and answered with `{"ok":false,"error":"internal panic: ..."}`, and the
@@ -88,17 +103,28 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use hdsd_graph::VertexId;
-use hdsd_nucleus::QueryOptions;
+use hdsd_nucleus::{CancelToken, QueryOptions};
 use hdsd_telemetry::{counter_add, labeled, trace, Gauge, Histogram, MetricSnapshot, Registry};
 
 use crate::engine::{Engine, EngineView, RegionReport, SpaceSel};
 use crate::epoch::{EpochCell, EpochReader};
 use crate::json::{obj, Json};
+use crate::overload::OverloadState;
 use crate::recovery::Durability;
 use crate::wal::FailPoints;
 
 /// Sentinel for "slow tracing disabled" in [`Shared::trace_slow_us`].
 const TRACE_DISABLED: u64 = u64::MAX;
+
+/// The error string of a shed request; [`Server::handle_line`] attaches
+/// `retry_after_ms` to any failure carrying exactly this message, so the
+/// dispatch loop and in-handler sheds produce one wire shape.
+pub const OVERLOADED: &str = "overloaded";
+
+/// Exploration budget of a brownout-degraded answer: small enough that a
+/// degraded request is always cheap, large enough that the Theorem-1
+/// interval is useful on real graphs.
+const DEGRADED_BUDGET: usize = 512;
 
 /// The single writer lane: the engine plus its durability state, behind
 /// one mutex. Every mutating op (`insert`/`remove`/`update`,
@@ -132,6 +158,9 @@ struct Shared {
     /// reports them without taking the writer lock.
     wal_generation: AtomicU64,
     wal_seq: AtomicU64,
+    /// Overload accounting and the brownout tier, shared with the
+    /// dispatch loop (which drives admission and the controller).
+    overload: Arc<OverloadState>,
 }
 
 /// Stateful request handler wrapping an [`Engine`], optionally backed by
@@ -206,6 +235,7 @@ impl Server {
             durable,
             wal_generation: AtomicU64::new(wal_generation),
             wal_seq: AtomicU64::new(wal_seq),
+            overload: OverloadState::new(),
         });
         Self::from_shared(shared)
     }
@@ -247,6 +277,14 @@ impl Server {
     /// Whether this server runs over a durability directory.
     pub fn is_durable(&self) -> bool {
         self.shared.durable
+    }
+
+    /// The process-wide overload state shared by every handle: the
+    /// dispatch loop configures the in-flight budget and brownout mode
+    /// on it and ticks the controller; handlers consult the tier and
+    /// count sheds/degrades/cancellations into it.
+    pub fn overload(&self) -> Arc<OverloadState> {
+        Arc::clone(&self.shared.overload)
     }
 
     /// The writer lane, with poisoning ignored: a panic mid-request is
@@ -307,6 +345,7 @@ impl Server {
             Some("metrics") => "metrics",
             Some("slow_log") => "slow_log",
             Some("debug_panic") => "debug_panic",
+            Some("debug_stall") => "debug_stall",
             Some("shutdown") => "shutdown",
             Some(_) => "other",
         }
@@ -325,6 +364,15 @@ impl Server {
     /// response carries `micros` and the request is counted in the per-op
     /// latency histogram.
     pub fn handle_line(&mut self, line: &str) -> Handled {
+        self.handle_line_under(line, &CancelToken::none())
+    }
+
+    /// [`Server::handle_line`] under a connection-scoped cancellation
+    /// token (the dispatch loop's disconnect/shed flag). Each op combines
+    /// it with its own `deadline_ms`, so a dead client stops burning CPU
+    /// at the next kernel chunk boundary instead of running to
+    /// completion.
+    pub fn handle_line_under(&mut self, line: &str, conn_cancel: &CancelToken) -> Handled {
         let start = Instant::now();
         let request_id = self.shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
         let slow_us = self.shared.trace_slow_us.load(Ordering::Relaxed);
@@ -339,7 +387,7 @@ impl Server {
         });
         let outcome = match &parsed {
             Err(e) => Err(format!("bad JSON: {e}")),
-            Ok(req) => catch_unwind(AssertUnwindSafe(|| self.dispatch(req)))
+            Ok(req) => catch_unwind(AssertUnwindSafe(|| self.dispatch(req, conn_cancel)))
                 .unwrap_or_else(|payload| Err(panic_message(&*payload))),
         };
         let failed = outcome.is_err();
@@ -351,7 +399,22 @@ impl Server {
                 }
                 (Json::Obj(members), shutdown)
             }
-            Err(e) => (obj([("ok", Json::Bool(false)), ("error", e.into())]), false),
+            Err(e) => {
+                if Self::is_cancellation(&e) {
+                    self.shared.overload.on_cancelled();
+                }
+                let mut members = vec![
+                    ("ok".to_string(), Json::Bool(false)),
+                    ("error".to_string(), e.as_str().into()),
+                ];
+                if e == OVERLOADED {
+                    members.push((
+                        "retry_after_ms".to_string(),
+                        self.shared.overload.retry_after_ms().into(),
+                    ));
+                }
+                (Json::Obj(members), false)
+            }
         };
         let micros = start.elapsed().as_micros() as u64;
         if let Json::Obj(members) = &mut response {
@@ -375,16 +438,27 @@ impl Server {
         Handled { response: response.to_string(), shutdown }
     }
 
-    fn dispatch(&mut self, req: &Json) -> Result<(Json, bool), String> {
+    /// Whether an error string is a cooperative-cancellation outcome (a
+    /// deadline or disconnect cutting the op off) rather than a client
+    /// mistake — the messages are the pinned [`hdsd_nucleus::Cancelled`]
+    /// renderings.
+    fn is_cancellation(e: &str) -> bool {
+        e.starts_with("deadline exceeded (") || e.starts_with("request cancelled (")
+    }
+
+    fn dispatch(&mut self, req: &Json, conn_cancel: &CancelToken) -> Result<(Json, bool), String> {
         let op = req
             .get("op")
             .and_then(Json::as_str)
             .ok_or_else(|| "missing string field \"op\"".to_string())?;
+        // The request's full cancellation scope: the connection's
+        // disconnect/shed flag plus this request's own `deadline_ms`.
+        let cancel = conn_cancel.clone().and_deadline(Self::deadline_of(req));
         // Write-lane ops: serialize on the writer mutex, publish an epoch.
         match op {
-            "insert" => return Ok((self.update(Some(req), None)?, false)),
-            "remove" => return Ok((self.update(None, Some(req))?, false)),
-            "update" => return Ok((self.update(Some(req), Some(req))?, false)),
+            "insert" => return Ok((self.update(Some(req), None, &cancel)?, false)),
+            "remove" => return Ok((self.update(None, Some(req), &cancel)?, false)),
+            "update" => return Ok((self.update(Some(req), Some(req), &cancel)?, false)),
             "checkpoint" => return Ok((self.checkpoint_op()?, false)),
             "wal_stats" => return Ok((self.wal_stats_op()?, false)),
             "shutdown" => {
@@ -404,20 +478,39 @@ impl Server {
         let view = Arc::clone(view);
         let fields = match op {
             "stats" => self.stats(&view, epoch),
-            "kappa" => Self::kappa(&view, req)?,
+            "kappa" => self.kappa(&view, req)?,
             "estimate" => Self::estimate(&view, req)?,
-            "nuclei" => Self::nuclei(&view, req)?,
-            "region" => Self::region(&view, req)?,
-            "node" => Self::node(&view, req)?,
+            "nuclei" => Self::nuclei(&view, req, &cancel)?,
+            "region" => self.region(&view, req, &cancel)?,
+            "node" => self.node(&view, req, &cancel)?,
             "save" => Self::save(&view, req)?,
             "metrics" => obj([("metrics", metrics_json(Registry::global()))]),
             "slow_log" => slow_log_json(),
             "debug_panic" if self.shared.debug_ops.load(Ordering::Relaxed) => {
                 panic!("debug_panic op fired")
             }
+            "debug_stall" if self.shared.debug_ops.load(Ordering::Relaxed) => {
+                Self::debug_stall(req, &cancel)?
+            }
             other => return Err(format!("unknown op {other:?}")),
         };
         Ok((fields, false))
+    }
+
+    /// `debug_stall` (debug ops only): occupies this reader worker for
+    /// `ms` milliseconds, honoring cancellation — the chaos harness's
+    /// stand-in for a request stuck in a slow kernel.
+    fn debug_stall(req: &Json, cancel: &CancelToken) -> Result<Json, String> {
+        let ms = req.get("ms").and_then(Json::as_u64).unwrap_or(100).min(10_000);
+        let until = Instant::now() + Duration::from_millis(ms);
+        let armed = cancel.is_armed();
+        while Instant::now() < until {
+            if armed {
+                cancel.check("debug stall").map_err(String::from)?;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(obj([("stalled_ms", ms.into())]))
     }
 
     fn space_of(req: &Json) -> Result<SpaceSel, String> {
@@ -464,6 +557,19 @@ impl Server {
             members
                 .push(("wal_seq".to_string(), self.shared.wal_seq.load(Ordering::Relaxed).into()));
         }
+        let o = self.shared.overload.snapshot();
+        members.push((
+            "overload".to_string(),
+            obj([
+                ("inflight", o.inflight.into()),
+                ("queue_depth", o.queue_depth.into()),
+                ("max_inflight", o.max_inflight.into()),
+                ("brownout_tier", o.tier.into()),
+                ("shed", o.shed.into()),
+                ("degraded", o.degraded.into()),
+                ("cancelled", o.cancelled.into()),
+            ]),
+        ));
         members.push((
             "spaces".to_string(),
             s.spaces
@@ -483,9 +589,15 @@ impl Server {
         Json::Obj(members)
     }
 
-    fn kappa(view: &EngineView, req: &Json) -> Result<Json, String> {
+    fn kappa(&self, view: &EngineView, req: &Json) -> Result<Json, String> {
         let sel = Self::space_of(req)?;
         let id = Self::clique_of(view, req, sel)?;
+        // Brownout tier 2: the whole op family answers the budgeted
+        // Theorem-1 interval, so overloaded clients observe one uniform
+        // `degraded:true` contract and back off.
+        if self.shared.overload.degrade_kappa() {
+            return self.degraded_estimate(view, req, sel, id);
+        }
         let kappa = view.kappa_of(sel, id)?;
         let vertices = view.clique_vertices(sel, id)?;
         Ok(obj([
@@ -493,6 +605,38 @@ impl Server {
             ("id", id.into()),
             ("kappa", kappa.into()),
             ("vertices", vertices.into_iter().collect()),
+        ]))
+    }
+
+    /// The brownout answer: a budgeted Theorem-1 estimate in place of the
+    /// exact or hierarchy-backed answer, marked `degraded:true` with its
+    /// `[lower, estimate]` interval. Cost is bounded by
+    /// [`DEGRADED_BUDGET`] regardless of graph size.
+    fn degraded_estimate(
+        &self,
+        view: &EngineView,
+        req: &Json,
+        sel: SpaceSel,
+        id: usize,
+    ) -> Result<Json, String> {
+        let opts = QueryOptions {
+            iterations: 2,
+            budget: Some(DEGRADED_BUDGET),
+            lower_bound: true,
+            deadline: Self::deadline_of(req),
+        };
+        let est = view.estimate(sel, id, &opts)?;
+        self.shared.overload.on_degraded();
+        Ok(obj([
+            ("space", sel.name().into()),
+            ("id", id.into()),
+            ("degraded", true.into()),
+            ("brownout_tier", self.shared.overload.tier().into()),
+            ("estimate", est.estimate.into()),
+            ("lower", est.lower.into()),
+            ("interval", [est.lower, est.estimate].into_iter().collect()),
+            ("explored", est.explored.into()),
+            ("truncated", est.truncated.into()),
         ]))
     }
 
@@ -526,14 +670,14 @@ impl Server {
         ]))
     }
 
-    fn nuclei(view: &EngineView, req: &Json) -> Result<Json, String> {
+    fn nuclei(view: &EngineView, req: &Json, cancel: &CancelToken) -> Result<Json, String> {
         let sel = Self::space_of(req)?;
         let k = req
             .get("k")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"k\"".to_string())? as u32;
         let limit = req.get("limit").and_then(Json::as_usize).unwrap_or(32);
-        let nuclei = view.nuclei_at_within(sel, k, Self::deadline_of(req))?;
+        let nuclei = view.nuclei_at_under(sel, k, cancel)?;
         let total = nuclei.len();
         Ok(obj([
             ("space", sel.name().into()),
@@ -566,22 +710,40 @@ impl Server {
         ])
     }
 
-    fn region(view: &EngineView, req: &Json) -> Result<Json, String> {
+    fn region(&self, view: &EngineView, req: &Json, cancel: &CancelToken) -> Result<Json, String> {
         let sel = Self::space_of(req)?;
         let id = Self::clique_of(view, req, sel)?;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = view.region_of_within(sel, id, Self::deadline_of(req))?;
+        // Brownout tier 1+: when the hierarchy is cold (the exact answer
+        // would pay a full materialization), answer the budgeted
+        // estimate instead. A resident hierarchy keeps answering exactly
+        // — a tree walk is cheap at any tier.
+        if self.shared.overload.degrade_region() && !view.hierarchy_resident(sel)? {
+            return self.degraded_estimate(view, req, sel, id);
+        }
+        let r = view.region_of_under(sel, id, cancel)?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
-    fn node(view: &EngineView, req: &Json) -> Result<Json, String> {
+    fn node(&self, view: &EngineView, req: &Json, cancel: &CancelToken) -> Result<Json, String> {
         let sel = Self::space_of(req)?;
         let node = req
             .get("node")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing integer field \"node\"".to_string())? as u32;
         let max_vertices = req.get("max_vertices").and_then(Json::as_usize).unwrap_or(64);
-        let r = view.node_region_within(sel, node, Self::deadline_of(req))?;
+        if self.shared.overload.degrade_region() && !view.hierarchy_resident(sel)? {
+            // In the vertex (core) space the node is its own 1-clique, so
+            // it has a budgeted estimate. Higher-r spaces have no cheap
+            // vertex→clique mapping without the hierarchy: shed instead,
+            // with the standard back-off hint.
+            if sel == SpaceSel::Core {
+                return self.degraded_estimate(view, req, sel, node as usize);
+            }
+            self.shared.overload.on_shed();
+            return Err(OVERLOADED.to_string());
+        }
+        let r = view.node_region_under(sel, node, cancel)?;
         Ok(Self::region_json(r, sel, max_vertices))
     }
 
@@ -604,7 +766,12 @@ impl Server {
             .collect()
     }
 
-    fn update(&mut self, ins_req: Option<&Json>, rm_req: Option<&Json>) -> Result<Json, String> {
+    fn update(
+        &mut self,
+        ins_req: Option<&Json>,
+        rm_req: Option<&Json>,
+        cancel: &CancelToken,
+    ) -> Result<Json, String> {
         let insert = match ins_req {
             Some(req) => {
                 let named = Self::edges_field(req, "insert")?;
@@ -635,6 +802,16 @@ impl Server {
         let mut lane = self.write_lane();
         let lane = &mut *lane;
         Self::validate_batch(&lane.engine, &insert, &remove)?;
+        // A request already past its deadline (or whose client is gone)
+        // is refused *before* the WAL sees it. Once the batch is
+        // appended it is durable and MUST be applied — a cancelled
+        // post-append update would replay on recovery — so the engine
+        // gets an unarmed token on the durable path. In-memory servers
+        // keep the full token: a mid-update trip just drops the
+        // unpublished next epoch.
+        if cancel.is_armed() {
+            cancel.check("before update").map_err(String::from)?;
+        }
         // Durable path: the batch reaches the log (synced per policy)
         // before the engine sees it. If the append fails, nothing was
         // applied and the client is told so in those words.
@@ -645,8 +822,10 @@ impl Server {
             ),
             None => None,
         };
+        let effective = if wal_seq.is_some() { CancelToken::none() } else { cancel.clone() };
         let t_publish = Instant::now();
-        let report = lane.engine.update(&insert, &remove);
+        let report =
+            lane.engine.update_within(&insert, &remove, &effective).map_err(String::from)?;
         // Publish before acking so this client (and anyone it tells)
         // observes its own write on the very next read.
         let epoch = self.shared.cell.publish(lane.engine.view());
@@ -1168,6 +1347,108 @@ mod tests {
     }
 
     #[test]
+    fn every_deadline_op_completes_or_names_the_stage() {
+        let mut s = demo_server();
+        s.enable_debug_ops();
+        // Bounded ops answer within an expired deadline: the estimate
+        // degrades (truncated interval), the lookups just answer.
+        let v = ok(&mut s, r#"{"op":"estimate","space":"core","id":0,"deadline_ms":0}"#);
+        assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(true));
+        ok(&mut s, r#"{"op":"kappa","space":"core","id":0,"deadline_ms":0}"#);
+        ok(&mut s, r#"{"op":"stats","deadline_ms":0}"#);
+        // Unbounded ops abort, each naming the stage that refused.
+        for (line, stage) in [
+            (r#"{"op":"nuclei","space":"core","k":1,"deadline_ms":0}"#, "before hierarchy lookup"),
+            (r#"{"op":"region","space":"core","id":0,"deadline_ms":0}"#, "before hierarchy lookup"),
+            (r#"{"op":"node","space":"core","node":0,"deadline_ms":0}"#, "before hierarchy lookup"),
+            (r#"{"op":"update","insert":[[0,6]],"deadline_ms":0}"#, "before update"),
+            (r#"{"op":"insert","edges":[[0,6]],"deadline_ms":0}"#, "before update"),
+            (r#"{"op":"remove","edges":[[0,1]],"deadline_ms":0}"#, "before update"),
+            (r#"{"op":"debug_stall","ms":5000,"deadline_ms":0}"#, "debug stall"),
+        ] {
+            let e = err(&mut s, line);
+            assert_eq!(e, format!("deadline exceeded ({stage})"), "{line}");
+        }
+        // The refused updates applied nothing (the deadline is checked
+        // before the WAL/engine see the batch).
+        let v = ok(&mut s, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("updates_applied").unwrap().as_u64(), Some(0));
+        // A generous deadline completes everywhere.
+        let v = ok(&mut s, r#"{"op":"region","space":"core","id":0,"deadline_ms":60000}"#);
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+        let v = ok(&mut s, r#"{"op":"update","insert":[[0,6]],"deadline_ms":60000}"#);
+        assert_eq!(v.get("inserted").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn raised_connection_flag_cancels_and_is_counted() {
+        let mut s = demo_server();
+        let before = s.overload().snapshot().cancelled;
+        let flag = Arc::new(AtomicBool::new(true));
+        let token = CancelToken::with_flag(Arc::clone(&flag));
+        let h = s.handle_line_under(r#"{"op":"region","space":"core","id":0}"#, &token);
+        let v = Json::parse(&h.response).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(Json::as_str),
+            Some("request cancelled (before hierarchy lookup)")
+        );
+        // The counter is a process-global metric, so concurrent tests may
+        // add to it too — assert the delta, not the value.
+        assert!(s.overload().snapshot().cancelled > before);
+        // Lowering the flag restores service on the same connection scope.
+        flag.store(false, Ordering::Relaxed);
+        let h = s.handle_line_under(r#"{"op":"region","space":"core","id":0}"#, &token);
+        assert!(h.response.contains("\"ok\":true"), "{}", h.response);
+    }
+
+    #[test]
+    fn brownout_tiers_degrade_cold_queries_to_estimates() {
+        use crate::overload::BrownoutMode;
+        let mut s = demo_server();
+        let overload = s.overload();
+        overload.set_mode(BrownoutMode::Forced(1));
+        overload.recompute_tier();
+        // Tier 1: a cold-hierarchy region answers the budgeted Theorem-1
+        // interval, marked degraded, instead of materializing.
+        let v = ok(&mut s, r#"{"op":"region","space":"core","id":0}"#);
+        assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true));
+        let lower = v.get("lower").unwrap().as_u64().unwrap();
+        let estimate = v.get("estimate").unwrap().as_u64().unwrap();
+        assert!(lower <= estimate, "interval must be ordered");
+        assert!(v.get("interval").unwrap().as_array().is_some());
+        // ...and did not make the hierarchy resident as a side effect.
+        let st = ok(&mut s, r#"{"op":"stats"}"#);
+        let core = &st.get("spaces").unwrap().as_array().unwrap()[0];
+        assert_eq!(core.get("hierarchy_resident").and_then(Json::as_bool), Some(false));
+        // kappa stays exact at tier 1.
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("kappa").unwrap().as_u64(), Some(3));
+        // node in a higher-r space has no cheap estimate: it sheds with
+        // the standard structured hint.
+        let h = s.handle_line(r#"{"op":"node","space":"truss","node":0}"#);
+        let v = Json::parse(&h.response).unwrap();
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert!(v.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+        // Tier 2 degrades kappa too: the interval replaces the exact value.
+        overload.set_mode(BrownoutMode::Forced(2));
+        overload.recompute_tier();
+        let v = ok(&mut s, r#"{"op":"kappa","space":"core","id":0}"#);
+        assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true));
+        assert!(v.get("kappa").is_none());
+        // A resident hierarchy keeps answering exactly at any tier: the
+        // materialization, not the tree walk, is what brownout avoids.
+        overload.set_mode(BrownoutMode::Off);
+        overload.recompute_tier();
+        ok(&mut s, r#"{"op":"region","space":"core","id":0}"#);
+        overload.set_mode(BrownoutMode::Forced(2));
+        overload.recompute_tier();
+        let v = ok(&mut s, r#"{"op":"region","space":"core","id":0}"#);
+        assert!(v.get("degraded").is_none());
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
     fn durable_server_logs_checkpoints_and_recovers() {
         use crate::recovery::{Durability, DurableConfig};
         use crate::wal::{FailPoints, FsyncPolicy};
@@ -1288,6 +1569,21 @@ mod tests {
             collect_keys(&ok(&mut d, r#"{"op":"checkpoint"}"#), &mut keys);
             std::fs::remove_dir_all(&dir).ok();
         }
+        // Overload shapes: the shed error and the degraded answer. The
+        // shed response carries `retry_after_ms` — the one sanctioned
+        // `_ms` key: a client back-off *hint*, not a server timing, so it
+        // is deliberately not a `micros` key.
+        {
+            use crate::overload::BrownoutMode;
+            let overload = s.overload();
+            overload.set_mode(BrownoutMode::Forced(1));
+            overload.recompute_tier();
+            let h = s.handle_line(r#"{"op":"node","space":"34","node":0}"#);
+            collect_keys(&Json::parse(&h.response).unwrap(), &mut keys);
+            collect_keys(&ok(&mut s, r#"{"op":"region","space":"34","id":0}"#), &mut keys);
+            overload.set_mode(BrownoutMode::Off);
+            overload.recompute_tier();
+        }
 
         let micros_keys: Vec<&str> =
             keys.iter().filter(|k| k.contains("micros")).map(String::as_str).collect();
@@ -1309,15 +1605,19 @@ mod tests {
             "the set of wire timing keys changed — update the module docs and this pin together"
         );
         for k in &keys {
+            assert!(!k.ends_with("_us"), "{k}: durations cross the wire as `micros` keys only");
             assert!(
-                !k.ends_with("_us") && !k.ends_with("_ms"),
-                "{k}: durations cross the wire as `micros` keys only"
+                !k.ends_with("_ms") || k == "retry_after_ms",
+                "{k}: durations cross the wire as `micros` keys only \
+                 (`retry_after_ms` is the one sanctioned exception — a \
+                 client back-off hint, not a measured duration)"
             );
             if k.contains("seconds") {
                 assert_eq!(k, "uptime_seconds");
             }
         }
         assert!(keys.contains("uptime_seconds"));
+        assert!(keys.contains("retry_after_ms"));
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Chaos/overload harness for the `hdsd-serve` binary: flooding clients
+//! against a tiny in-flight budget with stalled workers, mid-request
+//! disconnects, slow readers, and forced brownout tiers. The invariants
+//! under test:
+//!
+//! * zero panics — no response ever carries `internal panic`, and the
+//!   daemon keeps answering fresh connections after every hostile mix;
+//! * every request written on a kept-open connection is answered exactly
+//!   once — `ok:true`, an in-band error, or a structured
+//!   `overloaded` shed with a bounded `retry_after_ms`;
+//! * the shed/degraded/cancelled accounting balances: the `stats`
+//!   overload counters equal what the clients observed on the wire, and
+//!   in-flight/queue gauges return to quiescent after the storm;
+//! * work queued for a disconnected client is cancelled, not executed.
+//!
+//! `PROPTEST_CASES` scales the flood (requests per client) for the
+//! nightly slow lane; the default is sized for the PR gate.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hdsd_service::Json;
+
+const BIN: &str = env!("CARGO_BIN_EXE_hdsd-serve");
+
+/// Requests per flooding client; `PROPTEST_CASES` (the slow-lane knob)
+/// scales it up.
+fn flood_len() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.clamp(25, 400))
+        .unwrap_or(25)
+}
+
+/// Spawn a `--listen` daemon on a fresh port.
+fn spawn_tcp(extra_args: &[&str]) -> (Child, String) {
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut args = extra_args.to_vec();
+    args.extend_from_slice(&["--listen", &addr]);
+    let child = Command::new(BIN)
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hdsd-serve --listen");
+    (child, addr)
+}
+
+fn connect(addr: &str) -> std::net::TcpStream {
+    for _ in 0..250 {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    panic!("connect to hdsd-serve at {addr}");
+}
+
+/// One request/response on a fresh connection (never shed-starved:
+/// `stats` is cheap and queues).
+fn ask(addr: &str, line: &str) -> Json {
+    let stream = connect(addr);
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read response");
+    Json::parse(reply.trim()).unwrap_or_else(|e| panic!("bad response {reply:?}: {e}"))
+}
+
+fn overload_stats(addr: &str) -> Json {
+    let v = ask(addr, r#"{"op":"stats"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    v.get("overload").expect("stats carries overload").clone()
+}
+
+/// What one flooding client observed.
+#[derive(Default)]
+struct FloodTally {
+    ok: usize,
+    errors: usize,
+    overloaded: usize,
+}
+
+/// Pipeline `lines` on one connection (a slow reader: everything is
+/// written before the first response is read), then read exactly one
+/// response per request and tally the outcomes.
+fn flood(addr: &str, lines: &[String]) -> FloodTally {
+    let stream = connect(addr);
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut batch = String::new();
+    for l in lines {
+        batch.push_str(l);
+        batch.push('\n');
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut tally = FloodTally::default();
+    for i in 0..lines.len() {
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply).expect("read flood response");
+        assert!(n > 0, "connection closed after {i}/{} responses", lines.len());
+        let v = Json::parse(reply.trim()).unwrap_or_else(|e| panic!("bad response {reply:?}: {e}"));
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => tally.ok += 1,
+            Some(false) => {
+                let err = v.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(!err.contains("internal panic"), "panic under flood: {v}");
+                if err == "overloaded" {
+                    let retry = v
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or_else(|| panic!("shed without retry_after_ms: {v}"));
+                    assert!(
+                        (25..=5000).contains(&retry),
+                        "retry_after_ms {retry} outside the documented clamp"
+                    );
+                    tally.overloaded += 1;
+                } else {
+                    tally.errors += 1;
+                }
+            }
+            None => panic!("response without ok: {v}"),
+        }
+    }
+    tally
+}
+
+/// The core storm: both workers pinned by `debug_stall`, then flooding
+/// clients pipeline expensive requests at many times the in-flight
+/// budget. Every request must be answered exactly once (exact, in-band
+/// error, or a structured shed), the shed accounting must balance
+/// against what the clients saw, and the gauges must return to
+/// quiescent.
+#[test]
+fn flood_at_10x_budget_is_shed_answered_and_balanced() {
+    let reqs = flood_len();
+    let (mut child, addr) = spawn_tcp(&[
+        "--synthetic",
+        "2000,6,0.4,7",
+        "--spaces",
+        "core,truss",
+        "--max-inflight",
+        "4",
+        "--readers",
+        "2",
+        "--brownout",
+        "off",
+        "--debug-ops",
+    ]);
+    // Warm up (and prove the daemon serves) before the storm.
+    let v = ask(&addr, r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+
+    // Stall both reader workers so admission pressure is deterministic
+    // even on a fast machine: inflight stays >= 2 while the flood lands.
+    let mut stallers = Vec::new();
+    for _ in 0..2 {
+        let s = connect(&addr);
+        let mut w = s.try_clone().unwrap();
+        writeln!(w, r#"{{"op":"debug_stall","ms":700}}"#).unwrap();
+        w.flush().unwrap();
+        stallers.push(s);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    // 4 flooding clients × reqs expensive ops ≈ 10×+ the budget of 4.
+    let mix = |i: usize| -> String {
+        match i % 3 {
+            0 => format!(r#"{{"op":"kappa","space":"core","id":{}}}"#, i % 1000),
+            1 => format!(
+                r#"{{"op":"estimate","space":"core","id":{},"iterations":2,"budget":64}}"#,
+                i % 1000
+            ),
+            _ => format!(r#"{{"op":"kappa","space":"truss","id":{}}}"#, i % 1000),
+        }
+    };
+    let mut threads = Vec::new();
+    for c in 0..4usize {
+        let addr = addr.clone();
+        let lines: Vec<String> = (0..reqs).map(|i| mix(c * reqs + i)).collect();
+        threads.push(std::thread::spawn(move || flood(&addr, &lines)));
+    }
+    let mut seen = FloodTally::default();
+    for t in threads {
+        let tally = t.join().expect("flood client panicked");
+        seen.ok += tally.ok;
+        seen.errors += tally.errors;
+        seen.overloaded += tally.overloaded;
+    }
+    assert_eq!(seen.ok + seen.errors + seen.overloaded, 4 * reqs, "a request went unanswered");
+    assert!(seen.overloaded > 0, "a 10x flood against budget 4 must shed something");
+
+    // Accounting balances: the daemon counted exactly the sheds the
+    // clients observed, nothing was degraded (brownout off) and nothing
+    // cancelled (no client disconnected mid-request), and the gauges are
+    // quiescent again — except the stats request itself, in flight while
+    // it snapshots.
+    let o = overload_stats(&addr);
+    assert_eq!(o.get("shed").and_then(Json::as_u64), Some(seen.overloaded as u64), "{o}");
+    assert_eq!(o.get("degraded").and_then(Json::as_u64), Some(0), "{o}");
+    assert_eq!(o.get("cancelled").and_then(Json::as_u64), Some(0), "{o}");
+    assert_eq!(o.get("inflight").and_then(Json::as_u64), Some(1), "{o}");
+    assert_eq!(o.get("queue_depth").and_then(Json::as_u64), Some(0), "{o}");
+    assert_eq!(o.get("max_inflight").and_then(Json::as_u64), Some(4), "{o}");
+
+    // The daemon survived the storm unharmed.
+    let v = ask(&addr, r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    drop(stallers);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// A client that queues work and dies mid-request: the stall occupies
+/// the single worker, the follow-up request sits in the queue, and the
+/// invalid-UTF-8 tail kills the connection in the same sweep. Both jobs
+/// must be cancelled — dropped at dequeue or aborted at the next chunk
+/// boundary — never executed for the dead client.
+#[test]
+fn disconnect_cancels_queued_and_running_work() {
+    let (mut child, addr) = spawn_tcp(&[
+        "--synthetic",
+        "2000,6,0.4,7",
+        "--spaces",
+        "core,truss",
+        "--readers",
+        "1",
+        "--brownout",
+        "off",
+        "--debug-ops",
+    ]);
+    let v = ask(&addr, r#"{"op":"kappa","space":"core","id":0}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    let before = overload_stats(&addr).get("cancelled").and_then(Json::as_u64).unwrap();
+
+    // Stall (runs), region (queued), then garbage: the server marks the
+    // connection dead in the sweep that dispatched both jobs.
+    let mut doomed = connect(&addr);
+    let mut burst = Vec::new();
+    burst.extend_from_slice(b"{\"op\":\"debug_stall\",\"ms\":2000}\n");
+    burst.extend_from_slice(b"{\"op\":\"region\",\"space\":\"truss\",\"id\":3}\n");
+    burst.extend_from_slice(b"\xff\xfe\xff\n");
+    doomed.write_all(&burst).unwrap();
+    doomed.flush().unwrap();
+
+    // Well before the 2 s stall could finish, both jobs must be counted
+    // cancelled (the stall aborts at a 5 ms check, the queued region is
+    // dropped at dequeue) and the worker must be free for other clients.
+    let deadline = std::time::Instant::now() + Duration::from_millis(1500);
+    let mut cancelled = before;
+    while std::time::Instant::now() < deadline {
+        cancelled = overload_stats(&addr).get("cancelled").and_then(Json::as_u64).unwrap();
+        if cancelled >= before + 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        cancelled >= before + 2,
+        "expected both jobs of the dead client cancelled (before={before}, after={cancelled})"
+    );
+    let o = overload_stats(&addr);
+    assert_eq!(o.get("inflight").and_then(Json::as_u64), Some(1), "{o}");
+    assert_eq!(o.get("queue_depth").and_then(Json::as_u64), Some(0), "{o}");
+
+    let v = ask(&addr, r#"{"op":"kappa","space":"core","id":1}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Forced brownout over the wire: tier 2 turns exact `kappa` and
+/// cold-hierarchy `region` into marked, interval-carrying estimates and
+/// counts them; `--brownout off` (the other daemons in this file) never
+/// degrades.
+#[test]
+fn forced_brownout_degrades_on_the_wire_and_counts() {
+    let (mut child, addr) =
+        spawn_tcp(&["--synthetic", "2000,6,0.4,7", "--spaces", "core,truss", "--brownout", "2"]);
+
+    let v = ask(&addr, r#"{"op":"kappa","space":"core","id":7}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("brownout_tier").and_then(Json::as_u64), Some(2), "{v}");
+    let lower = v.get("lower").and_then(Json::as_u64).expect("degraded interval");
+    let upper = v.get("estimate").and_then(Json::as_u64).expect("degraded interval");
+    assert!(lower <= upper, "{v}");
+
+    let v = ask(&addr, r#"{"op":"region","space":"core","id":7}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true), "{v}");
+
+    let o = overload_stats(&addr);
+    assert_eq!(o.get("brownout_tier").and_then(Json::as_u64), Some(2), "{o}");
+    assert_eq!(o.get("degraded").and_then(Json::as_u64), Some(2), "{o}");
+    assert_eq!(o.get("shed").and_then(Json::as_u64), Some(0), "{o}");
+
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Deadlines keep working through the admission layer: a `deadline_ms`
+/// on an expensive hierarchy op over TCP answers a clean staged error
+/// (or completes), never a hang, and is counted cancelled.
+#[test]
+fn wire_deadline_answers_staged_error_not_hang() {
+    let (mut child, addr) =
+        spawn_tcp(&["--synthetic", "5000,8,0.5,7", "--spaces", "core,truss", "--brownout", "off"]);
+    let v = ask(&addr, r#"{"op":"region","space":"truss","id":3,"deadline_ms":0}"#);
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => {} // completed inside the deadline — legal
+        Some(false) => {
+            let err = v.get("error").and_then(Json::as_str).unwrap_or("");
+            assert!(
+                err.starts_with("deadline exceeded (") && err.ends_with(')'),
+                "deadline error must name its stage: {v}"
+            );
+            let o = overload_stats(&addr);
+            assert!(o.get("cancelled").and_then(Json::as_u64).unwrap() >= 1, "{o}");
+        }
+        None => panic!("response without ok: {v}"),
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Overload smoke test for the hdsd-serve daemon: flood the release
+# binary over TCP at ~10x its admission capacity with pipelining
+# clients and assert the overload contract end to end —
+#
+#   * every request is answered exactly once: ok, in-band error, or a
+#     structured {"error":"overloaded","retry_after_ms":N} shed;
+#   * the shed accounting balances: the stats overload counters equal
+#     what the clients observed on the wire, and the in-flight/queue
+#     gauges return to quiescent after the storm;
+#   * memory stays bounded (VmHWM) — no unbounded queues or buffers;
+#   * SIGTERM after the storm drains and exits cleanly.
+#
+# Mirrors crates/service/tests/overload_chaos.rs against the real
+# release binary, exactly as an operator would meet it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hdsd-service --bin hdsd-serve
+
+PORT="${OVERLOAD_SMOKE_PORT:-19917}"
+RSS_LIMIT_MB="${OVERLOAD_SMOKE_RSS_MB:-1024}"
+
+./target/release/hdsd-serve --synthetic 20000,8,0.5,7 --spaces core,truss \
+  --listen "127.0.0.1:${PORT}" --readers 2 --max-inflight 8 \
+  --brownout auto &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+python3 - "$PORT" "$SERVE_PID" "$RSS_LIMIT_MB" <<'PYEOF'
+import json, socket, sys, threading, time
+
+port, pid, rss_limit_mb = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+addr = ("127.0.0.1", port)
+
+def connect(tries=100):
+    for _ in range(tries):
+        try:
+            s = socket.create_connection(addr, timeout=10)
+            s.settimeout(60)
+            return s
+        except OSError:
+            time.sleep(0.1)
+    sys.exit("FAIL: could not connect to hdsd-serve on %d" % port)
+
+def ask(line):
+    s = connect()
+    f = s.makefile("rwb")
+    f.write(line.encode() + b"\n"); f.flush()
+    reply = f.readline()
+    s.close()
+    if not reply:
+        sys.exit("FAIL: no reply to %s" % line)
+    return json.loads(reply)
+
+# Warm-up: the daemon serves before the storm.
+v = ask('{"op":"kappa","space":"core","id":0}')
+assert v.get("ok") is True, v
+
+# The flood: 8 clients x 250 expensive requests, all pipelined before
+# the first read -- ~10x the in-flight budget of 8, sustained.
+REQS = 250
+tallies = []          # (ok, errors, overloaded) per client
+lock = threading.Lock()
+failures = []
+
+def flood(cid):
+    try:
+        s = connect()
+        f = s.makefile("rwb")
+        lines = []
+        for i in range(REQS):
+            n = (cid * REQS + i) % 10000
+            if i % 3 == 0:
+                lines.append('{"op":"region","space":"truss","id":%d}' % n)
+            elif i % 3 == 1:
+                lines.append('{"op":"estimate","space":"core","id":%d,"iterations":2,"budget":128}' % n)
+            else:
+                lines.append('{"op":"kappa","space":"core","id":%d}' % n)
+        f.write(("\n".join(lines) + "\n").encode()); f.flush()
+        ok = err = shed = 0
+        for i in range(REQS):
+            reply = f.readline()
+            if not reply:
+                raise AssertionError("client %d: connection closed at %d/%d" % (cid, i, REQS))
+            v = json.loads(reply)
+            if v.get("ok") is True:
+                ok += 1
+            elif v.get("error") == "overloaded":
+                retry = v.get("retry_after_ms")
+                assert isinstance(retry, int) and 25 <= retry <= 5000, v
+                shed += 1
+            else:
+                assert "internal panic" not in str(v.get("error", "")), v
+                err += 1
+        s.close()
+        with lock:
+            tallies.append((ok, err, shed))
+    except Exception as e:
+        with lock:
+            failures.append("client %d: %s" % (cid, e))
+
+def rss_hwm_mb():
+    with open("/proc/%d/status" % pid) as f:
+        for line in f:
+            if line.startswith("VmHWM"):
+                return int(line.split()[1]) // 1024
+    return 0
+
+threads = [threading.Thread(target=flood, args=(c,)) for c in range(8)]
+for t in threads: t.start()
+peak = 0
+while any(t.is_alive() for t in threads):
+    peak = max(peak, rss_hwm_mb())
+    time.sleep(0.1)
+for t in threads: t.join()
+peak = max(peak, rss_hwm_mb())
+
+if failures:
+    sys.exit("FAIL: " + "; ".join(failures))
+total_ok = sum(t[0] for t in tallies)
+total_err = sum(t[1] for t in tallies)
+total_shed = sum(t[2] for t in tallies)
+answered = total_ok + total_err + total_shed
+assert answered == 8 * REQS, "FAIL: %d of %d requests answered" % (answered, 8 * REQS)
+print("flood: %d ok, %d error, %d shed; peak RSS %d MB" % (total_ok, total_err, total_shed, peak))
+if peak > rss_limit_mb:
+    sys.exit("FAIL: peak RSS %d MB exceeds the %d MB bound" % (peak, rss_limit_mb))
+
+# Shed accounting balances and the gauges are quiescent again (the
+# stats request itself is the 1 in flight while it snapshots).
+v = ask('{"op":"stats"}')
+assert v.get("ok") is True, v
+o = v["overload"]
+assert o["shed"] == total_shed, "FAIL: daemon counted %d sheds, clients saw %d" % (o["shed"], total_shed)
+assert o["cancelled"] == 0, o
+assert o["inflight"] == 1, o
+assert o["queue_depth"] == 0, o
+assert o["max_inflight"] == 8, o
+print("accounting: shed=%d cancelled=%d tier=%s -- balanced" % (o["shed"], o["cancelled"], o["brownout_tier"]))
+PYEOF
+
+# Clean SIGTERM drain: the daemon must exit 0 promptly.
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAIL: daemon ignored SIGTERM after the flood"
+  exit 1
+fi
+wait "$SERVE_PID" && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || { echo "FAIL: daemon exited $rc on SIGTERM"; exit 1; }
+trap - EXIT
+
+echo "PASS: flood at 10x capacity was shed/answered exactly, accounting balanced, RSS bounded, SIGTERM drained"
